@@ -1,0 +1,47 @@
+//! `cargo bench` entry point that regenerates every paper table and figure
+//! at reduced (--quick-equivalent) scale and prints them. The full-scale
+//! runs live in the `experiments` binary:
+//!
+//! ```text
+//! cargo run --release -p openoptics-bench --bin experiments -- all
+//! ```
+
+use openoptics_bench as x;
+
+fn main() {
+    println!("\n=== Fig. 8a — memcached mice FCTs per architecture ===");
+    print!("{}", x::fig8::render_mice(&x::fig8::run_mice(10)));
+
+    println!("\n=== Fig. 8b — ring-allreduce completion (800 KB) ===");
+    print!("{}", x::fig8::render_allreduce(&x::fig8::run_allreduce(800_000)));
+
+    println!("\n=== Fig. 9 — TCP throughput & reordering ===");
+    print!("{}", x::fig9::render(&x::fig9::run(12)));
+
+    println!("\n=== Fig. 10 — mice FCT vs OCS slice duration ===");
+    print!("{}", x::fig10::render(&x::fig10::run(10)));
+
+    println!("\n=== Fig. 11 — switch-to-switch delay ===");
+    print!("{}", x::fig11::render(&x::fig11::run(2_000)));
+
+    println!("\n=== Fig. 12 — EQO error vs update interval ===");
+    print!("{}", x::fig12::render(&x::fig12::run(5_000)));
+
+    println!("\n=== Fig. 13 — UDP RTT distribution ===");
+    print!("{}", x::fig13::render(&x::fig13::run(600)));
+
+    println!("\n=== Fig. 14 — offload RTT stability ===");
+    print!("{}", x::fig14::render(&x::fig14::run(5_000)));
+
+    println!("\n=== Table 2 — Tofino2 resource usage ===");
+    print!("{}", x::table2::render(&x::table2::run()));
+
+    println!("\n=== Table 3 — buffer usage ===");
+    print!("{}", x::table3::render(&x::table3::run(8)));
+
+    println!("\n=== Table 4 — congestion services ablation ===");
+    print!("{}", x::table4::render(&x::table4::run(8)));
+
+    println!("\n=== §7 — minimum slice derivation ===");
+    print!("{}", x::minslice::render(&x::minslice::run()));
+}

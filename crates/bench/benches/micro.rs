@@ -1,0 +1,179 @@
+//! Criterion micro-benchmarks of the data-plane and control-plane hot
+//! paths: time-flow-table lookup, calendar-queue operations, EQO refresh,
+//! time-expanded routing, circuit-scheduling algorithms, and schedule
+//! construction at the paper's 108-ToR scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use openoptics_fabric::OpticalSchedule;
+use openoptics_proto::{HostId, NodeId, Packet, PortId};
+use openoptics_routing::algos::{Hoho, Ucmp, Vlb};
+use openoptics_routing::{compile, LookupMode, MultipathMode, RoutingAlgorithm};
+use openoptics_sim::rate::Bandwidth;
+use openoptics_sim::time::{SimTime, SliceConfig};
+use openoptics_switch::{CalendarPort, Eqo, TimeFlowTable};
+use openoptics_topo::bvn::bvn_decompose;
+use openoptics_topo::matching::{max_weight_assignment, max_weight_pairs};
+use openoptics_topo::round_robin::round_robin;
+use openoptics_topo::TrafficMatrix;
+
+fn sched_108() -> OpticalSchedule {
+    let (circuits, slices) = round_robin(108, 6);
+    OpticalSchedule::build(SliceConfig::new(2_000, slices, 200), 108, 6, &circuits).unwrap()
+}
+
+fn bench_schedule_build(c: &mut Criterion) {
+    c.bench_function("schedule_build_108tor_6up", |b| {
+        let (circuits, slices) = round_robin(108, 6);
+        b.iter(|| {
+            OpticalSchedule::build(
+                SliceConfig::new(2_000, slices, 200),
+                108,
+                6,
+                black_box(&circuits),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_tft_lookup(c: &mut Criterion) {
+    // Populate a full 108-ToR table via VLB compilation for one source.
+    let s = sched_108();
+    let mut tft = TimeFlowTable::new();
+    for dst in 1..108u32 {
+        for arr in 0..s.slice_config().num_slices {
+            let paths = Vlb.paths(&s, NodeId(0), NodeId(dst), Some(arr));
+            for e in compile(&paths, LookupMode::PerHop, MultipathMode::PerPacket) {
+                if e.node == NodeId(0) {
+                    tft.install(e);
+                }
+            }
+        }
+    }
+    let pkt = Packet::data(1, 7, NodeId(0), NodeId(55), HostId(0), HostId(5), 1436, 0, SimTime::ZERO);
+    c.bench_function("tft_lookup_full_table", |b| {
+        let mut arr = 0u32;
+        b.iter(|| {
+            arr = (arr + 1) % 107;
+            black_box(tft.lookup(black_box(&pkt), arr).map(|a| a.port))
+        })
+    });
+}
+
+fn bench_calendar(c: &mut Criterion) {
+    c.bench_function("calendar_enqueue_pop_rotate", |b| {
+        let mut cp: CalendarPort<u64> = CalendarPort::new(32, 8 * 1024 * 1024);
+        b.iter(|| {
+            cp.enqueue(black_box(3), 1500, 42).ok();
+            cp.rotate();
+            cp.rotate();
+            cp.rotate();
+            black_box(cp.pop_active());
+        })
+    });
+}
+
+fn bench_eqo(c: &mut Criterion) {
+    c.bench_function("eqo_refresh_6port_32q", |b| {
+        let mut eqo = Eqo::new(6, 32, 50, Bandwidth::gbps(100));
+        let active = [0usize; 6];
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 120;
+            eqo.on_enqueue(0, 0, 1500);
+            eqo.refresh(SimTime::from_ns(t), black_box(&active));
+            black_box(eqo.estimate(0, 0))
+        })
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let s = sched_108();
+    c.bench_function("vlb_paths_108tor", |b| {
+        b.iter(|| black_box(Vlb.paths(&s, NodeId(0), NodeId(55), Some(3))))
+    });
+    c.bench_function("ucmp_paths_108tor", |b| {
+        b.iter(|| black_box(Ucmp::default().paths(&s, NodeId(0), NodeId(55), Some(3))))
+    });
+    c.bench_function("hoho_paths_108tor", |b| {
+        b.iter(|| black_box(Hoho::default().paths(&s, NodeId(0), NodeId(55), Some(3))))
+    });
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut tm = TrafficMatrix::zeros(64);
+    for i in 0..64u32 {
+        for j in 0..64u32 {
+            if i != j {
+                tm.set(NodeId(i), NodeId(j), ((i * 31 + j * 17) % 97) as f64);
+            }
+        }
+    }
+    c.bench_function("hungarian_64", |b| b.iter(|| black_box(max_weight_assignment(&tm))));
+    c.bench_function("pairing_64", |b| b.iter(|| black_box(max_weight_pairs(&tm))));
+    c.bench_function("bvn_decompose_16", |b| {
+        let mut small = TrafficMatrix::zeros(16);
+        for i in 0..16u32 {
+            for j in 0..16u32 {
+                if i != j {
+                    small.set(NodeId(i), NodeId(j), ((i * 7 + j * 13) % 23 + 1) as f64);
+                }
+            }
+        }
+        b.iter(|| black_box(bvn_decompose(&small, 64, 1e-9)))
+    });
+}
+
+fn bench_port_compile(c: &mut Criterion) {
+    let s = sched_108();
+    c.bench_function("compile_vlb_one_pair_all_slices", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for arr in 0..s.slice_config().num_slices {
+                let paths = Vlb.paths(&s, NodeId(0), NodeId(55), Some(arr));
+                total += compile(&paths, LookupMode::PerHop, MultipathMode::PerPacket).len();
+            }
+            black_box(total)
+        })
+    });
+    // Keep PortId referenced so the import list stays honest.
+    black_box(PortId(0));
+}
+
+fn bench_engine_end_to_end(c: &mut Criterion) {
+    use openoptics_core::{archs, NetConfig, TransportKind};
+    c.bench_function("engine_rotornet_1ms_8tor", |b| {
+        b.iter(|| {
+            let cfg = NetConfig {
+                node_num: 8,
+                uplink: 1,
+                slice_ns: 50_000,
+                sync_err_ns: 0,
+                ..Default::default()
+            };
+            let mut net = archs::rotornet(cfg);
+            net.add_flow(
+                SimTime::from_ns(100),
+                HostId(0),
+                HostId(5),
+                100_000,
+                TransportKind::Paced,
+            );
+            net.run_for(SimTime::from_ms(1));
+            black_box(net.fct().completed().len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_engine_end_to_end,
+    bench_schedule_build,
+    bench_tft_lookup,
+    bench_calendar,
+    bench_eqo,
+    bench_routing,
+    bench_matching,
+    bench_port_compile
+);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! Fig. 8 — Case I: realistic comparison of architectures.
+//!
+//! (a) Mice-flow FCTs of memcached SETs and (b) elephant completion of Gloo
+//! ring allreduce, across Clos, c-Through, Jupiter, Mordia, RotorNet (VLB),
+//! Opera, and RotorNet+UCMP.
+//!
+//! Shape targets from the paper: c-Through ≈ Clos on mice (mice ride the
+//! electrical fabric); Mordia low median but a long tail (waiting for
+//! on-demand slices); RotorNet-VLB the longest tail (intermediate-hop
+//! circuit waits); Opera and UCMP low. For elephants, the TA architectures
+//! serve the ring demand with matching circuits (≈ Clos), while TO
+//! architectures roughly double completion times (circuits exist only part
+//! of the time).
+
+use crate::util::{self, Table};
+use openoptics_core::archs;
+use openoptics_proto::{HostId, NodeId};
+use openoptics_routing::algos::Ucmp;
+use openoptics_routing::MultipathMode;
+use openoptics_sim::time::SimTime;
+
+/// One architecture's mice-FCT row.
+#[derive(Clone, Debug)]
+pub struct MiceRow {
+    /// Architecture name.
+    pub arch: &'static str,
+    /// Median FCT, µs.
+    pub p50_us: f64,
+    /// 90th percentile FCT, µs.
+    pub p90_us: f64,
+    /// 99th percentile FCT, µs.
+    pub p99_us: f64,
+    /// Completed operations.
+    pub samples: usize,
+    /// The CDF series the paper plots: `(fct_ns, cumulative fraction)` at
+    /// ten evenly spaced fractions.
+    pub cdf: Vec<(u64, f64)>,
+}
+
+/// Slice duration used for the fine-grained (TO + Mordia) architectures.
+const TO_SLICE_NS: u64 = 100_000;
+
+fn architectures(uplinks: u16) -> Vec<(&'static str, openoptics_core::OpenOpticsNet)> {
+    let cfg = || util::testbed(TO_SLICE_NS, uplinks);
+    let tm = util::memcached_tm(8, NodeId(0));
+    vec![
+        ("clos", archs::clos(cfg())),
+        ("c-through", archs::cthrough(cfg(), &tm)),
+        ("jupiter", archs::jupiter(cfg())),
+        ("mordia", archs::mordia(cfg(), &tm, 8)),
+        ("rotornet-vlb", archs::rotornet(cfg())),
+        ("opera", archs::opera(cfg())),
+        (
+            "rotornet-ucmp",
+            archs::rotornet_with(cfg(), Ucmp::default(), MultipathMode::PerPacket),
+        ),
+    ]
+}
+
+/// Fig. 8(a): memcached mice FCT distribution per architecture.
+/// `duration_ms` controls the measurement window.
+pub fn run_mice(duration_ms: u64) -> Vec<MiceRow> {
+    let mut rows = vec![];
+    for (name, mut net) in architectures(1) {
+        let stop = SimTime::from_ms(duration_ms);
+        util::attach_memcached(&mut net, stop);
+        net.run_for(SimTime::from_ms(duration_ms + 5));
+        let (p50, p90, p99, samples) = util::mice_percentiles(net.fct());
+        rows.push(MiceRow {
+            arch: name,
+            p50_us: p50,
+            p90_us: p90,
+            p99_us: p99,
+            samples,
+            cdf: openoptics_workload::FctStats::cdf(&net.fct().mice_fcts(), 10),
+        });
+    }
+    rows
+}
+
+/// One architecture's allreduce row.
+#[derive(Clone, Debug)]
+pub struct AllreduceRow {
+    /// Architecture name.
+    pub arch: &'static str,
+    /// Completion time of the collective, ms.
+    pub completion_ms: f64,
+}
+
+/// Fig. 8(b): ring-allreduce completion per architecture at `data_bytes`.
+pub fn run_allreduce(data_bytes: u64) -> Vec<AllreduceRow> {
+    let tm = util::ring_tm(8);
+    let mut rows = vec![];
+    // TA architectures get 2 uplinks so matching circuits can realize the
+    // full ring (as the paper's testbed topology does).
+    for (name, mut net) in [
+        ("clos", archs::clos(util::testbed(TO_SLICE_NS, 2))),
+        ("c-through", {
+            let mut c = util::testbed(TO_SLICE_NS, 2);
+            c.elephant_threshold = 100_000;
+            archs::cthrough(c, &tm)
+        }),
+        ("jupiter", {
+            let mut net = archs::jupiter(util::testbed(TO_SLICE_NS, 2));
+            archs::jupiter_reconfigure(&mut net, &tm);
+            net
+        }),
+        ("mordia", archs::mordia(util::testbed(TO_SLICE_NS, 2), &tm, 8)),
+        ("rotornet-vlb", archs::rotornet(util::testbed(TO_SLICE_NS, 2))),
+        ("opera", archs::opera(util::testbed(TO_SLICE_NS, 2))),
+        (
+            "rotornet-ucmp",
+            archs::rotornet_with(
+                util::testbed(TO_SLICE_NS, 2),
+                Ucmp::default(),
+                MultipathMode::PerPacket,
+            ),
+        ),
+    ] {
+        let hosts: Vec<HostId> = (0..8).map(HostId).collect();
+        let idx = net.add_allreduce(hosts, data_bytes);
+        net.run_for(SimTime::from_ms(400));
+        let done = net.engine.collective_done[idx];
+        rows.push(AllreduceRow {
+            arch: name,
+            completion_ms: done.map(|t| t.as_ms_f64()).unwrap_or(f64::NAN),
+        });
+    }
+    rows
+}
+
+/// Render Fig. 8(a) as a table plus the CDF series the figure plots.
+pub fn render_mice(rows: &[MiceRow]) -> String {
+    let mut t = Table::new(&["architecture", "p50", "p90", "p99", "ops"]);
+    for r in rows {
+        t.row(vec![
+            r.arch.to_string(),
+            util::us(r.p50_us),
+            util::us(r.p90_us),
+            util::us(r.p99_us),
+            r.samples.to_string(),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str("
+CDF series (cumulative fraction -> FCT):
+");
+    for r in rows {
+        let series = r
+            .cdf
+            .iter()
+            .map(|(ns, f)| format!("{:.0}%:{}", f * 100.0, util::us(*ns as f64 / 1e3)))
+            .collect::<Vec<_>>()
+            .join("  ");
+        out.push_str(&format!("  {:<14} {}
+", r.arch, series));
+    }
+    out
+}
+
+/// Render Fig. 8(b) as a table.
+pub fn render_allreduce(rows: &[AllreduceRow]) -> String {
+    let mut t = Table::new(&["architecture", "allreduce completion"]);
+    for r in rows {
+        let c = if r.completion_ms.is_nan() {
+            "did not finish".to_string()
+        } else {
+            format!("{:.2}ms", r.completion_ms)
+        };
+        t.row(vec![r.arch.to_string(), c]);
+    }
+    t.render()
+}

@@ -1,0 +1,28 @@
+//! # openoptics-bench
+//!
+//! The experiment harness: one module per table/figure of the OpenOptics
+//! evaluation (§6–§7 and the appendices), each exposing a `run(scale)`
+//! function that regenerates the paper's rows/series and returns them as
+//! structured data. The `experiments` binary prints them; Criterion benches
+//! exercise the hot paths.
+//!
+//! Scale: the paper's testbed is 8 ToRs at 100 Gbps with a 108-ToR emulated
+//! benchmark; the simulations here default to the same 8-ToR fabric (and a
+//! reduced-ToR stand-in for the 108-ToR load tests) so every experiment
+//! finishes in seconds to minutes. Absolute numbers therefore differ from
+//! the paper; the *shape* — orderings, factors, crossovers — is the
+//! reproduction target (see EXPERIMENTS.md).
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig8;
+pub mod fig9;
+pub mod minslice;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod util;

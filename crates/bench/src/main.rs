@@ -1,0 +1,128 @@
+//! `experiments` — regenerate every table and figure of the OpenOptics
+//! evaluation.
+//!
+//! ```text
+//! experiments <id> [--quick]
+//!   ids: fig8a fig8b fig9 fig10 fig11 fig12 fig13 fig14
+//!        table2 table3 table4 minslice all
+//! ```
+//!
+//! `--quick` shrinks measurement windows for smoke runs (used by CI and the
+//! `figures` bench); the default windows are the EXPERIMENTS.md settings.
+
+use openoptics_bench as x;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| {
+        eprintln!("usage: experiments <fig8a|fig8b|fig9|fig10|fig11|fig12|fig13|fig14|table2|table3|table4|ablations|minslice|all> [--quick]");
+        std::process::exit(2);
+    });
+    let all = which == "all";
+    let run = |id: &str| all || which == id;
+    let mut ran = false;
+
+    let section = |title: &str| println!("\n=== {title} ===");
+
+    if run("fig8a") {
+        ran = true;
+        section("Fig. 8a — memcached mice FCTs per architecture");
+        let t = Instant::now();
+        let rows = x::fig8::run_mice(if quick { 8 } else { 40 });
+        print!("{}", x::fig8::render_mice(&rows));
+        eprintln!("[fig8a took {:?}]", t.elapsed());
+    }
+    if run("fig8b") {
+        ran = true;
+        section("Fig. 8b — Gloo ring-allreduce completion per architecture");
+        let t = Instant::now();
+        for size in if quick { vec![800_000u64] } else { vec![800_000, 4_000_000, 20_000_000] } {
+            println!("\n-- data size {} --", if size >= 1_000_000 { format!("{}MB", size / 1_000_000) } else { format!("{}KB", size / 1_000) });
+            let rows = x::fig8::run_allreduce(size);
+            print!("{}", x::fig8::render_allreduce(&rows));
+        }
+        eprintln!("[fig8b took {:?}]", t.elapsed());
+    }
+    if run("fig9") {
+        ran = true;
+        section("Fig. 9 — TCP throughput & reordering (iperf)");
+        let t = Instant::now();
+        let rows = x::fig9::run(if quick { 10 } else { 50 });
+        print!("{}", x::fig9::render(&rows));
+        eprintln!("[fig9 took {:?}]", t.elapsed());
+    }
+    if run("fig10") {
+        ran = true;
+        section("Fig. 10 — mice FCT vs OCS slice duration (VLB / UCMP)");
+        let t = Instant::now();
+        let rows = x::fig10::run(if quick { 8 } else { 30 });
+        print!("{}", x::fig10::render(&rows));
+        eprintln!("[fig10 took {:?}]", t.elapsed());
+    }
+    if run("fig11") {
+        ran = true;
+        section("Fig. 11 — switch-to-switch delay vs packet size");
+        let rows = x::fig11::run(if quick { 500 } else { 5_000 });
+        print!("{}", x::fig11::render(&rows));
+    }
+    if run("fig12") {
+        ran = true;
+        section("Fig. 12 — EQO error vs update interval");
+        let rows = x::fig12::run(if quick { 2_000 } else { 20_000 });
+        print!("{}", x::fig12::render(&rows));
+    }
+    if run("fig13") {
+        ran = true;
+        section("Fig. 13 — UDP RTT distribution (emulated vs real OCS)");
+        let t = Instant::now();
+        let rows = x::fig13::run(if quick { 400 } else { 3_000 });
+        print!("{}", x::fig13::render(&rows));
+        eprintln!("[fig13 took {:?}]", t.elapsed());
+    }
+    if run("fig14") {
+        ran = true;
+        section("Fig. 14 — offload RTT stability (libvma vs kernel)");
+        let rows = x::fig14::run(if quick { 2_000 } else { 20_000 });
+        print!("{}", x::fig14::render(&rows));
+    }
+    if run("table2") {
+        ran = true;
+        section("Table 2 — Tofino2 resource usage (108-ToR)");
+        print!("{}", x::table2::render(&x::table2::run()));
+    }
+    if run("table3") {
+        ran = true;
+        section("Table 3 — p99.9 buffer usage (300us slices, 40% load)");
+        let t = Instant::now();
+        let rows = x::table3::run(if quick { 6 } else { 30 });
+        print!("{}", x::table3::render(&rows));
+        eprintln!("[table3 took {:?}]", t.elapsed());
+    }
+    if run("table4") {
+        ran = true;
+        section("Table 4 — congestion detection & push-back ablation (HOHO, 70% load)");
+        let t = Instant::now();
+        let rows = x::table4::run(if quick { 6 } else { 30 });
+        print!("{}", x::table4::render(&rows));
+        eprintln!("[table4 took {:?}]", t.elapsed());
+    }
+    if run("ablations") {
+        ran = true;
+        section("Ablations — guardband / defer window / EQO / offload lead");
+        let t = Instant::now();
+        print!("{}", x::ablations::render(if quick { 6 } else { 20 }));
+        eprintln!("[ablations took {:?}]", t.elapsed());
+    }
+    if run("minslice") {
+        ran = true;
+        section("§7 — minimum time-slice derivation");
+        print!("{}", x::minslice::render(&x::minslice::run()));
+    }
+
+    if !ran {
+        eprintln!("unknown experiment id: {which}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,132 @@
+//! Table 3 — 99.9th-percentile switch buffer usage.
+//!
+//! Buffer-hungry routings (VLB with and without offloading, HOHO, UCMP)
+//! under the KV-store / RPC / Hadoop traces at 40% core load and 300 µs
+//! slices. Paper shape: HOHO and UCMP stay low (they chase the nearest
+//! slices); VLB is several times larger (packets wait at intermediate ToRs
+//! for up to a cycle) yet far below the 64 MB Tofino2 buffer, and
+//! offloading cuts the switch-resident share by an order of magnitude.
+
+use crate::util::{testbed, Table};
+use openoptics_core::{archs, OpenOpticsNet, TransportKind};
+use openoptics_proto::NodeId;
+use openoptics_routing::algos::{Hoho, Ucmp, Vlb};
+use openoptics_routing::MultipathMode;
+use openoptics_sim::time::SimTime;
+use openoptics_workload::{PoissonArrivals, Trace};
+
+/// ToR count for the load benchmark (a reduced stand-in for the 108-ToR
+/// setup; see EXPERIMENTS.md).
+pub const NODES: u32 = 12;
+const SLICE_NS: u64 = 300_000;
+
+/// One `(routing, trace)` cell.
+#[derive(Clone, Debug)]
+pub struct Table3Row {
+    /// Routing scheme.
+    pub routing: &'static str,
+    /// Trace name.
+    pub trace: &'static str,
+    /// 99.9th-percentile switch-resident buffer, MB.
+    pub p999_mb: f64,
+    /// Peak switch-resident buffer, MB.
+    pub peak_mb: f64,
+    /// Peak bytes parked on hosts by offloading, MB (0 when disabled).
+    pub offloaded_peak_mb: f64,
+}
+
+fn build(routing: &'static str, offload: bool) -> OpenOpticsNet {
+    let mut cfg = testbed(SLICE_NS, 2);
+    cfg.node_num = NODES;
+    cfg.queue_capacity = 16 * 1024 * 1024;
+    // A 1 MB per-queue threshold lets the congestion service spread
+    // HOHO/UCMP bursts over nearby slices (as deployed) without flattening
+    // the natural buffer demand this experiment measures.
+    cfg.congestion_threshold = 1024 * 1024;
+    cfg.offload = offload;
+    cfg.offload_keep_ranks = 2;
+    cfg.offload_return_lead_ns = 50_000;
+    match routing {
+        "vlb" => archs::rotornet_with(cfg, Vlb, MultipathMode::PerPacket),
+        "hoho" => archs::rotornet_with(cfg, Hoho::default(), MultipathMode::None),
+        _ => archs::rotornet_with(cfg, Ucmp::default(), MultipathMode::PerPacket),
+    }
+}
+
+fn attach_load(net: &mut OpenOpticsNet, trace: Trace, load: f64, horizon: SimTime, seed: u64) {
+    let hosts = (0..net.engine.cfg.total_hosts()).map(openoptics_proto::HostId).collect();
+    let mut gen = PoissonArrivals::new(
+        hosts,
+        trace.dist(),
+        net.engine.cfg.host_link_bandwidth(),
+        load,
+        seed,
+    );
+    for f in gen.take_until(horizon) {
+        // Cap single flows at 2 MB so one straggler doesn't dominate the
+        // short window (documented substitution; the distribution body is
+        // preserved).
+        net.add_flow(f.at, f.src, f.dst, f.bytes.min(2_000_000), TransportKind::Paced);
+    }
+}
+
+fn measure(routing: &'static str, offload: bool, trace: Trace, ms: u64) -> Table3Row {
+    let algo_key = routing.split('+').next().expect("non-empty routing key");
+    let mut net = build(algo_key, offload);
+    // The paper's "40% core link utilization" is fabric-side; VLB doubles
+    // every byte (two hops), so host injection of 20% yields 40% core for
+    // VLB and less for the single-ish-hop schemes.
+    attach_load(&mut net, trace, 0.2, SimTime::from_ms(ms), 3);
+    // Run in slice-sized steps and sample the observed ToR's buffer.
+    let mut samples = vec![];
+    let steps = ms * 1_000_000 / SLICE_NS;
+    for _ in 0..steps {
+        net.run_for(SimTime::from_ns(SLICE_NS));
+        let total: u64 =
+            (0..NODES).map(|n| net.engine.tor(NodeId(n)).buffer_bytes()).max().unwrap_or(0);
+        samples.push(total);
+    }
+    samples.sort_unstable();
+    let p999 = samples[((samples.len() as f64 * 0.999) as usize).min(samples.len() - 1)];
+    let peak: u64 =
+        (0..NODES).map(|n| net.engine.tor(NodeId(n)).peak_buffer_bytes).max().unwrap_or(0);
+    let off_peak: u64 = (0..NODES)
+        .map(|n| net.engine.tor(NodeId(n)).offload_book.peak_parked_bytes)
+        .max()
+        .unwrap_or(0);
+    Table3Row {
+        routing,
+        trace: trace.name(),
+        p999_mb: p999 as f64 / 1e6,
+        peak_mb: peak as f64 / 1e6,
+        offloaded_peak_mb: off_peak as f64 / 1e6,
+    }
+}
+
+/// Run the routing × trace sweep over `ms` milliseconds per cell.
+pub fn run(ms: u64) -> Vec<Table3Row> {
+    let mut rows = vec![];
+    for trace in Trace::ALL {
+        rows.push(measure("vlb", false, trace, ms));
+        rows.push(measure("vlb+offload", true, trace, ms));
+        rows.push(measure("hoho", false, trace, ms));
+        rows.push(measure("ucmp", false, trace, ms));
+    }
+    rows
+}
+
+/// Render as a table.
+pub fn render(rows: &[Table3Row]) -> String {
+    let mut t =
+        Table::new(&["trace", "routing", "p99.9 buffer", "peak buffer", "offloaded peak"]);
+    for r in rows {
+        t.row(vec![
+            r.trace.to_string(),
+            r.routing.to_string(),
+            format!("{:.2} MB", r.p999_mb),
+            format!("{:.2} MB", r.peak_mb),
+            format!("{:.2} MB", r.offloaded_peak_mb),
+        ]);
+    }
+    format!("{}(Tofino2 total buffer: 64 MB; paper: VLB ~9.5-12.8 MB, offloaded ~1.3-1.6 MB, HOHO/UCMP 2.4-6.5 MB)\n", t.render())
+}

@@ -1,0 +1,284 @@
+//! Preset architectures (Fig. 5 and §6 Case I).
+//!
+//! Each builder mirrors one of the paper's example programs: a static
+//! configuration plus a few API calls. They return a ready
+//! [`OpenOpticsNet`]; attach workloads and call `run_for` to experiment.
+//!
+//! | builder | class | schedule | routing | fabric |
+//! |---|---|---|---|---|
+//! | [`clos`] | baseline | none | — | electrical only |
+//! | [`cthrough`] | TA-1 | Edmonds max-weight matching | direct (elephants) | MEMS + electrical |
+//! | [`jupiter`] | TA-2 | evolving uniform mesh | WCMP | MEMS |
+//! | [`mordia`] | TA-1 | BvN decomposition | direct per slice | emulated |
+//! | [`rotornet`] | TO | 1-D round robin | VLB (or caller's) | emulated |
+//! | [`opera`] | TO | per-slice expanders | Opera source routing | emulated |
+//! | [`semi_oblivious`] | TA+TO | SORN skewed round robin | VLB | emulated |
+
+use crate::config::NetConfig;
+use crate::engine::{DispatchPolicy, PauseMode};
+use crate::net::OpenOpticsNet;
+use openoptics_routing::algos::{Direct, Hoho, OperaRouting, Vlb, Wcmp};
+use openoptics_routing::{LookupMode, MultipathMode, RoutingAlgorithm};
+use openoptics_topo::bvn::mordia_schedule;
+use openoptics_topo::expander::opera_schedule;
+use openoptics_topo::jupiter::{evolve, uniform_mesh};
+use openoptics_topo::matching::edmonds_multi;
+use openoptics_topo::round_robin::{round_robin, round_robin_multidim};
+use openoptics_topo::sorn::sorn;
+use openoptics_topo::TrafficMatrix;
+
+/// Traditional Clos baseline: everything rides the electrical fabric.
+/// `cfg.electrical_gbps` must be non-zero.
+pub fn clos(mut cfg: NetConfig) -> OpenOpticsNet {
+    if cfg.electrical_gbps == 0 {
+        cfg.electrical_gbps = 100;
+    }
+    let mut net = OpenOpticsNet::new(cfg);
+    net.engine.policy = DispatchPolicy::ElectricalOnly;
+    net
+}
+
+/// c-Through (TA-1): a parallel electrical fabric carries mice; elephants
+/// are paused at hosts and released over max-weight-matching circuits on
+/// the MEMS OCS, recomputed from the traffic matrix per reconfiguration.
+pub fn cthrough(mut cfg: NetConfig, tm: &TrafficMatrix) -> OpenOpticsNet {
+    if cfg.electrical_gbps == 0 {
+        cfg.electrical_gbps = 10; // rate-limited as in the original design (§6)
+    }
+    cfg.emulated_fabric = false; // real MEMS OCS
+    // Direct-circuit traffic must wait for its own circuit; deferring onto
+    // a different pair's slice would strand packets (as for Mordia).
+    cfg.congestion_policy = "wait".to_string();
+    let uplinks = cfg.uplink;
+    let mut net = OpenOpticsNet::new(cfg);
+    let circuits = edmonds_multi(tm, uplinks);
+    net.deploy_topo(&circuits, 1).expect("matching is conflict-free");
+    net.deploy_routing(Direct, LookupMode::PerHop, MultipathMode::None);
+    net.engine.policy = DispatchPolicy::MiceElectrical;
+    net.engine.pause_mode = PauseMode::DirectCircuit;
+    net
+}
+
+/// Reconfigure a running c-Through network for a fresh traffic matrix.
+pub fn cthrough_reconfigure(net: &mut OpenOpticsNet, tm: &TrafficMatrix) {
+    let circuits = edmonds_multi(tm, net.engine.cfg.uplink);
+    net.deploy_topo(&circuits, 1).expect("matching is conflict-free");
+    net.deploy_routing(Direct, LookupMode::PerHop, MultipathMode::None);
+}
+
+/// Jupiter (TA-2): starts from a uniform mesh (empty TM) with WCMP; call
+/// [`jupiter_reconfigure`] with a collected TM to evolve the topology
+/// (the paper does so every 24 h).
+pub fn jupiter(mut cfg: NetConfig) -> OpenOpticsNet {
+    cfg.emulated_fabric = false; // MEMS-class OCS
+    if cfg.uplink < 2 {
+        cfg.uplink = 2; // a mesh needs multiple stripes
+    }
+    let mut net = OpenOpticsNet::new(cfg.clone());
+    let mesh = uniform_mesh(cfg.node_num, cfg.uplink);
+    net.deploy_topo(&mesh, 1).expect("uniform mesh is conflict-free");
+    net.deploy_routing(Wcmp::default(), LookupMode::PerHop, MultipathMode::PerFlow);
+    net.engine.policy = DispatchPolicy::OpticalOnly;
+    net
+}
+
+/// One Jupiter evolution step toward a new traffic matrix.
+pub fn jupiter_reconfigure(net: &mut OpenOpticsNet, tm: &TrafficMatrix) {
+    let cfg = net.engine.cfg.clone();
+    let prev = net.engine.schedule().circuits().to_vec();
+    let next = evolve(&prev, tm, cfg.node_num, cfg.uplink);
+    net.deploy_topo(&next, 1).expect("evolved mesh is conflict-free");
+    net.deploy_routing(Wcmp::default(), LookupMode::PerHop, MultipathMode::PerFlow);
+}
+
+/// Mordia (TA-1 with microsecond slices): Birkhoff–von-Neumann decomposition
+/// of the traffic matrix apportioned over `num_slices` slices on the
+/// emulated fabric; traffic waits for its pair's slice (direct routing).
+pub fn mordia(mut cfg: NetConfig, tm: &TrafficMatrix, num_slices: u32) -> OpenOpticsNet {
+    // Mordia's schedule only lights demand pairs: a deferred packet would
+    // launch into a circuit with no onward route. Accept slice misses
+    // instead (Wait).
+    cfg.congestion_policy = "wait".to_string();
+    let mut net = OpenOpticsNet::new(cfg);
+    let (circuits, slices) = mordia_schedule(tm, num_slices);
+    net.deploy_topo(&circuits, slices).expect("BvN slices are matchings");
+    net.deploy_routing(Direct, LookupMode::PerHop, MultipathMode::None);
+    net.engine.policy = DispatchPolicy::OpticalOnly;
+    net
+}
+
+/// RotorNet (TO): 1-D round-robin schedule with VLB packet spraying —
+/// the Fig. 5(a) program.
+pub fn rotornet(cfg: NetConfig) -> OpenOpticsNet {
+    rotornet_with(cfg, Vlb, MultipathMode::PerPacket)
+}
+
+/// RotorNet with a caller-chosen routing scheme (UCMP, HOHO, direct — the
+/// §6 case studies run several on the same schedule).
+pub fn rotornet_with<A: RoutingAlgorithm + 'static>(
+    cfg: NetConfig,
+    algo: A,
+    multipath: MultipathMode,
+) -> OpenOpticsNet {
+    let mut net = OpenOpticsNet::new(cfg.clone());
+    let (circuits, slices) = round_robin(cfg.node_num, cfg.uplink);
+    net.deploy_topo(&circuits, slices).expect("round robin is conflict-free");
+    net.deploy_routing(algo, LookupMode::PerHop, multipath);
+    net.engine.policy = DispatchPolicy::OpticalOnly;
+    net
+}
+
+/// Opera (TO): per-slice connected expanders with source-routed
+/// within-slice shortest paths.
+pub fn opera(mut cfg: NetConfig) -> OpenOpticsNet {
+    if cfg.uplink < 2 {
+        cfg.uplink = 2; // Opera needs per-slice connectivity
+    }
+    let mut net = OpenOpticsNet::new(cfg.clone());
+    let (circuits, slices) = opera_schedule(cfg.node_num, cfg.uplink);
+    net.deploy_topo(&circuits, slices).expect("expander schedule is conflict-free");
+    net.deploy_routing(
+        OperaRouting::default(),
+        LookupMode::SourceRouting,
+        MultipathMode::PerPacket,
+    );
+    net.engine.policy = DispatchPolicy::OpticalOnly;
+    net
+}
+
+/// Shale (TO): a multi-dimensional round robin — nodes form a `dim`-D grid
+/// and rotate within each dimension with a single optical uplink (§4.2:
+/// "Shale uses a three-dimensional round-robin with a single optical
+/// uplink per node"). Requires `node_num` to be a perfect `dim`-th power.
+/// Routed with HOHO, whose earliest-arrival tours naturally follow the
+/// grid's dimension-ordered circuits.
+pub fn shale(mut cfg: NetConfig, dim: u32) -> OpenOpticsNet {
+    cfg.uplink = 1;
+    let mut net = OpenOpticsNet::new(cfg.clone());
+    let (circuits, slices) = round_robin_multidim(cfg.node_num, dim);
+    net.deploy_topo(&circuits, slices).expect("grid round robin is conflict-free");
+    net.deploy_routing(Hoho::default(), LookupMode::PerHop, MultipathMode::None);
+    net.engine.policy = DispatchPolicy::OpticalOnly;
+    net
+}
+
+/// Semi-oblivious (TA+TO, Fig. 5c): a skewed round-robin reflecting the
+/// traffic matrix, redeployed periodically by the caller via
+/// [`semi_oblivious_reconfigure`].
+pub fn semi_oblivious(cfg: NetConfig, tm: &TrafficMatrix, extra_slices: u32) -> OpenOpticsNet {
+    let mut net = OpenOpticsNet::new(cfg.clone());
+    let (circuits, slices) = sorn(tm, cfg.node_num, cfg.uplink, extra_slices);
+    net.deploy_topo(&circuits, slices).expect("sorn schedule is conflict-free");
+    net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+    net.engine.policy = DispatchPolicy::OpticalOnly;
+    net
+}
+
+/// Refresh a semi-oblivious schedule for a new TM (the 10-minute loop of
+/// Fig. 5c).
+pub fn semi_oblivious_reconfigure(
+    net: &mut OpenOpticsNet,
+    tm: &TrafficMatrix,
+    extra_slices: u32,
+) {
+    let cfg = net.engine.cfg.clone();
+    let (circuits, slices) = sorn(tm, cfg.node_num, cfg.uplink, extra_slices);
+    net.deploy_topo(&circuits, slices).expect("sorn schedule is conflict-free");
+    net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::TransportKind;
+    use openoptics_proto::{HostId, NodeId};
+    use openoptics_sim::time::SimTime;
+
+    fn cfg8() -> NetConfig {
+        NetConfig {
+            node_num: 8,
+            uplink: 1,
+            hosts_per_node: 1,
+            slice_ns: 10_000,
+            guard_ns: 200,
+            sync_err_ns: 0,
+            ..Default::default()
+        }
+    }
+
+    fn run_one_flow(net: &mut OpenOpticsNet, bytes: u64) -> u64 {
+        net.add_flow(SimTime::from_ns(100), HostId(0), HostId(5), bytes, TransportKind::Paced);
+        net.run_for(SimTime::from_ms(20));
+        assert_eq!(net.fct().completed().len(), 1, "flow did not complete");
+        net.fct().completed()[0].fct_ns()
+    }
+
+    #[test]
+    fn clos_carries_traffic_electrically() {
+        let mut net = clos(cfg8());
+        let fct = run_one_flow(&mut net, 20_000);
+        assert!(fct > 0);
+        let (delivered, _) = net.engine.fabric_stats();
+        assert_eq!(delivered, 0, "no packet should touch the optical fabric");
+    }
+
+    #[test]
+    fn rotornet_vlb_delivers() {
+        let mut net = rotornet(cfg8());
+        run_one_flow(&mut net, 50_000);
+        let (delivered, _) = net.engine.fabric_stats();
+        assert!(delivered > 0);
+    }
+
+    #[test]
+    fn opera_delivers_with_source_routing() {
+        let mut net = opera(cfg8());
+        run_one_flow(&mut net, 50_000);
+    }
+
+    #[test]
+    fn mordia_serves_demand_pairs() {
+        let mut tm = TrafficMatrix::zeros(8);
+        tm.set(NodeId(0), NodeId(5), 100.0);
+        tm.set(NodeId(1), NodeId(2), 50.0);
+        let mut net = mordia(cfg8(), &tm, 8);
+        run_one_flow(&mut net, 20_000);
+    }
+
+    #[test]
+    fn jupiter_wcmp_delivers() {
+        let mut cfg = cfg8();
+        cfg.uplink = 2;
+        let mut net = jupiter(cfg);
+        run_one_flow(&mut net, 20_000);
+    }
+
+    #[test]
+    fn cthrough_splits_mice_and_elephants() {
+        let mut tm = TrafficMatrix::zeros(8);
+        tm.set(NodeId(0), NodeId(5), 1e9);
+        let mut cfg = cfg8();
+        cfg.elephant_threshold = 100_000;
+        let mut net = cthrough(cfg, &tm);
+        // A mouse (electrical) and an elephant (optical, paused until its
+        // held circuit — which exists for pair 0-5).
+        net.add_flow(SimTime::from_ns(100), HostId(1), HostId(2), 10_000, TransportKind::Paced);
+        net.add_flow(
+            SimTime::from_ns(100),
+            HostId(0),
+            HostId(5),
+            2_000_000,
+            TransportKind::Paced,
+        );
+        net.run_for(SimTime::from_ms(50));
+        assert_eq!(net.fct().completed().len(), 2, "both flows complete");
+    }
+
+    #[test]
+    fn semi_oblivious_deploys_and_delivers() {
+        let mut tm = TrafficMatrix::zeros(8);
+        tm.set(NodeId(0), NodeId(5), 1000.0);
+        let mut net = semi_oblivious(cfg8(), &tm, 4);
+        run_one_flow(&mut net, 50_000);
+    }
+}

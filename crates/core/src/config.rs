@@ -1,0 +1,216 @@
+//! Static configuration (§4.1).
+//!
+//! "Users specify high-level network behavior via a static configuration
+//! (json file) for hardware setups (e.g., OCSes count and structure,
+//! optical uplinks per endpoint, and time slice duration), along with a
+//! Python program that invokes the API functions." The Rust equivalent:
+//! a serde-deserializable [`NetConfig`] plus a program against
+//! [`crate::net::OpenOpticsNet`].
+
+use openoptics_sim::rate::Bandwidth;
+use openoptics_sim::time::SliceConfig;
+use serde::{Deserialize, Serialize};
+
+/// The static configuration file contents.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(default)]
+pub struct NetConfig {
+    /// Endpoint node type: `"rack"` (ToR-centric) or `"host"`
+    /// (host-centric; modeled identically with one host per node).
+    pub node: String,
+    /// Number of endpoint nodes attached to the optical fabric.
+    pub node_num: u32,
+    /// Optical uplinks per endpoint node.
+    pub uplink: u16,
+    /// Hosts below each ToR.
+    pub hosts_per_node: u32,
+    /// Time slice duration, ns.
+    pub slice_ns: u64,
+    /// Guardband at the start of each slice, ns.
+    pub guard_ns: u64,
+    /// Optical uplink rate, Gbps.
+    pub uplink_gbps: u64,
+    /// Host access-link rate, Gbps.
+    pub host_link_gbps: u64,
+    /// OCS reconfiguration delay (TA workflows), ns.
+    pub ocs_reconfig_ns: u64,
+    /// Use the emulated optical fabric (adds cut-through latency) instead
+    /// of a real OCS (§5.3).
+    pub emulated_fabric: bool,
+    /// Parallel electrical fabric rate, Gbps; 0 disables it.
+    pub electrical_gbps: u64,
+    /// One-way latency across the electrical fabric (two extra switch
+    /// pipelines), ns.
+    pub electrical_core_ns: u64,
+    /// Calendar queues per optical uplink.
+    pub num_queues: usize,
+    /// Byte capacity of each calendar queue.
+    pub queue_capacity: u64,
+    /// Congestion-detection service armed.
+    pub congestion_detection: bool,
+    /// Congestion threshold, bytes.
+    pub congestion_threshold: u64,
+    /// Congestion response: `"drop"`, `"trim"`, or `"defer"`.
+    pub congestion_policy: String,
+    /// Traffic push-back service armed.
+    pub pushback: bool,
+    /// Buffer offloading armed: ranks beyond `offload_keep_ranks` park on
+    /// hosts.
+    pub offload: bool,
+    /// Ranks kept on the switch when offloading.
+    pub offload_keep_ranks: u32,
+    /// Offload recall lead time, ns.
+    pub offload_return_lead_ns: u64,
+    /// EQO update interval, ns.
+    pub eqo_interval_ns: u64,
+    /// Clock synchronization error bound, ns (0 = perfect sync).
+    pub sync_err_ns: u64,
+    /// Physical per-slice dead window of the optical device, ns (the
+    /// hardware portion of the guardband; the rest is system hold-off).
+    pub fabric_dead_ns: u64,
+    /// OCS count ("OCSes count and structure", §4.1): 0 = one large OCS
+    /// carrying every fiber (the testbed's Polatis); k > 0 = k devices with
+    /// uplink `p` of every node cabled to device `p mod k` (parallel
+    /// rails, as in RotorNet/Opera deployments).
+    pub ocs_count: u16,
+    /// Ports per OCS device; 0 = auto-size to the cabling.
+    pub ocs_ports: u32,
+    /// Defer-response window: how many slices past the planned one the
+    /// congestion service may push a packet.
+    pub defer_max_extra_slices: u32,
+    /// Ablation switch: when `true` the congestion detector reads the
+    /// calendar queues' ground-truth occupancy instead of the EQO estimate
+    /// (impossible on real hardware — the ghost-thread limitation §5.2).
+    pub eqo_ground_truth: bool,
+    /// vma segment-queue capacity per destination, bytes.
+    pub segment_queue_bytes: u64,
+    /// PIAS-style elephant threshold for flow aging, bytes.
+    pub elephant_threshold: u64,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            node: "rack".to_string(),
+            node_num: 8,
+            uplink: 1,
+            hosts_per_node: 1,
+            slice_ns: 100_000,
+            guard_ns: 1_000,
+            uplink_gbps: 100,
+            host_link_gbps: 100,
+            ocs_reconfig_ns: 25_000_000,
+            emulated_fabric: true,
+            electrical_gbps: 0,
+            electrical_core_ns: 3_000,
+            num_queues: 32,
+            queue_capacity: 2 * 1024 * 1024,
+            congestion_detection: true,
+            congestion_threshold: 2 * 1024 * 1024,
+            congestion_policy: "defer".to_string(),
+            pushback: false,
+            offload: false,
+            offload_keep_ranks: 8,
+            offload_return_lead_ns: 20_000,
+            eqo_interval_ns: 50,
+            sync_err_ns: 28,
+            fabric_dead_ns: 100,
+            ocs_count: 0,
+            ocs_ports: 0,
+            defer_max_extra_slices: 31,
+            eqo_ground_truth: false,
+            segment_queue_bytes: 4 * 1024 * 1024,
+            elephant_threshold: 1_000_000,
+            seed: 1,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Parse from the JSON configuration file format.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serializes")
+    }
+
+    /// The slice structure for a schedule of `num_slices` slices.
+    pub fn slice_config(&self, num_slices: u32) -> SliceConfig {
+        SliceConfig::new(self.slice_ns, num_slices.max(1), self.guard_ns.min(self.slice_ns - 1))
+    }
+
+    /// Optical uplink bandwidth.
+    pub fn uplink_bandwidth(&self) -> Bandwidth {
+        Bandwidth::gbps(self.uplink_gbps)
+    }
+
+    /// Host link bandwidth.
+    pub fn host_link_bandwidth(&self) -> Bandwidth {
+        Bandwidth::gbps(self.host_link_gbps)
+    }
+
+    /// Electrical fabric bandwidth, if enabled.
+    pub fn electrical_bandwidth(&self) -> Option<Bandwidth> {
+        (self.electrical_gbps > 0).then(|| Bandwidth::gbps(self.electrical_gbps))
+    }
+
+    /// Total hosts in the network.
+    pub fn total_hosts(&self) -> u32 {
+        self.node_num * self.hosts_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip() {
+        let c = NetConfig { node_num: 108, uplink: 6, ..Default::default() };
+        let j = c.to_json();
+        let back = NetConfig::from_json(&j).unwrap();
+        assert_eq!(back.node_num, 108);
+        assert_eq!(back.uplink, 6);
+    }
+
+    #[test]
+    fn partial_json_uses_defaults() {
+        // The paper's Fig. 5 style config: only the fields users care about.
+        let c = NetConfig::from_json(
+            r#"{"node":"host","node_num":128,"uplink":2,"slice_ns":2000}"#,
+        )
+        .unwrap();
+        assert_eq!(c.node, "host");
+        assert_eq!(c.node_num, 128);
+        assert_eq!(c.uplink, 2);
+        assert_eq!(c.slice_ns, 2_000);
+        assert_eq!(c.hosts_per_node, 1); // default
+    }
+
+    #[test]
+    fn derived_values() {
+        let c = NetConfig { node_num: 8, hosts_per_node: 6, uplink_gbps: 100, ..Default::default() };
+        assert_eq!(c.total_hosts(), 48);
+        assert_eq!(c.uplink_bandwidth(), Bandwidth::gbps(100));
+        assert!(c.electrical_bandwidth().is_none());
+        let sc = c.slice_config(16);
+        assert_eq!(sc.num_slices, 16);
+    }
+
+    #[test]
+    fn guard_clamped_below_slice() {
+        let c = NetConfig { slice_ns: 500, guard_ns: 1_000, ..Default::default() };
+        let sc = c.slice_config(4);
+        assert!(sc.guard_ns < sc.slice_ns);
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(NetConfig::from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,1602 @@
+//! The packet-level network engine.
+//!
+//! This is the simulation stand-in for the paper's testbed (Fig. 7): hosts
+//! with vma-style stacks and NICs, OpenOptics ToR switches, the optical
+//! fabric (real-OCS or emulated profile), an optional parallel electrical
+//! fabric, and the per-node clocking that rotates calendar queues. It is a
+//! deterministic discrete-event simulation driven by [`Engine`]'s
+//! implementation of [`openoptics_sim::World`].
+//!
+//! Traffic enters through flows (paced or TCP), application generators
+//! (memcached, allreduce — §6), and probe trains (Fig. 13); everything else
+//! — queue rotation, guardbands, EQO, congestion responses, push-back,
+//! offloading — happens as a consequence.
+
+use crate::config::NetConfig;
+use openoptics_fabric::{ClockSync, Fabric, FabricProfile, OpticalSchedule};
+use openoptics_host::apps::{MemcachedParams, RingAllreduce};
+use openoptics_host::tcp::{TcpConfig, TcpReceiver, TcpSender};
+use openoptics_host::tdtcp::TdTcpSender;
+use openoptics_host::udp::ProbeStats;
+use openoptics_host::vma::{Segment, VmaStack};
+use openoptics_host::FlowAging;
+use openoptics_proto::packet::{PacketKind, HEADER_BYTES};
+use openoptics_proto::{ControlMsg, FlowId, HostId, NodeId, Packet, PortId};
+use openoptics_routing::{compile, LookupMode, MultipathMode, Path, RoutingAlgorithm};
+use openoptics_sim::bytequeue::ByteQueue;
+use openoptics_sim::rate::Bandwidth;
+use openoptics_sim::time::{SimTime, SliceConfig};
+use openoptics_sim::{EventQueue, SimRng, World};
+use openoptics_switch::congestion::{CongestionConfig, CongestionPolicy};
+use openoptics_switch::offload::OffloadPolicy;
+use openoptics_switch::{IngressDecision, PipelineModel, ToRSwitch, TorConfig};
+use openoptics_topo::TrafficMatrix;
+use openoptics_workload::FctStats;
+use std::collections::HashMap;
+
+/// Maximum payload per packet (MTU minus headers).
+pub const MSS: u32 = 1436;
+/// Host-to-ToR wire + NIC pipeline latency, ns.
+const HOST_WIRE_NS: u64 = 500;
+/// Safety margin kept at the end of each slice when deciding whether a
+/// packet's tail still fits (§7: the 34 ns rotation variance, padded).
+const SLICE_END_MARGIN_NS: u64 = 40;
+/// Paced-flow watchdog period, ns.
+const WATCHDOG_NS: u64 = 10_000_000;
+
+/// How hosts split traffic between the optical and electrical fabrics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Everything over the optical fabric.
+    OpticalOnly,
+    /// Everything over the electrical fabric (Clos baseline).
+    ElectricalOnly,
+    /// Elephants optical, mice electrical (c-Through-style hybrid).
+    MiceElectrical,
+    /// Use the optical fabric whenever a direct circuit to the destination
+    /// is currently up, else the electrical fabric (hybrid RotorNet /
+    /// TDTCP-style, Fig. 9).
+    HybridDirect,
+}
+
+/// Host-side flow-pausing behavior (§5.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PauseMode {
+    /// No pausing: packets leave as soon as the NIC frees.
+    None,
+    /// Hold traffic toward each destination until a direct circuit from
+    /// this host's ToR is up (direct-circuit routing / c-Through elephants).
+    DirectCircuit,
+}
+
+/// Transport used by a flow.
+#[derive(Clone, Copy, Debug)]
+pub enum TransportKind {
+    /// Open-loop pacing at NIC rate with a coarse watchdog retransmit;
+    /// right for FCT studies where transport dynamics are not the subject.
+    Paced,
+    /// The TCP model of [`openoptics_host::tcp`] (Fig. 9).
+    Tcp(TcpConfig),
+    /// The TDTCP-style per-topology variant of
+    /// [`openoptics_host::tdtcp`]: topology 0 = optical, 1 = electrical
+    /// (meaningful under [`DispatchPolicy::HybridDirect`]).
+    TdTcp(TcpConfig),
+}
+
+/// Role a flow plays in an application.
+#[derive(Clone, Copy, Debug)]
+pub enum FlowKind {
+    /// Standalone flow.
+    Plain,
+    /// Memcached-style request; completion triggers a response and the FCT
+    /// clock stops when the *response* lands.
+    Request {
+        /// Response size the server sends back.
+        response_bytes: u32,
+    },
+    /// The response leg of a request.
+    Response {
+        /// The request flow whose FCT completes with this response.
+        of: FlowId,
+    },
+    /// One allreduce chunk.
+    Chunk {
+        /// Index into the engine's collectives.
+        collective: usize,
+    },
+}
+
+#[allow(clippy::large_enum_variant)] // one Transport per flow; boxing buys nothing
+enum Transport {
+    Paced,
+    Tcp { sender: TcpSender, receiver: TcpReceiver },
+    TdTcp { sender: TdTcpSender, receiver: TcpReceiver },
+}
+
+struct FlowState {
+    src_host: HostId,
+    dst_host: HostId,
+    bytes: u64,
+    /// Bytes handed to the vma stack so far (paced).
+    queued: u64,
+    /// Payload bytes that reached the destination (capped at `bytes`).
+    delivered: u64,
+    delivered_at_last_watchdog: u64,
+    transport: Transport,
+    kind: FlowKind,
+    done: bool,
+}
+
+struct HostState {
+    tor: NodeId,
+    /// The main (optical-side) segment stack; subject to flow pausing and
+    /// push-back blocks.
+    vma: VmaStack,
+    /// Separate sockets for mice under the c-Through-style split: drained
+    /// ahead of the elephant stack and always dispatched electrically.
+    vma_mice: VmaStack,
+    nic_free: SimTime,
+    tx_scheduled: bool,
+    /// Paced flows with bytes not yet queued into vma.
+    backlog: Vec<FlowId>,
+    aging: FlowAging,
+}
+
+struct Link {
+    queue: ByteQueue<Packet>,
+    busy_until: SimTime,
+    draining: bool,
+}
+
+impl Link {
+    fn new(capacity: u64) -> Self {
+        Link { queue: ByteQueue::new(capacity), busy_until: SimTime::ZERO, draining: false }
+    }
+}
+
+struct MemcachedApp {
+    params: MemcachedParams,
+    server: HostId,
+    clients: Vec<HostId>,
+    stop_at: SimTime,
+}
+
+struct ProbeTrain {
+    src: HostId,
+    dst: HostId,
+    interval_ns: u64,
+    remaining: u64,
+    payload: u32,
+    stats: ProbeStats,
+}
+
+/// Simulation events.
+#[allow(clippy::large_enum_variant)] // Packet-carrying events dominate by design
+pub enum Event {
+    /// Host NIC may transmit.
+    HostTx(HostId),
+    /// Packet head reaches a ToR ingress pipeline.
+    TorIngress(NodeId, Packet),
+    /// Packet fully received by a host.
+    HostRx(HostId, Packet),
+    /// Slice-boundary rotation at one switch (locally clocked).
+    Rotate(NodeId),
+    /// An optical uplink is free to transmit.
+    PortFree(NodeId, PortId),
+    /// An electrical uplink is free.
+    ElecFree(NodeId),
+    /// A host downlink is free.
+    DownlinkFree(HostId),
+    /// Check for due offload recalls at a switch.
+    OffloadRecall(NodeId),
+    /// Re-admit a recalled offloaded packet.
+    Reinject(NodeId, u64, PortId, Packet),
+    /// Deliver a control message to a host.
+    HostControl(HostId, ControlMsg),
+    /// Application / transport timer.
+    Timer(Timer),
+}
+
+/// Application and transport timers.
+pub enum Timer {
+    /// Next memcached operation for `clients[client_idx]` of app `app`.
+    MemcachedOp {
+        /// Index into the engine's memcached apps.
+        app: usize,
+        /// Index into that app's client list.
+        client_idx: usize,
+    },
+    /// Paced-flow progress watchdog.
+    FlowWatchdog(FlowId),
+    /// TCP retransmission-timeout poll.
+    TcpRto(FlowId),
+    /// Fire the next probe of a train.
+    ProbeSend(usize),
+    /// Start a pre-scheduled flow.
+    FlowStart(usize),
+    /// Circuit-notification broadcast: a switch tells its hosts which
+    /// destinations the *next* slice connects, ahead of the boundary
+    /// (the flow-pausing service's signal, §5.2).
+    NotifyHosts(NodeId),
+    /// Receiver NACK for a trimmed packet: re-queue the trimmed segment at
+    /// the source (Opera-style trim-and-retransmit).
+    NackRetx {
+        /// Flow whose segment was trimmed.
+        flow: FlowId,
+        /// Stream sequence of the trimmed segment.
+        seq: u64,
+    },
+}
+
+/// Pre-scheduled flow descriptor.
+pub struct PendingFlow {
+    /// Start time.
+    pub at: SimTime,
+    /// Source host.
+    pub src: HostId,
+    /// Destination host.
+    pub dst: HostId,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Transport.
+    pub transport: TransportKind,
+}
+
+/// Aggregate packet counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineCounters {
+    /// Data packets injected by hosts.
+    pub host_tx_packets: u64,
+    /// Data packets delivered to hosts.
+    pub delivered_packets: u64,
+    /// Payload bytes delivered to hosts.
+    pub delivered_payload_bytes: u64,
+    /// Packets lost in the optical fabric (guardband / dark circuit).
+    pub fabric_drops: u64,
+    /// Packets dropped at switches (congestion, capacity, rank).
+    pub switch_drops: u64,
+    /// Packets dropped for lack of any route.
+    pub no_route_drops: u64,
+    /// Packets dropped at electrical/downlink queues.
+    pub link_drops: u64,
+    /// Push-back broadcasts delivered to hosts.
+    pub pushback_deliveries: u64,
+    /// Circuit-notification messages delivered to hosts.
+    pub circuit_notifications: u64,
+    /// Trimmed packets received (each triggers a NACK retransmission).
+    pub trimmed_received: u64,
+}
+
+/// The engine: all network state plus the event interpreter.
+pub struct Engine {
+    /// Static configuration this engine was built from.
+    pub cfg: NetConfig,
+    slice_cfg: SliceConfig,
+    fabric: Fabric,
+    tors: Vec<ToRSwitch>,
+    hosts: Vec<HostState>,
+    /// Electrical uplink per ToR (if the electrical fabric is enabled).
+    elec: Vec<Link>,
+    elec_bw: Option<Bandwidth>,
+    downlinks: Vec<Link>,
+    port_pending: Vec<Vec<bool>>,
+    /// Per-port transmitted bytes (bw_usage telemetry).
+    tx_bytes_per_port: Vec<Vec<u64>>,
+    router: Option<RouterSpec>,
+    pipeline: PipelineModel,
+    sync: ClockSync,
+    flows: HashMap<FlowId, FlowState>,
+    next_flow_id: FlowId,
+    next_pkt_id: u64,
+    /// Flow-completion-time collector.
+    pub fct: FctStats,
+    memcached: Vec<MemcachedApp>,
+    probe_trains: Vec<ProbeTrain>,
+    collectives: Vec<RingAllreduce>,
+    /// Completion time of each collective, once done.
+    pub collective_done: Vec<Option<SimTime>>,
+    /// Pre-scheduled flows (installed before run).
+    pending_flows: Vec<PendingFlow>,
+    tm_accum: TrafficMatrix,
+    rng: SimRng,
+    /// Fabric dispatch policy.
+    pub policy: DispatchPolicy,
+    /// Host pausing behavior.
+    pub pause_mode: PauseMode,
+    /// Aggregate counters.
+    pub counters: EngineCounters,
+    /// When `true`, per-packet one-way delays of delivered data packets are
+    /// appended to [`Engine::delay_samples`] (Table 4 telemetry).
+    pub record_delays: bool,
+    /// When `false`, the paced-flow watchdog stops re-sending lost bytes —
+    /// loss/delay measurements then observe first-transmission behavior
+    /// (open-loop trace replay) instead of a retransmission storm.
+    pub watchdog_retransmit: bool,
+    /// One-way delays (ns) of delivered data packets, when recording.
+    pub delay_samples: Vec<u64>,
+}
+
+struct RouterSpec {
+    algo: Box<dyn RoutingAlgorithm>,
+    lookup: LookupMode,
+    multipath: MultipathMode,
+    /// TA mode: wildcard-slice routing over the topology instance.
+    ta: bool,
+}
+
+impl Engine {
+    /// Build an engine for `schedule` under `cfg`.
+    pub fn new(cfg: NetConfig, schedule: OpticalSchedule) -> Self {
+        let slice_cfg = schedule.slice_config();
+        let n = cfg.node_num;
+        let profile = if cfg.emulated_fabric {
+            FabricProfile::Emulated { propagation_ns: 100, cut_through_ns: 400 }
+        } else {
+            FabricProfile::RealOcs { propagation_ns: 100 }
+        };
+        let mut fabric = Fabric::new(schedule, profile, cfg.ocs_reconfig_ns);
+        fabric.set_dead_window_ns(cfg.fabric_dead_ns.min(slice_cfg.slice_ns / 2));
+        let mut rng = SimRng::new(cfg.seed);
+        let sync = if cfg.sync_err_ns == 0 {
+            ClockSync::perfect(n)
+        } else {
+            ClockSync::uniform(n, cfg.sync_err_ns, &mut rng)
+        };
+        let policy_cfg = CongestionConfig {
+            detection_enabled: cfg.congestion_detection,
+            threshold_bytes: cfg.congestion_threshold,
+            policy: match cfg.congestion_policy.as_str() {
+                "drop" => CongestionPolicy::Drop,
+                "trim" => CongestionPolicy::Trim,
+                "wait" => CongestionPolicy::Wait,
+                _ => CongestionPolicy::Defer { max_extra_slices: cfg.defer_max_extra_slices },
+            },
+        };
+        let offload = cfg.offload.then_some(OffloadPolicy {
+            keep_ranks: cfg.offload_keep_ranks,
+            return_lead_ns: cfg.offload_return_lead_ns,
+        });
+        let tors: Vec<ToRSwitch> = (0..n)
+            .map(|i| {
+                ToRSwitch::new(TorConfig {
+                    id: NodeId(i),
+                    slice_cfg,
+                    uplinks: cfg.uplink,
+                    uplink_bandwidth: cfg.uplink_bandwidth(),
+                    num_queues: cfg.num_queues.min(slice_cfg.num_slices as usize).max(1),
+                    queue_capacity: cfg.queue_capacity,
+                    congestion: policy_cfg,
+                    pushback_enabled: cfg.pushback,
+                    offload,
+                    eqo_interval_ns: cfg.eqo_interval_ns,
+                    use_true_occupancy: cfg.eqo_ground_truth,
+                })
+            })
+            .collect();
+        let hosts: Vec<HostState> = (0..cfg.total_hosts())
+            .map(|h| HostState {
+                tor: NodeId(h / cfg.hosts_per_node),
+                vma: VmaStack::new(cfg.segment_queue_bytes),
+                vma_mice: VmaStack::new(cfg.segment_queue_bytes),
+                nic_free: SimTime::ZERO,
+                tx_scheduled: false,
+                backlog: vec![],
+                aging: FlowAging::new(cfg.elephant_threshold),
+            })
+            .collect();
+        let elec = (0..n).map(|_| Link::new(16 * 1024 * 1024)).collect();
+        let downlinks = (0..cfg.total_hosts()).map(|_| Link::new(16 * 1024 * 1024)).collect();
+        Engine {
+            slice_cfg,
+            fabric,
+            port_pending: vec![vec![false; cfg.uplink as usize]; n as usize],
+            tx_bytes_per_port: vec![vec![0; cfg.uplink as usize]; n as usize],
+            tors,
+            hosts,
+            elec,
+            elec_bw: cfg.electrical_bandwidth(),
+            downlinks,
+            router: None,
+            pipeline: PipelineModel::default(),
+            sync,
+            flows: HashMap::new(),
+            next_flow_id: 1,
+            next_pkt_id: 1,
+            fct: FctStats::new(),
+            memcached: vec![],
+            probe_trains: vec![],
+            collectives: vec![],
+            collective_done: vec![],
+            pending_flows: vec![],
+            tm_accum: TrafficMatrix::zeros(n as usize),
+            rng,
+            policy: DispatchPolicy::OpticalOnly,
+            pause_mode: PauseMode::None,
+            counters: EngineCounters::default(),
+            record_delays: false,
+            watchdog_retransmit: true,
+            delay_samples: vec![],
+            cfg,
+        }
+    }
+
+    /// Set the routing scheme (`deploy_routing`). `ta` selects
+    /// wildcard-slice (topology-instance) routing.
+    pub fn set_router(
+        &mut self,
+        algo: Box<dyn RoutingAlgorithm>,
+        lookup: LookupMode,
+        multipath: MultipathMode,
+        ta: bool,
+    ) {
+        self.router = Some(RouterSpec { algo, lookup, multipath, ta });
+        // Route tables derived from the old schedule/algorithm are stale.
+        for t in &mut self.tors {
+            t.tft_mut().clear();
+        }
+    }
+
+    /// Replace the optical schedule (TA reconfiguration). Honors the OCS
+    /// reconfiguration delay; routing tables are cleared so new paths are
+    /// computed against the new topology.
+    pub fn reconfigure_schedule(&mut self, schedule: OpticalSchedule, now: SimTime) -> SimTime {
+        let done = self.fabric.reconfigure(schedule, now);
+        self.fabric
+            .set_dead_window_ns(self.cfg.fabric_dead_ns.min(self.slice_cfg.slice_ns / 2));
+        for t in &mut self.tors {
+            t.tft_mut().clear();
+        }
+        done
+    }
+
+    /// The active optical schedule.
+    pub fn schedule(&self) -> &OpticalSchedule {
+        self.fabric.schedule()
+    }
+
+    /// Direct access to a switch (telemetry).
+    pub fn tor(&self, node: NodeId) -> &ToRSwitch {
+        &self.tors[node.index()]
+    }
+
+    /// Mutable switch access (used by the `add()` API).
+    pub fn tor_mut(&mut self, node: NodeId) -> &mut ToRSwitch {
+        &mut self.tors[node.index()]
+    }
+
+    /// Fabric loss counters.
+    pub fn fabric_stats(&self) -> (u64, u64) {
+        (self.fabric.delivered, self.fabric.total_lost())
+    }
+
+    /// The ToR a host hangs off.
+    pub fn host_tor(&self, host: HostId) -> NodeId {
+        self.hosts[host.index()].tor
+    }
+
+    /// Per-port transmitted bytes (`bw_usage`).
+    pub fn port_tx_bytes(&self, node: NodeId, port: PortId) -> u64 {
+        self.tx_bytes_per_port[node.index()][port.index()]
+    }
+
+    /// Aggregate the hosts' per-destination vma queue depths into a demand
+    /// matrix — the c-Through-style collection mode where "hosts
+    /// periodically report traffic volume per destination switch" (§5.2).
+    /// Rows are the reporting hosts' ToRs.
+    pub fn host_pending_demand(&self) -> TrafficMatrix {
+        let mut tm = TrafficMatrix::zeros(self.cfg.node_num as usize);
+        for h in &self.hosts {
+            for (dst, bytes) in h.vma.queue_snapshot() {
+                tm.add(h.tor, dst, bytes as f64);
+            }
+        }
+        tm
+    }
+
+    /// Drain and return the accumulated traffic matrix (`collect`).
+    pub fn take_traffic_matrix(&mut self) -> TrafficMatrix {
+        std::mem::replace(&mut self.tm_accum, TrafficMatrix::zeros(self.cfg.node_num as usize))
+    }
+
+    /// Bytes delivered so far for a flow.
+    pub fn flow_delivered(&self, flow: FlowId) -> u64 {
+        self.flows
+            .get(&flow)
+            .map(|f| match &f.transport {
+                Transport::Tcp { receiver, .. } | Transport::TdTcp { receiver, .. } => {
+                    receiver.delivered_bytes
+                }
+                Transport::Paced => f.delivered,
+            })
+            .unwrap_or(0)
+    }
+
+    /// Reordering events observed by a TCP flow's receiver (Fig. 9b).
+    pub fn flow_reorder_events(&self, flow: FlowId) -> u64 {
+        self.flows
+            .get(&flow)
+            .map(|f| match &f.transport {
+                Transport::Tcp { receiver, .. } | Transport::TdTcp { receiver, .. } => {
+                    receiver.reorder_events
+                }
+                Transport::Paced => 0,
+            })
+            .unwrap_or(0)
+    }
+
+    /// TCP sender diagnostics `(fast retransmits, timeouts)`.
+    pub fn flow_tcp_stats(&self, flow: FlowId) -> (u64, u64) {
+        self.flows
+            .get(&flow)
+            .map(|f| match &f.transport {
+                Transport::Tcp { sender, .. } => (sender.fast_retransmits, sender.timeouts),
+                Transport::TdTcp { sender, .. } => (sender.fast_retransmits, sender.timeouts),
+                Transport::Paced => (0, 0),
+            })
+            .unwrap_or((0, 0))
+    }
+
+    /// Probe-train statistics.
+    pub fn probe_stats(&self, train: usize) -> &ProbeStats {
+        &self.probe_trains[train].stats
+    }
+
+    // -- workload attachment (before `prime`) ------------------------------
+
+    /// Schedule a flow to start at `at`; returns its pending-flow index
+    /// (used by the API layer to arm the start timer after priming).
+    pub fn add_flow(
+        &mut self,
+        at: SimTime,
+        src: HostId,
+        dst: HostId,
+        bytes: u64,
+        transport: TransportKind,
+    ) -> usize {
+        self.pending_flows.push(PendingFlow { at, src, dst, bytes, transport });
+        self.pending_flows.len() - 1
+    }
+
+    /// Attach a memcached app: `clients` SET to `server` until `stop_at`.
+    pub fn add_memcached(
+        &mut self,
+        params: MemcachedParams,
+        server: HostId,
+        clients: Vec<HostId>,
+        stop_at: SimTime,
+    ) -> usize {
+        self.memcached.push(MemcachedApp { params, server, clients, stop_at });
+        self.memcached.len() - 1
+    }
+
+    /// Attach a ring allreduce over `hosts` of `data_bytes`.
+    pub fn add_allreduce(&mut self, hosts: Vec<HostId>, data_bytes: u64) -> usize {
+        self.collectives.push(RingAllreduce::new(hosts, data_bytes));
+        self.collective_done.push(None);
+        self.collectives.len() - 1
+    }
+
+    /// Attach a probe train: `count` probes of `payload` bytes from `src`
+    /// to `dst` every `interval_ns`.
+    pub fn add_probe_train(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        interval_ns: u64,
+        count: u64,
+        payload: u32,
+    ) -> usize {
+        self.probe_trains.push(ProbeTrain {
+            src,
+            dst,
+            interval_ns,
+            remaining: count,
+            payload,
+            stats: ProbeStats::new(),
+        });
+        self.probe_trains.len() - 1
+    }
+
+    /// Install the initial events: rotations, scheduled flows, app timers.
+    /// Call once before running.
+    pub fn prime(&mut self, q: &mut EventQueue<Event>) {
+        // Per-node rotations (only for rotating schedules).
+        if self.slice_cfg.num_slices > 1 {
+            for node in 0..self.cfg.node_num {
+                let fire =
+                    self.sync.global_fire_time(node as usize, SimTime::from_ns(self.slice_cfg.slice_ns));
+                q.schedule(fire, Event::Rotate(NodeId(node)));
+            }
+        }
+        // Initial pause state (slice 0 is "notified" at t=0).
+        if self.pause_mode == PauseMode::DirectCircuit {
+            for node in 0..self.cfg.node_num {
+                self.refresh_pause_state(NodeId(node), 0);
+                if self.slice_cfg.num_slices > 1 {
+                    let lead = 200;
+                    q.schedule(
+                        SimTime::from_ns(self.slice_cfg.slice_ns - lead),
+                        Event::Timer(Timer::NotifyHosts(NodeId(node))),
+                    );
+                }
+            }
+        }
+        // Scheduled flows.
+        for i in 0..self.pending_flows.len() {
+            q.schedule(self.pending_flows[i].at, Event::Timer(Timer::FlowStart(i)));
+        }
+        // Memcached ops.
+        for (a, app) in self.memcached.iter().enumerate() {
+            for c in 0..app.clients.len() {
+                let gap = app.params.next_gap_ns(&mut self.rng);
+                q.schedule(SimTime::from_ns(gap), Event::Timer(Timer::MemcachedOp { app: a, client_idx: c }));
+            }
+        }
+        // Allreduce first steps.
+        for c in 0..self.collectives.len() {
+            let sends = self.collectives[c].start();
+            for s in sends {
+                self.start_flow(
+                    SimTime::ZERO,
+                    s.from,
+                    s.to,
+                    s.bytes,
+                    TransportKind::Paced,
+                    FlowKind::Chunk { collective: c },
+                    q,
+                );
+            }
+        }
+        // Probe trains.
+        for t in 0..self.probe_trains.len() {
+            q.schedule(SimTime::from_ns(1), Event::Timer(Timer::ProbeSend(t)));
+        }
+    }
+
+    // -- flows --------------------------------------------------------------
+
+    /// Start a flow now; returns its id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_flow(
+        &mut self,
+        now: SimTime,
+        src: HostId,
+        dst: HostId,
+        bytes: u64,
+        transport: TransportKind,
+        kind: FlowKind,
+        q: &mut EventQueue<Event>,
+    ) -> FlowId {
+        let id = self.next_flow_id;
+        self.next_flow_id += 1;
+        let transport = match transport {
+            TransportKind::Paced => Transport::Paced,
+            TransportKind::Tcp(cfg) => Transport::Tcp {
+                sender: TcpSender::new(cfg, Some(bytes), now),
+                receiver: TcpReceiver::new(),
+            },
+            TransportKind::TdTcp(cfg) => Transport::TdTcp {
+                // Two topologies: the optical fabric and the electrical one.
+                sender: TdTcpSender::new(cfg, 2, Some(bytes), now),
+                receiver: TcpReceiver::new(),
+            },
+        };
+        let fs = FlowState {
+            src_host: src,
+            dst_host: dst,
+            bytes,
+            queued: 0,
+            delivered: 0,
+            delivered_at_last_watchdog: 0,
+            transport,
+            kind,
+            done: false,
+        };
+        match fs.kind {
+            FlowKind::Response { .. } => {}
+            _ => self.fct.start(id, bytes, now),
+        }
+        self.flows.insert(id, fs);
+        match &self.flows[&id].transport {
+            Transport::Paced => {
+                self.hosts[src.index()].backlog.push(id);
+                q.schedule_after(now, WATCHDOG_NS, Event::Timer(Timer::FlowWatchdog(id)));
+            }
+            Transport::Tcp { sender, .. } => {
+                let deadline = sender.rto_deadline();
+                q.schedule(deadline, Event::Timer(Timer::TcpRto(id)));
+            }
+            Transport::TdTcp { sender, .. } => {
+                let deadline = sender.rto_deadline();
+                q.schedule(deadline, Event::Timer(Timer::TcpRto(id)));
+            }
+        }
+        if matches!(
+            self.flows[&id].transport,
+            Transport::Tcp { .. } | Transport::TdTcp { .. }
+        ) {
+            self.pump_tcp(id, now);
+        }
+        self.pump_host(src, now, q);
+        id
+    }
+
+    /// Queue paced-flow segments into the vma stack, respecting socket
+    /// capacity (application push-back).
+    fn pump_backlog(&mut self, host: HostId) {
+        let h = &mut self.hosts[host.index()];
+        let mut still = vec![];
+        for &fid in &h.backlog.clone() {
+            let Some(f) = self.flows.get_mut(&fid) else { continue };
+            if f.done {
+                continue;
+            }
+            let dst_tor = self.hosts[f.dst_host.index()].tor;
+            let split_mice = self.policy == DispatchPolicy::MiceElectrical;
+            let elephant_threshold = self.cfg.elephant_threshold;
+            let h = &mut self.hosts[host.index()];
+            while f.queued < f.bytes {
+                let len = ((f.bytes - f.queued).min(MSS as u64)) as u32;
+                // Elephant classification: the simulator knows flow sizes,
+                // so it classifies by size directly — the steady state that
+                // PIAS-style aging converges to on persistent connections
+                // (the aging tracker still records for telemetry).
+                let use_mice = split_mice && f.bytes < elephant_threshold;
+                let stack = if use_mice { &mut h.vma_mice } else { &mut h.vma };
+                if !stack.would_accept(dst_tor, len) {
+                    break;
+                }
+                stack
+                    .send(
+                        dst_tor,
+                        Segment { flow: fid, dst_host: f.dst_host, bytes: len, seq: f.queued },
+                    )
+                    .ok();
+                f.queued += len as u64;
+                h.aging.record(fid, len as u64);
+            }
+            if f.queued < f.bytes {
+                still.push(fid);
+            }
+        }
+        self.hosts[host.index()].backlog = still;
+    }
+
+    /// The TDTCP topology id a host currently sends to `dst_tor` through:
+    /// 0 = optical (direct circuit up), 1 = electrical.
+    fn topology_id(&self, src_tor: NodeId, dst_tor: NodeId) -> usize {
+        let slice = self.tors[src_tor.index()].current_slice();
+        if self.fabric.schedule().port_to(src_tor, dst_tor, slice).is_some() {
+            0
+        } else {
+            1
+        }
+    }
+
+    /// Pump TCP/TDTCP segments into vma as the window allows.
+    fn pump_tcp(&mut self, fid: FlowId, now: SimTime) {
+        let Some(f) = self.flows.get(&fid) else { return };
+        let (src, dst_host) = (f.src_host, f.dst_host);
+        let src_tor = self.hosts[src.index()].tor;
+        let dst_tor = self.hosts[dst_host.index()].tor;
+        let topo = self.topology_id(src_tor, dst_tor);
+        let Some(f) = self.flows.get_mut(&fid) else { return };
+        match &mut f.transport {
+            Transport::Tcp { sender, .. } => loop {
+                // Respect socket capacity before consuming sender state.
+                if !self.hosts[src.index()].vma.would_accept(dst_tor, MSS) {
+                    break;
+                }
+                let Some((seq, len)) = sender.next_segment(now) else { break };
+                self.hosts[src.index()]
+                    .vma
+                    .send(dst_tor, Segment { flow: fid, dst_host, bytes: len, seq })
+                    .ok();
+                self.hosts[src.index()].aging.record(fid, len as u64);
+            },
+            Transport::TdTcp { sender, .. } => {
+                sender.set_topology(topo, now);
+                loop {
+                    if !self.hosts[src.index()].vma.would_accept(dst_tor, MSS) {
+                        break;
+                    }
+                    let Some((seq, len)) = sender.next_segment(now) else { break };
+                    self.hosts[src.index()]
+                        .vma
+                        .send(dst_tor, Segment { flow: fid, dst_host, bytes: len, seq })
+                        .ok();
+                    self.hosts[src.index()].aging.record(fid, len as u64);
+                }
+            }
+            Transport::Paced => {}
+        }
+    }
+
+    /// Make sure a HostTx event is pending for `host`.
+    fn pump_host(&mut self, host: HostId, now: SimTime, q: &mut EventQueue<Event>) {
+        let h = &mut self.hosts[host.index()];
+        if h.tx_scheduled {
+            return;
+        }
+        h.tx_scheduled = true;
+        let at = h.nic_free.max(now);
+        q.schedule(at, Event::HostTx(host));
+    }
+
+    fn finish_flow(&mut self, fid: FlowId, now: SimTime, q: &mut EventQueue<Event>) {
+        let Some(f) = self.flows.get_mut(&fid) else { return };
+        if f.done {
+            return;
+        }
+        f.done = true;
+        let kind = f.kind;
+        let (src, dst) = (f.src_host, f.dst_host);
+        match kind {
+            FlowKind::Plain => self.fct.complete(fid, now),
+            FlowKind::Chunk { collective } => {
+                self.fct.complete(fid, now);
+                if let Some(next) = self.collectives[collective].on_chunk_complete() {
+                    for s in next {
+                        self.start_flow(
+                            now,
+                            s.from,
+                            s.to,
+                            s.bytes,
+                            TransportKind::Paced,
+                            FlowKind::Chunk { collective },
+                            q,
+                        );
+                    }
+                } else if self.collectives[collective].is_done() {
+                    self.collective_done[collective] = Some(now);
+                }
+            }
+            FlowKind::Request { response_bytes } => {
+                // Server answers; the request's FCT completes with the
+                // response (handled below).
+                self.start_flow(
+                    now,
+                    dst,
+                    src,
+                    response_bytes as u64,
+                    TransportKind::Paced,
+                    FlowKind::Response { of: fid },
+                    q,
+                );
+            }
+            FlowKind::Response { of } => {
+                self.fct.complete(of, now);
+            }
+        }
+    }
+
+    // -- dispatch -----------------------------------------------------------
+
+    fn alloc_pkt_id(&mut self) -> u64 {
+        let id = self.next_pkt_id;
+        self.next_pkt_id += 1;
+        id
+    }
+
+    fn elec_enabled(&self) -> bool {
+        self.elec_bw.is_some()
+    }
+
+    /// Decide which fabric carries this packet.
+    fn pick_electrical(&mut self, host: HostId, pkt: &Packet) -> bool {
+        if !self.elec_enabled() {
+            return false;
+        }
+        match self.policy {
+            DispatchPolicy::OpticalOnly => false,
+            DispatchPolicy::ElectricalOnly => true,
+            DispatchPolicy::MiceElectrical => {
+                // Elephants optical; mice and control/ack traffic electrical.
+                !(pkt.is_data() && self.hosts[host.index()].aging.is_elephant(pkt.flow))
+            }
+            DispatchPolicy::HybridDirect => {
+                let tor = self.hosts[host.index()].tor;
+                let slice = self.tors[tor.index()].current_slice();
+                self.fabric.schedule().port_to(tor, pkt.dst, slice).is_none()
+            }
+        }
+    }
+
+    /// Send a packet from a host into the network (NIC time already spent).
+    fn dispatch_from_host(
+        &mut self,
+        host: HostId,
+        pkt: Packet,
+        now: SimTime,
+        q: &mut EventQueue<Event>,
+    ) {
+        let src_tor = self.hosts[host.index()].tor;
+        if pkt.is_data() {
+            self.tm_accum.add(src_tor, pkt.dst, pkt.size as f64);
+            self.counters.host_tx_packets += 1;
+        }
+        if self.pick_electrical(host, &pkt) {
+            self.dispatch_electrical(host, pkt, now, q);
+        } else {
+            q.schedule_after(now, HOST_WIRE_NS, Event::TorIngress(src_tor, pkt));
+        }
+    }
+
+    /// Send a packet over the electrical fabric (accounting done by caller
+    /// or by [`Self::dispatch_from_host`]).
+    fn dispatch_electrical(&mut self, host: HostId, pkt: Packet, now: SimTime, q: &mut EventQueue<Event>) {
+        let src_tor = self.hosts[host.index()].tor;
+        let link = &mut self.elec[src_tor.index()];
+        let size = pkt.size;
+        if link.queue.push(size, pkt).is_err() {
+            self.counters.link_drops += 1;
+            return;
+        }
+        if !link.draining {
+            link.draining = true;
+            let at = link.busy_until.max(now);
+            q.schedule(at, Event::ElecFree(src_tor));
+        }
+    }
+
+    /// Deliver a packet to a host's downlink queue at its ToR.
+    #[allow(clippy::wrong_self_convention)] // "to" = toward the downlink, not a conversion
+    fn to_downlink(&mut self, host: HostId, pkt: Packet, now: SimTime, q: &mut EventQueue<Event>) {
+        let link = &mut self.downlinks[host.index()];
+        let size = pkt.size;
+        if link.queue.push(size, pkt).is_err() {
+            self.counters.link_drops += 1;
+            return;
+        }
+        if !link.draining {
+            link.draining = true;
+            let at = link.busy_until.max(now);
+            q.schedule(at, Event::DownlinkFree(host));
+        }
+    }
+
+    // -- routing ------------------------------------------------------------
+
+    /// Compute and install routes for `(node, dst)` at the node's current
+    /// slice. Returns whether any path was produced.
+    fn install_routes_for(&mut self, node: NodeId, dst: NodeId) -> bool {
+        let Some(spec) = &self.router else { return false };
+        let arr = if spec.ta { None } else { Some(self.tors[node.index()].current_slice()) };
+        let paths: Vec<Path> = spec.algo.paths(self.fabric.schedule(), node, dst, arr);
+        if paths.is_empty() {
+            return false;
+        }
+        let entries = compile(&paths, spec.lookup, spec.multipath);
+        for e in entries {
+            let n = e.node;
+            self.tors[n.index()].install_routes([e]);
+        }
+        true
+    }
+
+    /// Kick an optical port if it is idle.
+    fn kick_port(&mut self, node: NodeId, port: PortId, now: SimTime, q: &mut EventQueue<Event>) {
+        if self.port_pending[node.index()][port.index()] {
+            return;
+        }
+        self.port_pending[node.index()][port.index()] = true;
+        q.schedule(now, Event::PortFree(node, port));
+    }
+
+    fn kick_all_ports(&mut self, node: NodeId, now: SimTime, q: &mut EventQueue<Event>) {
+        for p in 0..self.cfg.uplink {
+            if self.tors[node.index()].has_active_traffic(PortId(p)) {
+                self.kick_port(node, PortId(p), now, q);
+            }
+        }
+    }
+
+    /// Update vma pause state of a ToR's hosts for the active slice
+    /// (DirectCircuit pause mode — the flow-pausing service fed by circuit
+    /// notifications).
+    fn refresh_pause_state(&mut self, node: NodeId, slice: u32) {
+        let hosts: Vec<HostId> = (0..self.cfg.total_hosts())
+            .map(HostId)
+            .filter(|h| self.hosts[h.index()].tor == node)
+            .collect();
+        let dsts: Vec<NodeId> = (0..self.cfg.node_num).map(NodeId).collect();
+        for h in hosts {
+            for &d in &dsts {
+                if d == node {
+                    continue;
+                }
+                let open = self.fabric.schedule().port_to(node, d, slice).is_some();
+                if open {
+                    self.hosts[h.index()].vma.resume(d);
+                } else {
+                    self.hosts[h.index()].vma.pause(d);
+                }
+            }
+        }
+    }
+
+    // -- event handlers -------------------------------------------------------
+
+    fn on_host_tx(&mut self, host: HostId, now: SimTime, q: &mut EventQueue<Event>) {
+        self.hosts[host.index()].tx_scheduled = false;
+        if now < self.hosts[host.index()].nic_free {
+            self.pump_host(host, self.hosts[host.index()].nic_free, q);
+            return;
+        }
+        self.pump_backlog(host);
+        let (popped, force_electrical) = match self.hosts[host.index()].vma_mice.pop_next(now) {
+            Some(x) => (Some(x), true),
+            None => (self.hosts[host.index()].vma.pop_next(now), false),
+        };
+        match popped {
+            Some((dst_tor, seg)) => {
+                let src_tor = self.hosts[host.index()].tor;
+                let mut pkt = Packet::data(
+                    0,
+                    seg.flow,
+                    src_tor,
+                    dst_tor,
+                    host,
+                    seg.dst_host,
+                    seg.bytes,
+                    seg.seq,
+                    now,
+                );
+                pkt.id = self.alloc_pkt_id();
+                let tx = self.cfg.host_link_bandwidth().tx_time_ns(pkt.size as u64).max(1);
+                self.hosts[host.index()].nic_free = now + tx;
+                if force_electrical {
+                    // Mice-stack traffic bypasses policy but is still
+                    // accounted like any other host transmission.
+                    self.tm_accum.add(src_tor, pkt.dst, pkt.size as f64);
+                    self.counters.host_tx_packets += 1;
+                    self.dispatch_electrical(host, pkt, now, q);
+                } else {
+                    self.dispatch_from_host(host, pkt, now, q);
+                }
+                // Keep draining.
+                self.pump_host(host, now + tx, q);
+            }
+            None => {
+                // Nothing sendable: wake at the next push-back expiry if any.
+                let t = self.hosts[host.index()]
+                    .vma
+                    .next_unblock(now)
+                    .into_iter()
+                    .chain(self.hosts[host.index()].vma_mice.next_unblock(now))
+                    .min();
+                if let Some(t) = t {
+                    let h = &mut self.hosts[host.index()];
+                    h.tx_scheduled = true;
+                    q.schedule(t, Event::HostTx(host));
+                }
+            }
+        }
+    }
+
+    fn on_tor_ingress(&mut self, node: NodeId, pkt: Packet, now: SimTime, q: &mut EventQueue<Event>) {
+        let src_tor_of_pkt = pkt.src;
+        let dst = pkt.dst;
+        let res = self.tors[node.index()].ingress(pkt, now);
+        if let Some(msg) = res.pushback {
+            // Broadcast to the sender ToR's hosts after a control RTT.
+            let hosts: Vec<HostId> = (0..self.cfg.total_hosts())
+                .map(HostId)
+                .filter(|h| self.hosts[h.index()].tor == src_tor_of_pkt)
+                .collect();
+            for h in hosts {
+                q.schedule_after(now, 2_000, Event::HostControl(h, msg.clone()));
+            }
+        }
+        match res.decision {
+            IngressDecision::DeliverLocal(p) => {
+                let host = p.dst_host;
+                if host.0 == u32::MAX {
+                    return; // control packet addressed to the switch itself
+                }
+                self.to_downlink(host, p, now, q);
+            }
+            IngressDecision::Enqueued { port, .. } | IngressDecision::Trimmed { port, .. } => {
+                if self.tors[node.index()].has_active_traffic(port) {
+                    self.kick_port(node, port, now, q);
+                }
+            }
+            IngressDecision::Offloaded { .. } => {
+                if let Some(t) = self.tors[node.index()].next_offload_recall() {
+                    q.schedule(t.max(now), Event::OffloadRecall(node));
+                }
+            }
+            IngressDecision::Dropped(reason) => {
+                self.counters.switch_drops += 1;
+                let _ = reason;
+            }
+            IngressDecision::NoRoute(p) => {
+                if self.install_routes_for(node, dst) {
+                    // Retry once with fresh entries.
+                    let res2 = self.tors[node.index()].ingress(p, now);
+                    match res2.decision {
+                        IngressDecision::DeliverLocal(p2) => {
+                            let host = p2.dst_host;
+                            self.to_downlink(host, p2, now, q);
+                        }
+                        IngressDecision::Enqueued { port, .. }
+                        | IngressDecision::Trimmed { port, .. } => {
+                            if self.tors[node.index()].has_active_traffic(port) {
+                                self.kick_port(node, port, now, q);
+                            }
+                        }
+                        IngressDecision::Offloaded { .. } => {
+                            if let Some(t) = self.tors[node.index()].next_offload_recall() {
+                                q.schedule(t.max(now), Event::OffloadRecall(node));
+                            }
+                        }
+                        IngressDecision::Dropped(_) => self.counters.switch_drops += 1,
+                        IngressDecision::NoRoute(_) => self.counters.no_route_drops += 1,
+                    }
+                    if let Some(msg) = res2.pushback {
+                        let hosts: Vec<HostId> = (0..self.cfg.total_hosts())
+                            .map(HostId)
+                            .filter(|h| self.hosts[h.index()].tor == src_tor_of_pkt)
+                            .collect();
+                        for h in hosts {
+                            q.schedule_after(now, 2_000, Event::HostControl(h, msg.clone()));
+                        }
+                    }
+                } else {
+                    self.counters.no_route_drops += 1;
+                }
+            }
+        }
+    }
+
+    fn on_port_free(&mut self, node: NodeId, port: PortId, now: SimTime, q: &mut EventQueue<Event>) {
+        self.port_pending[node.index()][port.index()] = false;
+        // All slice-relative gating below runs on the switch's LOCAL clock:
+        // a badly synchronized node holds off / transmits at the wrong
+        // instants, and the fabric (global truth) punishes it — which is
+        // exactly what the guardband budget of §7 must absorb.
+        let local = self.sync.local_time(node.index(), now);
+        // Hold transmission during the (locally perceived) guardband.
+        if self.slice_cfg.num_slices > 1 && self.slice_cfg.in_guardband(local) {
+            let resume_local = self.slice_cfg.slice_start(local) + self.slice_cfg.guard_ns;
+            let resume = self.sync.global_fire_time(node.index(), resume_local);
+            self.port_pending[node.index()][port.index()] = true;
+            q.schedule(resume.max(now + 1), Event::PortFree(node, port));
+            return;
+        }
+        match self.tors[node.index()].pop_if_fits(port, local, SLICE_END_MARGIN_NS) {
+            Some((pkt, tx)) => {
+                self.tx_bytes_per_port[node.index()][port.index()] += pkt.size as u64;
+                // Port is busy for the serialization time.
+                self.port_pending[node.index()][port.index()] = true;
+                q.schedule_after(now, tx, Event::PortFree(node, port));
+                match self.fabric.transit(node, port, now) {
+                    openoptics_fabric::Transit::Delivered { node: peer, latency_ns, .. } => {
+                        let delay = self.pipeline.delay_ns(pkt.size, &mut self.rng) + latency_ns;
+                        q.schedule_after(now, delay.max(tx), Event::TorIngress(peer, pkt));
+                    }
+                    _ => {
+                        self.counters.fabric_drops += 1;
+                    }
+                }
+            }
+            None => {
+                if self.tors[node.index()].has_active_traffic(port)
+                    && self.slice_cfg.num_slices > 1
+                {
+                    // Head doesn't fit before the slice ends: retry after
+                    // the next rotation + guard (local clock).
+                    let next_local = self.slice_cfg.slice_start(local)
+                        + self.slice_cfg.slice_ns
+                        + self.slice_cfg.guard_ns;
+                    let next = self.sync.global_fire_time(node.index(), next_local);
+                    self.port_pending[node.index()][port.index()] = true;
+                    q.schedule(next.max(now + 1), Event::PortFree(node, port));
+                }
+            }
+        }
+    }
+
+    fn on_rotate(&mut self, node: NodeId, now: SimTime, q: &mut EventQueue<Event>) {
+        self.tors[node.index()].rotate(now);
+        let fire = now + self.slice_cfg.slice_ns;
+        q.schedule(fire, Event::Rotate(node));
+        self.kick_all_ports(node, now, q);
+        if self.pause_mode == PauseMode::DirectCircuit {
+            // Broadcast circuit notifications ahead of the next boundary so
+            // hosts resume exactly when their circuit opens (§5.2: switches
+            // notify hosts of upcoming circuit connections).
+            let lead = 200;
+            let at = now + (self.slice_cfg.slice_ns - lead);
+            q.schedule(at, Event::Timer(Timer::NotifyHosts(node)));
+        }
+    }
+
+    /// Pre-boundary circuit-notification broadcast for one switch: set each
+    /// host's pause state for the slice about to begin and wake senders.
+    fn on_notify_hosts(&mut self, node: NodeId, now: SimTime, q: &mut EventQueue<Event>) {
+        if self.pause_mode != PauseMode::DirectCircuit {
+            return;
+        }
+        let upcoming = self.slice_cfg.advance(self.tors[node.index()].current_slice(), 1);
+        self.refresh_pause_state(node, upcoming);
+        let hosts: Vec<HostId> = (0..self.cfg.total_hosts())
+            .map(HostId)
+            .filter(|h| self.hosts[h.index()].tor == node)
+            .collect();
+        for h in hosts {
+            self.counters.circuit_notifications += 1;
+            if self.hosts[h.index()].vma.has_sendable(now)
+                || self.hosts[h.index()].vma_mice.has_sendable(now)
+            {
+                self.pump_host(h, now, q);
+            }
+        }
+    }
+
+    fn on_elec_free(&mut self, node: NodeId, now: SimTime, q: &mut EventQueue<Event>) {
+        let bw = self.elec_bw.expect("electrical fabric enabled");
+        let link = &mut self.elec[node.index()];
+        if now < link.busy_until {
+            q.schedule(link.busy_until, Event::ElecFree(node));
+            return;
+        }
+        match link.queue.pop() {
+            Some((len, pkt)) => {
+                let tx = bw.tx_time_ns(len as u64).max(1);
+                link.busy_until = now + tx;
+                q.schedule(link.busy_until, Event::ElecFree(node));
+                let host = pkt.dst_host;
+                let core = self.cfg.electrical_core_ns;
+                q.schedule_after(now, tx + core, Event::HostRx(host, pkt));
+            }
+            None => {
+                link.draining = false;
+            }
+        }
+    }
+
+    fn on_downlink_free(&mut self, host: HostId, now: SimTime, q: &mut EventQueue<Event>) {
+        let bw = self.cfg.host_link_bandwidth();
+        let link = &mut self.downlinks[host.index()];
+        if now < link.busy_until {
+            q.schedule(link.busy_until, Event::DownlinkFree(host));
+            return;
+        }
+        match link.queue.pop() {
+            Some((len, pkt)) => {
+                let tx = bw.tx_time_ns(len as u64).max(1);
+                link.busy_until = now + tx;
+                q.schedule(link.busy_until, Event::DownlinkFree(host));
+                q.schedule_after(now, tx, Event::HostRx(host, pkt));
+            }
+            None => {
+                link.draining = false;
+            }
+        }
+    }
+
+    fn on_host_rx(&mut self, host: HostId, pkt: Packet, now: SimTime, q: &mut EventQueue<Event>) {
+        match pkt.kind.clone() {
+            PacketKind::Data => {
+                self.counters.delivered_packets += 1;
+                self.counters.delivered_payload_bytes += pkt.payload as u64;
+                if self.record_delays {
+                    self.delay_samples.push(pkt.age_ns(now));
+                }
+                if pkt.trimmed {
+                    // Opera-style trimming: the header made it; NACK the
+                    // payload back to the source after a reverse-path delay.
+                    self.counters.trimmed_received += 1;
+                    q.schedule_after(
+                        now,
+                        5_000,
+                        Event::Timer(Timer::NackRetx { flow: pkt.flow, seq: pkt.seq }),
+                    );
+                    return;
+                }
+                let fid = pkt.flow;
+                let Some(f) = self.flows.get_mut(&fid) else { return };
+                match &mut f.transport {
+                    Transport::Paced => {
+                        f.delivered = (f.delivered + pkt.payload as u64).min(f.bytes);
+                        if f.delivered >= f.bytes && !f.done {
+                            self.finish_flow(fid, now, q);
+                        }
+                    }
+                    Transport::Tcp { receiver, .. } | Transport::TdTcp { receiver, .. } => {
+                        let cum = receiver.on_data(pkt.seq, pkt.payload);
+                        // Send an ACK back through the network.
+                        let src_host = f.src_host;
+                        let mut ack = Packet::data(
+                            0,
+                            fid,
+                            self.hosts[host.index()].tor,
+                            self.hosts[src_host.index()].tor,
+                            host,
+                            src_host,
+                            0,
+                            0,
+                            now,
+                        );
+                        ack.id = self.alloc_pkt_id();
+                        ack.size = HEADER_BYTES;
+                        ack.kind = PacketKind::Ack { cum_ack: cum };
+                        self.dispatch_from_host(host, ack, now, q);
+                    }
+                }
+            }
+            PacketKind::Ack { cum_ack } => {
+                let fid = pkt.flow;
+                let mut finished = false;
+                let topo = self
+                    .flows
+                    .get(&fid)
+                    .map(|f| {
+                        let src_tor = self.hosts[f.src_host.index()].tor;
+                        let dst_tor = self.hosts[f.dst_host.index()].tor;
+                        self.topology_id(src_tor, dst_tor)
+                    })
+                    .unwrap_or(0);
+                if let Some(f) = self.flows.get_mut(&fid) {
+                    match &mut f.transport {
+                        Transport::Tcp { sender, .. } => {
+                            sender.on_ack(cum_ack, now);
+                            if sender.done() && !f.done {
+                                finished = true;
+                            }
+                        }
+                        Transport::TdTcp { sender, .. } => {
+                            sender.set_topology(topo, now);
+                            sender.on_ack(cum_ack, now);
+                            if sender.done() && !f.done {
+                                finished = true;
+                            }
+                        }
+                        Transport::Paced => {}
+                    }
+                }
+                if finished {
+                    self.finish_flow(fid, now, q);
+                } else {
+                    self.pump_tcp(fid, now);
+                    if let Some(f) = self.flows.get(&fid) {
+                        self.pump_host(f.src_host, now, q);
+                    }
+                }
+            }
+            PacketKind::Probe { echo_of, is_reply } => {
+                if is_reply {
+                    // pkt.seq carries the forward hop count.
+                    let total_hops = pkt.seq as u8 + pkt.hops;
+                    for t in &mut self.probe_trains {
+                        if t.src == host {
+                            t.stats.record(echo_of, now, total_hops);
+                            break;
+                        }
+                    }
+                } else {
+                    let mut reply = Packet::data(
+                        0,
+                        pkt.flow,
+                        self.hosts[host.index()].tor,
+                        pkt.src,
+                        host,
+                        pkt.src_host,
+                        pkt.payload,
+                        pkt.hops as u64,
+                        now,
+                    );
+                    reply.id = self.alloc_pkt_id();
+                    reply.kind = PacketKind::Probe { echo_of, is_reply: true };
+                    self.dispatch_from_host(host, reply, now, q);
+                }
+            }
+            PacketKind::Control(msg) => self.on_host_control(host, msg, now, q),
+        }
+    }
+
+    fn on_host_control(
+        &mut self,
+        host: HostId,
+        msg: ControlMsg,
+        now: SimTime,
+        q: &mut EventQueue<Event>,
+    ) {
+        match msg {
+            ControlMsg::PushBack { dst, slice, cycle } => {
+                self.counters.pushback_deliveries += 1;
+                // The embargo lasts until the named (cycle, slice) ends.
+                let end = (cycle * self.slice_cfg.num_slices as u64 + slice as u64 + 1)
+                    * self.slice_cfg.slice_ns;
+                self.hosts[host.index()].vma.block_until(dst, SimTime::from_ns(end));
+            }
+            ControlMsg::CircuitNotify { dst, .. } => {
+                self.hosts[host.index()].vma.resume(dst);
+                self.pump_host(host, now, q);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_offload_recall(&mut self, node: NodeId, now: SimTime, q: &mut EventQueue<Event>) {
+        let due = self.tors[node.index()].offload_due(now);
+        for (abs, port, pkt) in due {
+            // Host round trip: recall notify + host link serialization.
+            let rtt = 2_000 + self.cfg.host_link_bandwidth().tx_time_ns(pkt.size as u64);
+            q.schedule_after(now, rtt, Event::Reinject(node, abs, port, pkt));
+        }
+        if let Some(t) = self.tors[node.index()].next_offload_recall() {
+            q.schedule(t.max(now + 1), Event::OffloadRecall(node));
+        }
+    }
+
+    fn on_reinject(
+        &mut self,
+        node: NodeId,
+        abs: u64,
+        port: PortId,
+        pkt: Packet,
+        now: SimTime,
+        q: &mut EventQueue<Event>,
+    ) {
+        let cur = self.tors[node.index()].abs_slice();
+        let rank = abs.saturating_sub(cur) as u32;
+        let res = self.tors[node.index()].reinject_offloaded(pkt, port, rank, now);
+        match res.decision {
+            IngressDecision::Enqueued { port, .. } | IngressDecision::Trimmed { port, .. }
+                if self.tors[node.index()].has_active_traffic(port) => {
+                    self.kick_port(node, port, now, q);
+                }
+            IngressDecision::Dropped(_) => self.counters.switch_drops += 1,
+            IngressDecision::Offloaded { .. } => {
+                if let Some(t) = self.tors[node.index()].next_offload_recall() {
+                    q.schedule(t.max(now + 1), Event::OffloadRecall(node));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, timer: Timer, now: SimTime, q: &mut EventQueue<Event>) {
+        match timer {
+            Timer::FlowStart(idx) => {
+                let p = &self.pending_flows[idx];
+                let (src, dst, bytes, transport) = (p.src, p.dst, p.bytes, p.transport);
+                self.start_flow(now, src, dst, bytes, transport, FlowKind::Plain, q);
+            }
+            Timer::MemcachedOp { app, client_idx } => {
+                let (params, server, client, stop_at) = {
+                    let a = &self.memcached[app];
+                    (a.params, a.server, a.clients[client_idx], a.stop_at)
+                };
+                if now >= stop_at {
+                    return;
+                }
+                self.start_flow(
+                    now,
+                    client,
+                    server,
+                    params.set_bytes as u64,
+                    TransportKind::Paced,
+                    FlowKind::Request { response_bytes: params.response_bytes },
+                    q,
+                );
+                let gap = params.next_gap_ns(&mut self.rng);
+                q.schedule_after(now, gap, Event::Timer(Timer::MemcachedOp { app, client_idx }));
+            }
+            Timer::FlowWatchdog(fid) => {
+                let retransmit = self.watchdog_retransmit;
+                let Some(f) = self.flows.get_mut(&fid) else { return };
+                if f.done {
+                    return;
+                }
+                if retransmit && f.delivered == f.delivered_at_last_watchdog && f.queued >= f.bytes {
+                    // Stalled with everything queued: re-send the missing tail.
+                    let missing = f.bytes - f.delivered;
+                    f.queued = f.bytes - missing;
+                    let src = f.src_host;
+                    self.hosts[src.index()].backlog.push(fid);
+                    self.pump_host(src, now, q);
+                }
+                if let Some(f) = self.flows.get_mut(&fid) {
+                    f.delivered_at_last_watchdog = f.delivered;
+                }
+                q.schedule_after(now, WATCHDOG_NS, Event::Timer(Timer::FlowWatchdog(fid)));
+            }
+            Timer::TcpRto(fid) => {
+                let mut fired = false;
+                let mut deadline = None;
+                let mut src = None;
+                if let Some(f) = self.flows.get_mut(&fid) {
+                    if f.done {
+                        return;
+                    }
+                    match &mut f.transport {
+                        Transport::Tcp { sender, .. } => {
+                            fired = sender.maybe_timeout(now);
+                            deadline = Some(sender.rto_deadline());
+                            src = Some(f.src_host);
+                        }
+                        Transport::TdTcp { sender, .. } => {
+                            fired = sender.maybe_timeout(now);
+                            deadline = Some(sender.rto_deadline());
+                            src = Some(f.src_host);
+                        }
+                        Transport::Paced => {}
+                    }
+                }
+                if fired {
+                    self.pump_tcp(fid, now);
+                    if let Some(s) = src {
+                        self.pump_host(s, now, q);
+                    }
+                }
+                if let Some(d) = deadline {
+                    q.schedule(d.max(now + 1), Event::Timer(Timer::TcpRto(fid)));
+                }
+            }
+            Timer::NotifyHosts(node) => self.on_notify_hosts(node, now, q),
+            Timer::NackRetx { flow, seq } => {
+                let Some(f) = self.flows.get_mut(&flow) else { return };
+                if f.done {
+                    return;
+                }
+                let len = (f.bytes.saturating_sub(seq)).min(MSS as u64) as u32;
+                if len == 0 {
+                    return;
+                }
+                let (src, dst_host) = (f.src_host, f.dst_host);
+                let dst_tor = self.hosts[dst_host.index()].tor;
+                self.hosts[src.index()]
+                    .vma
+                    .send(dst_tor, Segment { flow, dst_host, bytes: len, seq })
+                    .ok();
+                self.pump_host(src, now, q);
+            }
+            Timer::ProbeSend(t) => {
+                let (src, dst, payload, interval) = {
+                    let tr = &mut self.probe_trains[t];
+                    if tr.remaining == 0 {
+                        return;
+                    }
+                    tr.remaining -= 1;
+                    tr.stats.sent += 1;
+                    (tr.src, tr.dst, tr.payload, tr.interval_ns)
+                };
+                let dst_tor = self.hosts[dst.index()].tor;
+                let src_tor = self.hosts[src.index()].tor;
+                let mut pkt =
+                    Packet::data(0, 0, src_tor, dst_tor, src, dst, payload, 0, now);
+                pkt.id = self.alloc_pkt_id();
+                pkt.kind = PacketKind::Probe { echo_of: now, is_reply: false };
+                self.dispatch_from_host(src, pkt, now, q);
+                q.schedule_after(now, interval, Event::Timer(Timer::ProbeSend(t)));
+            }
+        }
+    }
+}
+
+impl World for Engine {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, q: &mut EventQueue<Event>) {
+        // Promote any pending TA reconfiguration whose delay has elapsed so
+        // every consumer (routing, pause state, dispatch) sees the schedule
+        // that is physically active at `now`.
+        self.fabric.schedule_at(now);
+        match event {
+            Event::HostTx(h) => self.on_host_tx(h, now, q),
+            Event::TorIngress(n, p) => self.on_tor_ingress(n, p, now, q),
+            Event::HostRx(h, p) => self.on_host_rx(h, p, now, q),
+            Event::Rotate(n) => self.on_rotate(n, now, q),
+            Event::PortFree(n, p) => self.on_port_free(n, p, now, q),
+            Event::ElecFree(n) => self.on_elec_free(n, now, q),
+            Event::DownlinkFree(h) => self.on_downlink_free(h, now, q),
+            Event::OffloadRecall(n) => self.on_offload_recall(n, now, q),
+            Event::Reinject(n, abs, port, pkt) => self.on_reinject(n, abs, port, pkt, now, q),
+            Event::HostControl(h, m) => self.on_host_control(h, m, now, q),
+            Event::Timer(t) => self.on_timer(t, now, q),
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # openoptics-core
+//!
+//! The OpenOptics programming model — the paper's primary contribution.
+//!
+//! * [`config`] — the static configuration (a JSON file in the paper, §4.1)
+//!   describing hardware: node/uplink counts, slice duration, link rates,
+//!   OCS characteristics, service knobs;
+//! * [`engine`] — the packet-level network engine that stands in for the
+//!   testbed: hosts (vma stacks + NICs), ToR switches (time-flow tables +
+//!   calendar queues), the optical fabric, an optional parallel electrical
+//!   fabric, and the optical controller's clocking;
+//! * [`net`] — [`net::OpenOpticsNet`], the user-facing object exposing the
+//!   Table-1 API: `connect` / `deploy_topo` / `add` / `deploy_routing` /
+//!   `collect` / `buffer_usage` / `bw_usage`, plus workload attachment;
+//! * [`archs`] — preset architectures mirroring Fig. 5: Clos, c-Through,
+//!   Jupiter, Mordia, RotorNet, Opera, Shale, and the semi-oblivious TA+TO
+//!   hybrid (the hierarchical design is `examples/hierarchical.rs`);
+//! * [`workflow`] — the unified TA control loop
+//!   (`while TM = collect(): reconfigure`).
+
+pub mod archs;
+pub mod config;
+pub mod engine;
+pub mod net;
+pub mod workflow;
+
+pub use config::NetConfig;
+pub use engine::{DispatchPolicy, Engine, PauseMode, TransportKind};
+pub use net::OpenOpticsNet;
+pub use workflow::run_ta_loop;

@@ -1,0 +1,447 @@
+//! The OpenOptics network object and user API (Table 1).
+//!
+//! A user creates an [`OpenOpticsNet`] from a static configuration, then
+//! calls the topology, routing, and monitoring APIs — the Rust rendering of
+//! the paper's Python front end:
+//!
+//! ```
+//! use openoptics_core::{NetConfig, OpenOpticsNet};
+//! use openoptics_routing::algos::Vlb;
+//! use openoptics_routing::{LookupMode, MultipathMode};
+//! use openoptics_topo::round_robin;
+//!
+//! let cfg = NetConfig { node_num: 8, uplink: 1, slice_ns: 100_000, ..Default::default() };
+//! let mut net = OpenOpticsNet::new(cfg.clone());
+//! let (circuits, slices) = round_robin(cfg.node_num, cfg.uplink);
+//! net.deploy_topo(&circuits, slices).unwrap();
+//! net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+//! ```
+
+use crate::config::NetConfig;
+use crate::engine::{Engine, Event, TransportKind};
+use openoptics_fabric::{Circuit, LayoutError, OcsLayout, OpticalSchedule, ScheduleError};
+use openoptics_host::apps::MemcachedParams;
+use openoptics_proto::{FlowId, HostId, NodeId, PortId};
+use openoptics_routing::{LookupMode, MultipathMode, RouteEntry, RoutingAlgorithm};
+use openoptics_sim::time::SimTime;
+use openoptics_sim::{run, EventQueue};
+use openoptics_topo::TrafficMatrix;
+
+/// Why a topology deployment was rejected: either the circuits are not a
+/// valid schedule (port conflicts, out-of-range references) or they are not
+/// physically realizable on the configured OCS structure.
+#[derive(Debug)]
+pub enum DeployError {
+    /// Logical schedule validation failed.
+    Schedule(ScheduleError),
+    /// Physical OCS-structure compilation failed.
+    Layout(LayoutError),
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::Schedule(e) => write!(f, "schedule: {e}"),
+            DeployError::Layout(e) => write!(f, "layout: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+impl From<ScheduleError> for DeployError {
+    fn from(e: ScheduleError) -> Self {
+        DeployError::Schedule(e)
+    }
+}
+
+impl From<LayoutError> for DeployError {
+    fn from(e: LayoutError) -> Self {
+        DeployError::Layout(e)
+    }
+}
+
+/// The user-facing network object.
+pub struct OpenOpticsNet {
+    /// The engine carrying all network state.
+    pub engine: Engine,
+    queue: EventQueue<Event>,
+    now: SimTime,
+    staged: Vec<Circuit>,
+    layout: OcsLayout,
+    primed: bool,
+}
+
+impl OpenOpticsNet {
+    /// Create a network with an empty optical schedule (deploy one before
+    /// running traffic).
+    pub fn new(cfg: NetConfig) -> Self {
+        let sched = OpticalSchedule::empty(cfg.slice_config(1), cfg.node_num, cfg.uplink);
+        let fibers = cfg.node_num * cfg.uplink as u32;
+        let layout = if cfg.ocs_count == 0 {
+            let ports = if cfg.ocs_ports == 0 { fibers } else { cfg.ocs_ports };
+            OcsLayout::single(cfg.node_num, cfg.uplink, ports)
+                .expect("auto-sized single OCS always fits")
+        } else {
+            let per_dev = fibers.div_ceil(cfg.ocs_count as u32);
+            let ports = if cfg.ocs_ports == 0 { per_dev } else { cfg.ocs_ports };
+            let k = cfg.ocs_count;
+            OcsLayout::build(k, ports, cfg.node_num, cfg.uplink, |_, p| p.0 % k)
+                .expect("rail cabling fits when ports are auto-sized")
+        };
+        OpenOpticsNet {
+            engine: Engine::new(cfg, sched),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            staged: vec![],
+            layout,
+            primed: false,
+        }
+    }
+
+    /// The physical OCS cabling this network was configured with.
+    pub fn layout(&self) -> &OcsLayout {
+        &self.layout
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The primitive `connect()` call: stage one circuit. Returns `false`
+    /// if the circuit is a loopback (immediately invalid).
+    pub fn connect(&mut self, circuit: Circuit) -> bool {
+        if circuit.is_loopback() {
+            return false;
+        }
+        self.staged.push(circuit);
+        true
+    }
+
+    /// Circuits staged via [`OpenOpticsNet::connect`].
+    pub fn staged_circuits(&self) -> &[Circuit] {
+        &self.staged
+    }
+
+    /// `deploy_topo()`: validate `circuits` for a `num_slices`-slice cycle
+    /// and install them. Before the simulation starts this is instant; on a
+    /// running TA network it honors the OCS reconfiguration delay.
+    pub fn deploy_topo(
+        &mut self,
+        circuits: &[Circuit],
+        num_slices: u32,
+    ) -> Result<(), DeployError> {
+        let cfg = self.engine.cfg.slice_config(num_slices);
+        let sched = OpticalSchedule::build(
+            cfg,
+            self.engine.cfg.node_num,
+            self.engine.cfg.uplink,
+            circuits,
+        )?;
+        // Physical feasibility: every circuit must compile onto one OCS of
+        // the configured structure (§4.2's controller sanity check).
+        self.layout.compile(circuits)?;
+        if self.primed {
+            let done = self.engine.reconfigure_schedule(sched, self.now);
+            // Once the OCS finishes moving, switches re-notify their hosts
+            // of the new circuits (drives flow pausing on static schedules,
+            // where no rotation would otherwise refresh the state).
+            for node in 0..self.engine.cfg.node_num {
+                self.queue.schedule(
+                    done,
+                    Event::Timer(crate::engine::Timer::NotifyHosts(NodeId(node))),
+                );
+            }
+        } else {
+            let netcfg = self.engine.cfg.clone();
+            let mut fresh = Engine::new(netcfg, sched);
+            fresh.policy = self.engine.policy;
+            fresh.pause_mode = self.engine.pause_mode;
+            self.engine = fresh;
+        }
+        Ok(())
+    }
+
+    /// Deploy the staged circuits (then clear the staging area).
+    pub fn deploy_staged(&mut self, num_slices: u32) -> Result<(), DeployError> {
+        let staged = std::mem::take(&mut self.staged);
+        self.deploy_topo(&staged, num_slices)
+    }
+
+    /// `deploy_routing()`: install a routing scheme. Entries are compiled
+    /// lazily per (node, destination, arrival slice) as traffic needs them —
+    /// equivalent to the paper's offline precomputation, evaluated on
+    /// demand. `LookupMode::SourceRouting` is forced for schemes that
+    /// require it.
+    pub fn deploy_routing<A: RoutingAlgorithm + 'static>(
+        &mut self,
+        algo: A,
+        lookup: LookupMode,
+        multipath: MultipathMode,
+    ) {
+        let lookup = if algo.requires_source_routing() {
+            LookupMode::SourceRouting
+        } else {
+            lookup
+        };
+        let ta = self.is_ta();
+        self.engine.set_router(Box::new(algo), lookup, multipath, ta);
+    }
+
+    /// Whether the deployed schedule is a single topology instance (TA) as
+    /// opposed to a rotating TO schedule.
+    pub fn is_ta(&self) -> bool {
+        self.engine.schedule().slice_config().num_slices == 1
+    }
+
+    /// `add()`: install one time-flow table entry directly (debugging).
+    pub fn add(&mut self, entry: RouteEntry) -> bool {
+        let node = entry.node;
+        if node.0 >= self.engine.cfg.node_num {
+            return false;
+        }
+        self.engine.tor_mut(node).install_routes([entry]);
+        true
+    }
+
+    /// `collect(interval)`: run the network for `interval` and return the
+    /// traffic matrix observed in that window.
+    pub fn collect(&mut self, interval: SimTime) -> TrafficMatrix {
+        self.engine.take_traffic_matrix(); // reset window
+        self.run_for(interval);
+        self.engine.take_traffic_matrix()
+    }
+
+    /// The c-Through-style collection mode: hosts report their pending
+    /// per-destination demand (vma queue depths) instead of historical
+    /// volume — what a TA controller sizes circuits against (§5.2).
+    pub fn collect_pending(&self) -> TrafficMatrix {
+        self.engine.host_pending_demand()
+    }
+
+    /// `buffer_usage(node, port)`: bytes buffered in the port's calendar
+    /// queues right now.
+    pub fn buffer_usage(&self, node: NodeId, port: PortId) -> u64 {
+        self.engine.tor(node).port_buffer_bytes(port)
+    }
+
+    /// `bw_usage(node, port)`: bytes transmitted by the port so far.
+    pub fn bw_usage(&self, node: NodeId, port: PortId) -> u64 {
+        self.engine.port_tx_bytes(node, port)
+    }
+
+    // -- workload & execution ----------------------------------------------
+
+    /// Schedule a flow (before or during the run). `at` must not be in the
+    /// simulated past once the network is running.
+    pub fn add_flow(
+        &mut self,
+        at: SimTime,
+        src: HostId,
+        dst: HostId,
+        bytes: u64,
+        transport: TransportKind,
+    ) {
+        let idx = self.engine.add_flow(at, src, dst, bytes, transport);
+        if self.primed {
+            assert!(at >= self.now, "cannot start a flow in the simulated past");
+            self.queue.schedule(at, Event::Timer(crate::engine::Timer::FlowStart(idx)));
+        }
+    }
+
+    /// Attach a memcached app (see [`Engine::add_memcached`]).
+    pub fn add_memcached(
+        &mut self,
+        params: MemcachedParams,
+        server: HostId,
+        clients: Vec<HostId>,
+        stop_at: SimTime,
+    ) -> usize {
+        assert!(!self.primed, "attach apps before the first run");
+        self.engine.add_memcached(params, server, clients, stop_at)
+    }
+
+    /// Attach a ring allreduce (see [`Engine::add_allreduce`]).
+    pub fn add_allreduce(&mut self, hosts: Vec<HostId>, data_bytes: u64) -> usize {
+        assert!(!self.primed, "attach apps before the first run");
+        self.engine.add_allreduce(hosts, data_bytes)
+    }
+
+    /// Attach a UDP probe train (see [`Engine::add_probe_train`]).
+    pub fn add_probe_train(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        interval_ns: u64,
+        count: u64,
+        payload: u32,
+    ) -> usize {
+        assert!(!self.primed, "attach apps before the first run");
+        self.engine.add_probe_train(src, dst, interval_ns, count, payload)
+    }
+
+    /// Run the simulation for `dur` more simulated time.
+    pub fn run_for(&mut self, dur: SimTime) {
+        if !self.primed {
+            self.engine.prime(&mut self.queue);
+            self.primed = true;
+        }
+        let until = self.now + dur.as_ns();
+        run(&mut self.engine, &mut self.queue, until);
+        self.now = until;
+    }
+
+    /// Completed-flow FCT statistics.
+    pub fn fct(&self) -> &openoptics_workload::FctStats {
+        &self.engine.fct
+    }
+
+    /// Bytes delivered for a flow so far.
+    pub fn flow_delivered(&self, flow: FlowId) -> u64 {
+        self.engine.flow_delivered(flow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openoptics_routing::algos::{Direct, Vlb};
+    use openoptics_topo::round_robin;
+
+    fn small_cfg() -> NetConfig {
+        NetConfig {
+            node_num: 4,
+            uplink: 1,
+            hosts_per_node: 1,
+            slice_ns: 10_000,
+            guard_ns: 200,
+            sync_err_ns: 0,
+            ..Default::default()
+        }
+    }
+
+    fn rotor_net(cfg: &NetConfig) -> OpenOpticsNet {
+        let mut net = OpenOpticsNet::new(cfg.clone());
+        let (circuits, slices) = round_robin(cfg.node_num, cfg.uplink);
+        net.deploy_topo(&circuits, slices).unwrap();
+        net
+    }
+
+    #[test]
+    fn single_flow_completes_over_rotor() {
+        let cfg = small_cfg();
+        let mut net = rotor_net(&cfg);
+        net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+        net.add_flow(SimTime::from_ns(100), HostId(0), HostId(3), 50_000, TransportKind::Paced);
+        net.run_for(SimTime::from_ms(5));
+        assert_eq!(net.fct().completed().len(), 1, "flow must complete");
+        let rec = net.fct().completed()[0];
+        assert_eq!(rec.bytes, 50_000);
+        assert!(rec.fct_ns() > 0);
+    }
+
+    #[test]
+    fn direct_routing_waits_for_circuits() {
+        let cfg = small_cfg();
+        let mut net = rotor_net(&cfg);
+        net.deploy_routing(Direct, LookupMode::PerHop, MultipathMode::None);
+        net.add_flow(SimTime::from_ns(100), HostId(0), HostId(2), 10_000, TransportKind::Paced);
+        net.run_for(SimTime::from_ms(5));
+        assert_eq!(net.fct().completed().len(), 1);
+    }
+
+    #[test]
+    fn connect_rejects_loopback() {
+        let cfg = small_cfg();
+        let mut net = OpenOpticsNet::new(cfg);
+        assert!(!net.connect(Circuit::held(NodeId(1), PortId(0), NodeId(1), PortId(0))));
+        assert!(net.connect(Circuit::held(NodeId(0), PortId(0), NodeId(1), PortId(0))));
+        assert_eq!(net.staged_circuits().len(), 1);
+    }
+
+    #[test]
+    fn deploy_topo_rejects_conflicts() {
+        let cfg = small_cfg();
+        let mut net = OpenOpticsNet::new(cfg);
+        let bad = vec![
+            Circuit::held(NodeId(0), PortId(0), NodeId(1), PortId(0)),
+            Circuit::held(NodeId(0), PortId(0), NodeId(2), PortId(0)),
+        ];
+        assert!(net.deploy_topo(&bad, 1).is_err());
+    }
+
+    #[test]
+    fn collect_sees_traffic() {
+        let cfg = small_cfg();
+        let mut net = rotor_net(&cfg);
+        net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+        net.add_flow(SimTime::from_ns(100), HostId(0), HostId(3), 100_000, TransportKind::Paced);
+        let tm = net.collect(SimTime::from_ms(5));
+        assert!(tm.get(NodeId(0), NodeId(3)) > 0.0, "TM must record the flow");
+    }
+
+    #[test]
+    fn missing_router_counts_no_route_drops() {
+        // Topology deployed but no routing scheme: packets die at the first
+        // lookup and the drop is attributed correctly.
+        let cfg = small_cfg();
+        let mut net = rotor_net(&cfg);
+        net.add_flow(SimTime::from_ns(100), HostId(0), HostId(3), 20_000, TransportKind::Paced);
+        net.run_for(SimTime::from_ms(2));
+        assert_eq!(net.fct().completed().len(), 0);
+        assert!(net.engine.counters.no_route_drops > 0);
+    }
+
+    #[test]
+    fn electrical_uplink_overflow_counts_link_drops() {
+        // Three hosts flood one 1 Gbps electrical fabric far beyond its
+        // 16 MB uplink queue.
+        let mut cfg = small_cfg();
+        cfg.electrical_gbps = 1;
+        cfg.hosts_per_node = 3;
+        let mut net = crate::archs::clos(cfg);
+        net.engine.watchdog_retransmit = false;
+        for h in [0u32, 1, 2] {
+            net.add_flow(
+                SimTime::from_ns(100),
+                HostId(h),
+                HostId(9),
+                30_000_000,
+                TransportKind::Paced,
+            );
+        }
+        net.run_for(SimTime::from_ms(10));
+        assert!(
+            net.engine.counters.link_drops > 0,
+            "overflowing the electrical uplink must surface as link drops"
+        );
+    }
+
+    #[test]
+    fn tdtcp_flow_completes_end_to_end() {
+        use openoptics_host::tcp::TcpConfig;
+        let cfg = small_cfg();
+        let mut net = rotor_net(&cfg);
+        net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+        net.add_flow(
+            SimTime::from_ns(100),
+            HostId(0),
+            HostId(3),
+            500_000,
+            TransportKind::TdTcp(TcpConfig::default()),
+        );
+        net.run_for(SimTime::from_ms(100));
+        assert_eq!(net.fct().completed().len(), 1, "TDTCP flow must finish");
+    }
+
+    #[test]
+    fn bw_usage_accumulates() {
+        let cfg = small_cfg();
+        let mut net = rotor_net(&cfg);
+        net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+        net.add_flow(SimTime::from_ns(100), HostId(0), HostId(3), 100_000, TransportKind::Paced);
+        net.run_for(SimTime::from_ms(5));
+        assert!(net.bw_usage(NodeId(0), PortId(0)) > 0);
+    }
+}

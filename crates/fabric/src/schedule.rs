@@ -1,0 +1,352 @@
+//! The optical schedule: which circuits exist in which time slice.
+//!
+//! This is the controller-side "ground truth" that `deploy_topo()` compiles
+//! user circuits into (§4.2): a per-slice port map, validated for physical
+//! feasibility (no port lit twice in a slice, no loopbacks, indices in
+//! range). TO architectures load a whole cycle of slices; TA architectures
+//! are the one-slice special case (every circuit held).
+
+use crate::circuit::Circuit;
+use openoptics_proto::{NodeId, PortId};
+use openoptics_sim::time::{SliceConfig, SliceIndex};
+use std::fmt;
+
+/// Why a circuit set cannot be deployed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A circuit references a node `>= num_nodes`.
+    NodeOutOfRange { circuit: Circuit },
+    /// A circuit references a port `>= uplinks`.
+    PortOutOfRange { circuit: Circuit },
+    /// A circuit references a slice `>= num_slices`.
+    SliceOutOfRange { circuit: Circuit },
+    /// A circuit connects a node to itself.
+    Loopback { circuit: Circuit },
+    /// Two circuits claim the same `(node, port)` in the same slice.
+    PortConflict { node: NodeId, port: PortId, slice: SliceIndex },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NodeOutOfRange { circuit } => {
+                write!(f, "circuit {circuit:?} references a node out of range")
+            }
+            ScheduleError::PortOutOfRange { circuit } => {
+                write!(f, "circuit {circuit:?} references a port out of range")
+            }
+            ScheduleError::SliceOutOfRange { circuit } => {
+                write!(f, "circuit {circuit:?} references a slice out of range")
+            }
+            ScheduleError::Loopback { circuit } => {
+                write!(f, "circuit {circuit:?} connects a node to itself")
+            }
+            ScheduleError::PortConflict { node, port, slice } => {
+                write!(f, "port {node}:{port} is claimed by two circuits in slice {slice}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A validated, immutable optical schedule over one cycle.
+#[derive(Clone)]
+pub struct OpticalSchedule {
+    cfg: SliceConfig,
+    num_nodes: u32,
+    uplinks: u16,
+    /// `table[slice][node * uplinks + port]` = peer, if lit.
+    table: Vec<Vec<Option<(NodeId, PortId)>>>,
+    circuits: Vec<Circuit>,
+}
+
+impl OpticalSchedule {
+    /// Validate and build a schedule from a circuit list.
+    pub fn build(
+        cfg: SliceConfig,
+        num_nodes: u32,
+        uplinks: u16,
+        circuits: &[Circuit],
+    ) -> Result<Self, ScheduleError> {
+        let slots = num_nodes as usize * uplinks as usize;
+        let mut table = vec![vec![None; slots]; cfg.num_slices as usize];
+
+        for &c in circuits {
+            if c.is_loopback() {
+                return Err(ScheduleError::Loopback { circuit: c });
+            }
+            if c.a.0 >= num_nodes || c.b.0 >= num_nodes {
+                return Err(ScheduleError::NodeOutOfRange { circuit: c });
+            }
+            if c.a_port.0 >= uplinks || c.b_port.0 >= uplinks {
+                return Err(ScheduleError::PortOutOfRange { circuit: c });
+            }
+            if let Some(ts) = c.slice {
+                if ts >= cfg.num_slices {
+                    return Err(ScheduleError::SliceOutOfRange { circuit: c });
+                }
+            }
+            let slices: Vec<SliceIndex> = match c.slice {
+                Some(ts) => vec![ts],
+                None => (0..cfg.num_slices).collect(),
+            };
+            for ts in slices {
+                for (n, p, peer, peer_p) in
+                    [(c.a, c.a_port, c.b, c.b_port), (c.b, c.b_port, c.a, c.a_port)]
+                {
+                    let slot = &mut table[ts as usize][n.index() * uplinks as usize + p.index()];
+                    if slot.is_some() {
+                        return Err(ScheduleError::PortConflict { node: n, port: p, slice: ts });
+                    }
+                    *slot = Some((peer, peer_p));
+                }
+            }
+        }
+
+        Ok(OpticalSchedule { cfg, num_nodes, uplinks, table, circuits: circuits.to_vec() })
+    }
+
+    /// An empty schedule (no circuits) — the state before any deploy.
+    pub fn empty(cfg: SliceConfig, num_nodes: u32, uplinks: u16) -> Self {
+        OpticalSchedule::build(cfg, num_nodes, uplinks, &[]).expect("empty schedule is valid")
+    }
+
+    /// Slice configuration.
+    pub fn slice_config(&self) -> SliceConfig {
+        self.cfg
+    }
+
+    /// Number of endpoint nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Optical uplinks per node.
+    pub fn uplinks(&self) -> u16 {
+        self.uplinks
+    }
+
+    /// The circuits this schedule was built from.
+    pub fn circuits(&self) -> &[Circuit] {
+        &self.circuits
+    }
+
+    /// The peer of `(node, port)` during `slice`, if the port is lit.
+    #[inline]
+    pub fn peer(&self, node: NodeId, port: PortId, slice: SliceIndex) -> Option<(NodeId, PortId)> {
+        self.table[slice as usize][node.index() * self.uplinks as usize + port.index()]
+    }
+
+    /// All neighbors of `node` in `slice`: `(local port, peer node)` pairs.
+    /// This is the `neighbors()` helper of Table 1.
+    pub fn neighbors(&self, node: NodeId, slice: SliceIndex) -> Vec<(PortId, NodeId)> {
+        (0..self.uplinks)
+            .filter_map(|p| {
+                self.peer(node, PortId(p), slice).map(|(peer, _)| (PortId(p), peer))
+            })
+            .collect()
+    }
+
+    /// The local egress port on `node` that reaches `dst` directly in
+    /// `slice`, if a circuit exists.
+    pub fn port_to(&self, node: NodeId, dst: NodeId, slice: SliceIndex) -> Option<PortId> {
+        (0..self.uplinks).map(PortId).find(|&p| {
+            self.peer(node, p, slice).map(|(peer, _)| peer == dst).unwrap_or(false)
+        })
+    }
+
+    /// All slices (cycle-relative, ascending) in which `a` and `b` share a
+    /// direct circuit.
+    pub fn slices_connecting(&self, a: NodeId, b: NodeId) -> Vec<SliceIndex> {
+        (0..self.cfg.num_slices).filter(|&ts| self.port_to(a, b, ts).is_some()).collect()
+    }
+
+    /// The first slice `>= from` (wrapping the cycle) with a direct circuit
+    /// `a <-> b`, with the number of slices waited, if any exists in the cycle.
+    pub fn first_slice_connecting(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        from: SliceIndex,
+    ) -> Option<(SliceIndex, u32)> {
+        (0..self.cfg.num_slices)
+            .map(|d| (self.cfg.advance(from, d), d))
+            .find(|&(ts, _)| self.port_to(a, b, ts).is_some())
+    }
+
+    /// Whether every node can reach every other node using circuits of a
+    /// single slice (the TA-2 "every topology is a connected graph"
+    /// requirement, §2.1).
+    pub fn slice_is_connected(&self, slice: SliceIndex) -> bool {
+        if self.num_nodes <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.num_nodes as usize];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(n) = stack.pop() {
+            for (_, peer) in self.neighbors(n, slice) {
+                if !seen[peer.index()] {
+                    seen[peer.index()] = true;
+                    count += 1;
+                    stack.push(peer);
+                }
+            }
+        }
+        count == self.num_nodes
+    }
+
+    /// Whether every ordered node pair is connected by a direct circuit in
+    /// at least one slice of the cycle — the full-connectivity property of
+    /// canonical round-robin TO schedules (§2.1).
+    pub fn cycle_covers_all_pairs(&self) -> bool {
+        for a in 0..self.num_nodes {
+            for b in 0..self.num_nodes {
+                if a != b && self.slices_connecting(NodeId(a), NodeId(b)).is_empty() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Total circuits lit in a given slice.
+    pub fn circuits_in_slice(&self, slice: SliceIndex) -> usize {
+        self.table[slice as usize].iter().flatten().count() / 2
+    }
+}
+
+impl fmt::Debug for OpticalSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "OpticalSchedule({} nodes x {} uplinks, {} slices of {}ns, {} circuits)",
+            self.num_nodes,
+            self.uplinks,
+            self.cfg.num_slices,
+            self.cfg.slice_ns,
+            self.circuits.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(slices: u32) -> SliceConfig {
+        SliceConfig::new(1_000, slices, 100)
+    }
+
+    /// 4-node, 1-uplink round-robin over 3 slices (every pair once).
+    fn rr4() -> Vec<Circuit> {
+        // Classic 1-factorization of K4: slices {01,23}, {02,13}, {03,12}.
+        let pairs = [[(0, 1), (2, 3)], [(0, 2), (1, 3)], [(0, 3), (1, 2)]];
+        let mut cs = vec![];
+        for (ts, slice) in pairs.iter().enumerate() {
+            for &(a, b) in slice {
+                cs.push(Circuit::in_slice(NodeId(a), PortId(0), NodeId(b), PortId(0), ts as u32));
+            }
+        }
+        cs
+    }
+
+    #[test]
+    fn builds_and_queries_round_robin() {
+        let s = OpticalSchedule::build(cfg(3), 4, 1, &rr4()).unwrap();
+        assert_eq!(s.peer(NodeId(0), PortId(0), 0), Some((NodeId(1), PortId(0))));
+        assert_eq!(s.peer(NodeId(1), PortId(0), 0), Some((NodeId(0), PortId(0))));
+        assert_eq!(s.port_to(NodeId(0), NodeId(3), 2), Some(PortId(0)));
+        assert_eq!(s.port_to(NodeId(0), NodeId(3), 0), None);
+        assert_eq!(s.slices_connecting(NodeId(0), NodeId(2)), vec![1]);
+        assert!(s.cycle_covers_all_pairs());
+        assert_eq!(s.circuits_in_slice(0), 2);
+    }
+
+    #[test]
+    fn first_slice_connecting_wraps() {
+        let s = OpticalSchedule::build(cfg(3), 4, 1, &rr4()).unwrap();
+        // 0<->1 only in slice 0; from slice 1 we wait 2 slices.
+        assert_eq!(s.first_slice_connecting(NodeId(0), NodeId(1), 1), Some((0, 2)));
+        assert_eq!(s.first_slice_connecting(NodeId(0), NodeId(1), 0), Some((0, 0)));
+    }
+
+    #[test]
+    fn held_circuit_occupies_all_slices() {
+        let c = vec![Circuit::held(NodeId(0), PortId(0), NodeId(1), PortId(0))];
+        let s = OpticalSchedule::build(cfg(3), 2, 1, &c).unwrap();
+        for ts in 0..3 {
+            assert_eq!(s.port_to(NodeId(0), NodeId(1), ts), Some(PortId(0)));
+        }
+    }
+
+    #[test]
+    fn port_conflict_rejected() {
+        let cs = vec![
+            Circuit::in_slice(NodeId(0), PortId(0), NodeId(1), PortId(0), 0),
+            Circuit::in_slice(NodeId(0), PortId(0), NodeId(2), PortId(0), 0),
+        ];
+        let err = OpticalSchedule::build(cfg(3), 3, 1, &cs).unwrap_err();
+        assert!(matches!(err, ScheduleError::PortConflict { node: NodeId(0), .. }));
+    }
+
+    #[test]
+    fn held_circuit_conflicts_with_sliced() {
+        let cs = vec![
+            Circuit::held(NodeId(0), PortId(0), NodeId(1), PortId(0)),
+            Circuit::in_slice(NodeId(0), PortId(0), NodeId(2), PortId(0), 1),
+        ];
+        assert!(OpticalSchedule::build(cfg(3), 3, 1, &cs).is_err());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let c = Circuit::in_slice(NodeId(0), PortId(0), NodeId(9), PortId(0), 0);
+        assert!(matches!(
+            OpticalSchedule::build(cfg(3), 4, 1, &[c]).unwrap_err(),
+            ScheduleError::NodeOutOfRange { .. }
+        ));
+        let c = Circuit::in_slice(NodeId(0), PortId(5), NodeId(1), PortId(0), 0);
+        assert!(matches!(
+            OpticalSchedule::build(cfg(3), 4, 1, &[c]).unwrap_err(),
+            ScheduleError::PortOutOfRange { .. }
+        ));
+        let c = Circuit::in_slice(NodeId(0), PortId(0), NodeId(1), PortId(0), 7);
+        assert!(matches!(
+            OpticalSchedule::build(cfg(3), 4, 1, &[c]).unwrap_err(),
+            ScheduleError::SliceOutOfRange { .. }
+        ));
+        let c = Circuit::in_slice(NodeId(1), PortId(0), NodeId(1), PortId(0), 0);
+        assert!(matches!(
+            OpticalSchedule::build(cfg(3), 4, 1, &[c]).unwrap_err(),
+            ScheduleError::Loopback { .. }
+        ));
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        let s = OpticalSchedule::build(cfg(3), 4, 1, &rr4()).unwrap();
+        // Each individual slice of a 1-uplink round robin is a perfect
+        // matching — not connected for 4 nodes.
+        assert!(!s.slice_is_connected(0));
+        // A ring over 2 uplinks is connected.
+        let ring: Vec<Circuit> = (0..4)
+            .map(|i| {
+                Circuit::held(NodeId(i), PortId(1), NodeId((i + 1) % 4), PortId(0))
+            })
+            .collect();
+        let s = OpticalSchedule::build(cfg(1), 4, 2, &ring).unwrap();
+        assert!(s.slice_is_connected(0));
+    }
+
+    #[test]
+    fn neighbors_lists_lit_ports() {
+        let s = OpticalSchedule::build(cfg(3), 4, 1, &rr4()).unwrap();
+        assert_eq!(s.neighbors(NodeId(0), 1), vec![(PortId(0), NodeId(2))]);
+        let empty = OpticalSchedule::empty(cfg(3), 4, 1);
+        assert!(empty.neighbors(NodeId(0), 0).is_empty());
+        assert!(!empty.cycle_covers_all_pairs());
+    }
+}

@@ -1,0 +1,336 @@
+//! TDTCP-style time-division TCP (§6 Case II, related work).
+//!
+//! TDTCP (SIGCOMM'22) targets exactly the pathology the paper's Fig. 9
+//! exposes: in a reconfigurable network one connection alternates between
+//! *topologies* (here: the optical circuit and the electrical fabric) with
+//! very different bandwidth-delay products, and a single congestion window
+//! both mis-sizes each path and collapses under the reordering their
+//! latency gap creates. TDTCP keeps **per-topology congestion state**: each
+//! topology has its own `cwnd`/`ssthresh`, the sender uses the state of the
+//! topology it is currently transmitting into, and a loss signal only
+//! penalizes the topology that carried it.
+//!
+//! The model reuses the [`crate::tcp`] machinery per topology and adds the
+//! state-switching layer; the receiver side is the standard
+//! [`crate::tcp::TcpReceiver`]. OpenOptics' multi-architecture support is
+//! what makes evaluating such a protocol possible outside the Etalon
+//! emulator (§6: "researchers can ... evaluate newly designed protocols").
+
+use crate::tcp::TcpConfig;
+use openoptics_sim::time::SimTime;
+
+/// Per-topology congestion state.
+#[derive(Debug, Clone)]
+struct TopoState {
+    cwnd: f64,
+    ssthresh: f64,
+    dupacks: u32,
+    /// NewReno-style recovery point for this topology.
+    recover: Option<u64>,
+}
+
+/// A TDTCP sender: one connection, `k` topology states.
+#[derive(Debug)]
+pub struct TdTcpSender {
+    cfg: TcpConfig,
+    states: Vec<TopoState>,
+    /// Topology currently carrying transmissions.
+    active: usize,
+    /// Instant of the last topology switch, if any; duplicate ACKs within
+    /// [`Self::REORDER_GRACE_NS`] of it are attributed to cross-topology
+    /// reordering rather than loss (TDTCP's loss disambiguation).
+    last_switch: Option<SimTime>,
+    next_seq: u64,
+    cum_acked: u64,
+    total: Option<u64>,
+    pending_retx: Option<u64>,
+    last_progress: SimTime,
+    /// Fast retransmits fired (all topologies).
+    pub fast_retransmits: u64,
+    /// RTO events fired.
+    pub timeouts: u64,
+    /// Topology switches observed.
+    pub topology_switches: u64,
+    /// Segments handed to the network.
+    pub segments_sent: u64,
+}
+
+impl TdTcpSender {
+    /// A sender over `topologies` distinct paths for `total` bytes
+    /// (`None` = unbounded).
+    pub fn new(cfg: TcpConfig, topologies: usize, total: Option<u64>, now: SimTime) -> Self {
+        assert!(topologies >= 1);
+        let st = TopoState {
+            cwnd: cfg.init_cwnd as f64,
+            ssthresh: cfg.max_cwnd as f64,
+            dupacks: 0,
+            recover: None,
+        };
+        TdTcpSender {
+            states: vec![st; topologies],
+            cfg,
+            active: 0,
+            last_switch: None,
+            next_seq: 0,
+            cum_acked: 0,
+            total,
+            pending_retx: None,
+            last_progress: now,
+            fast_retransmits: 0,
+            timeouts: 0,
+            topology_switches: 0,
+            segments_sent: 0,
+        }
+    }
+
+    /// In-flight packets from before a topology switch interleave with the
+    /// new path's for about one path-alternation period; dupacks within
+    /// this window of a switch are reordering, not loss.
+    pub const REORDER_GRACE_NS: u64 = 200_000;
+
+    /// Tell the sender which topology currently carries its packets (the
+    /// network-signaled topology id of TDTCP). Switching topologies resets
+    /// the new topology's dupack counter and opens a reordering grace
+    /// window — dupacks across the switch are expected, not a loss signal.
+    pub fn set_topology(&mut self, topo: usize, now: SimTime) {
+        if topo != self.active {
+            self.active = topo;
+            self.states[topo].dupacks = 0;
+            self.last_switch = Some(now);
+            self.topology_switches += 1;
+        }
+    }
+
+    /// The active topology id.
+    pub fn topology(&self) -> usize {
+        self.active
+    }
+
+    /// Bytes in flight.
+    pub fn inflight(&self) -> u64 {
+        self.next_seq - self.cum_acked
+    }
+
+    /// The active topology's congestion window, bytes.
+    pub fn cwnd(&self) -> u64 {
+        self.states[self.active].cwnd as u64
+    }
+
+    /// The congestion window of topology `t`, bytes.
+    pub fn cwnd_of(&self, t: usize) -> u64 {
+        self.states[t].cwnd as u64
+    }
+
+    /// Whether all application bytes are acknowledged.
+    pub fn done(&self) -> bool {
+        match self.total {
+            Some(t) => self.cum_acked >= t,
+            None => false,
+        }
+    }
+
+    fn segment_len_at(&self, seq: u64) -> u32 {
+        match self.total {
+            Some(t) => ((t - seq).min(self.cfg.mss as u64)) as u32,
+            None => self.cfg.mss,
+        }
+    }
+
+    /// Next segment to transmit under the active topology's window.
+    pub fn next_segment(&mut self, _now: SimTime) -> Option<(u64, u32)> {
+        if let Some(seq) = self.pending_retx.take() {
+            self.segments_sent += 1;
+            return Some((seq, self.segment_len_at(seq)));
+        }
+        if self.done() {
+            return None;
+        }
+        if let Some(t) = self.total {
+            if self.next_seq >= t {
+                return None;
+            }
+        }
+        if self.inflight() + self.cfg.mss as u64 > self.cwnd() {
+            return None;
+        }
+        let seq = self.next_seq;
+        let len = self.segment_len_at(seq);
+        self.next_seq += len as u64;
+        self.segments_sent += 1;
+        Some((seq, len))
+    }
+
+    /// Process a cumulative ACK attributed to the active topology.
+    /// Returns `true` when new data may be sendable.
+    pub fn on_ack(&mut self, cum_ack: u64, now: SimTime) -> bool {
+        let cfg = self.cfg;
+        let inflight = self.next_seq - self.cum_acked;
+        let st = &mut self.states[self.active];
+        if cum_ack > self.cum_acked {
+            let newly = cum_ack - self.cum_acked;
+            self.cum_acked = cum_ack;
+            self.last_progress = now;
+            st.dupacks = 0;
+            match st.recover {
+                Some(r) if cum_ack <= r => {
+                    self.pending_retx = Some(cum_ack);
+                }
+                _ => {
+                    st.recover = None;
+                    if st.cwnd < st.ssthresh {
+                        st.cwnd += newly as f64;
+                    } else {
+                        st.cwnd += (cfg.mss as f64) * (newly as f64 / st.cwnd);
+                    }
+                    st.cwnd = st.cwnd.min(cfg.max_cwnd as f64);
+                }
+            }
+            true
+        } else if cum_ack == self.cum_acked {
+            // An ACK below cum_acked is merely stale (reordered), not a
+            // duplicate: only exact duplicates count toward fast retransmit.
+            // Within the post-switch grace window, dupacks are attributed
+            // to cross-topology reordering and ignored.
+            if let Some(sw) = self.last_switch {
+                if now.saturating_since(sw) < Self::REORDER_GRACE_NS {
+                    return false;
+                }
+            }
+            if inflight > 0 {
+                st.dupacks += 1;
+                if st.dupacks == cfg.dupack_threshold && st.recover.is_none() {
+                    // Only the topology that carried the (apparent) loss
+                    // pays for it; other topologies keep their windows.
+                    self.fast_retransmits += 1;
+                    st.ssthresh = (inflight as f64 / 2.0).max(2.0 * cfg.mss as f64);
+                    st.cwnd = st.ssthresh;
+                    st.recover = Some(self.next_seq.saturating_sub(1));
+                    self.pending_retx = Some(self.cum_acked);
+                }
+            }
+            false
+        } else {
+            // Stale ACK: ignore.
+            false
+        }
+    }
+
+    /// RTO: collapse only the active topology and retransmit from the hole.
+    pub fn maybe_timeout(&mut self, now: SimTime) -> bool {
+        if self.inflight() == 0 || self.done() {
+            return false;
+        }
+        if now.saturating_since(self.last_progress) < self.cfg.rto_ns {
+            return false;
+        }
+        self.timeouts += 1;
+        let st = &mut self.states[self.active];
+        st.ssthresh = (st.cwnd / 2.0).max(2.0 * self.cfg.mss as f64);
+        st.cwnd = self.cfg.mss as f64;
+        st.recover = None;
+        st.dupacks = 0;
+        self.pending_retx = Some(self.cum_acked);
+        self.last_progress = now;
+        true
+    }
+
+    /// RTO deadline.
+    pub fn rto_deadline(&self) -> SimTime {
+        self.last_progress + self.cfg.rto_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sender(topos: usize) -> TdTcpSender {
+        TdTcpSender::new(TcpConfig::default(), topos, Some(10_000_000), SimTime::ZERO)
+    }
+
+    #[test]
+    fn windows_are_per_topology() {
+        let mut s = sender(2);
+        // Fill the initial window on topology 0, then suffer dupacks.
+        while s.next_segment(SimTime::ZERO).is_some() {}
+        for t in 0..3 {
+            s.on_ack(0, SimTime::from_us(10 + t));
+        }
+        assert_eq!(s.fast_retransmits, 1);
+        let halved = s.cwnd_of(0);
+        assert!(halved < TcpConfig::default().init_cwnd);
+        // Topology 1's window is untouched.
+        assert_eq!(s.cwnd_of(1), TcpConfig::default().init_cwnd);
+        // Switching to topology 1 restores full sending capacity.
+        s.set_topology(1, SimTime::from_ms(1));
+        assert_eq!(s.cwnd(), TcpConfig::default().init_cwnd);
+        assert_eq!(s.topology_switches, 1);
+    }
+
+    #[test]
+    fn switch_grace_absorbs_reordering_dupacks() {
+        let mut s = sender(2);
+        while s.next_segment(SimTime::ZERO).is_some() {}
+        // Two dupacks on topology 0 (threshold 3 not yet reached)...
+        s.on_ack(0, SimTime::from_us(1));
+        s.on_ack(0, SimTime::from_us(2));
+        // ...switch away and back: the count restarts and a reordering
+        // grace window opens.
+        s.set_topology(1, SimTime::from_ms(1));
+        s.set_topology(0, SimTime::from_ms(1));
+        // Dupacks inside the grace window are reordering, not loss.
+        for t in 0..5 {
+            s.on_ack(0, SimTime::from_ns(1_000_000 + 10_000 * t));
+        }
+        assert_eq!(s.fast_retransmits, 0, "in-grace dupacks must be absorbed");
+        // Past the grace window, persistent dupacks mean real loss.
+        let after = 1_000_000 + TdTcpSender::REORDER_GRACE_NS;
+        for t in 0..3 {
+            s.on_ack(0, SimTime::from_ns(after + 1_000 * t));
+        }
+        assert_eq!(s.fast_retransmits, 1);
+    }
+
+    #[test]
+    fn growth_applies_to_active_topology() {
+        let mut s = sender(2);
+        let mut sent = 0;
+        while s.next_segment(SimTime::ZERO).is_some() {
+            sent += 1;
+        }
+        assert!(sent > 0);
+        let acked = s.next_seq;
+        s.set_topology(1, SimTime::from_ms(1));
+        s.on_ack(acked, SimTime::from_us(50));
+        assert!(s.cwnd_of(1) > TcpConfig::default().init_cwnd, "active topo grows");
+        assert_eq!(s.cwnd_of(0), TcpConfig::default().init_cwnd, "idle topo untouched");
+    }
+
+    #[test]
+    fn completes_like_plain_tcp() {
+        // Window-limited send/ack rounds until every byte is acknowledged.
+        let total = 100_000u64;
+        let mut s = TdTcpSender::new(TcpConfig::default(), 2, Some(total), SimTime::ZERO);
+        let mut now = 0u64;
+        let mut rounds = 0;
+        while !s.done() {
+            while s.next_segment(SimTime::from_us(now)).is_some() {}
+            now += 100;
+            s.on_ack(s.next_seq, SimTime::from_us(now));
+            rounds += 1;
+            assert!(rounds < 100, "no forward progress");
+        }
+        assert!(s.done());
+        assert!(rounds > 1, "test should exercise multiple windows");
+    }
+
+    #[test]
+    fn timeout_penalizes_only_active() {
+        let mut s = sender(2);
+        while s.next_segment(SimTime::ZERO).is_some() {}
+        s.set_topology(1, SimTime::from_ms(1));
+        assert!(s.maybe_timeout(SimTime::from_ms(6)));
+        assert_eq!(s.cwnd_of(1), TcpConfig::default().mss as u64);
+        assert_eq!(s.cwnd_of(0), TcpConfig::default().init_cwnd);
+    }
+}

@@ -1,0 +1,277 @@
+//! vma-style segment-queue sockets with flow pausing (§5.2).
+//!
+//! libvma links sockets to a user-space stack where OpenOptics intercepts
+//! send calls: data sits in per-destination segment queues, and a paused
+//! destination simply stops draining — "suspending and resuming
+//! applications require no additional memory buffers beyond the segment
+//! queue, as applications are naturally pushed back by the socket interface
+//! when the segment queue reaches its capacity."
+//!
+//! Two pause mechanisms exist:
+//! * **flow pausing** — a destination is held until its circuit opens
+//!   (driven by circuit-notification messages);
+//! * **push-back blocks** — a destination is embargoed until a wall-clock
+//!   deadline (driven by push-back broadcasts).
+
+use openoptics_proto::{FlowId, HostId, NodeId};
+use openoptics_sim::bytequeue::ByteQueue;
+use openoptics_sim::time::SimTime;
+use std::collections::HashMap;
+
+/// One queued application segment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// Flow the segment belongs to.
+    pub flow: FlowId,
+    /// Destination host.
+    pub dst_host: HostId,
+    /// Payload bytes.
+    pub bytes: u32,
+    /// Stream sequence of the first byte.
+    pub seq: u64,
+}
+
+/// Per-destination pause state.
+#[derive(Clone, Copy, Debug, Default)]
+struct DstState {
+    /// Flow-pausing gate: destination held until explicitly resumed.
+    paused: bool,
+    /// Push-back embargo deadline (send allowed at or after this instant).
+    blocked_until: SimTime,
+}
+
+/// The host's user-space send stack: one segment queue per destination
+/// endpoint node (ToR).
+#[derive(Debug)]
+pub struct VmaStack {
+    queues: HashMap<NodeId, ByteQueue<Segment>>,
+    state: HashMap<NodeId, DstState>,
+    queue_capacity: u64,
+    /// Round-robin cursor over destinations for fair draining.
+    rr_cursor: usize,
+    /// Segments rejected because the segment queue was full (application
+    /// push-back events).
+    pub app_pushback_events: u64,
+}
+
+impl VmaStack {
+    /// A stack whose per-destination segment queues hold `queue_capacity`
+    /// bytes (the socket buffer).
+    pub fn new(queue_capacity: u64) -> Self {
+        VmaStack {
+            queues: HashMap::new(),
+            state: HashMap::new(),
+            queue_capacity,
+            rr_cursor: 0,
+            app_pushback_events: 0,
+        }
+    }
+
+    /// Enqueue an application segment toward `dst`. `Err` is the socket
+    /// pushing back on the application (queue full) — the caller should
+    /// retry after draining.
+    pub fn send(&mut self, dst: NodeId, seg: Segment) -> Result<(), Segment> {
+        let cap = self.queue_capacity;
+        let q = self.queues.entry(dst).or_insert_with(|| ByteQueue::new(cap));
+        let bytes = seg.bytes;
+        q.push(bytes, seg).inspect_err(|_s| {
+            self.app_pushback_events += 1;
+        })
+    }
+
+    /// Whether a segment of `bytes` toward `dst` would be accepted.
+    pub fn would_accept(&self, dst: NodeId, bytes: u32) -> bool {
+        self.queues.get(&dst).map(|q| q.would_fit(bytes)).unwrap_or(bytes as u64 <= self.queue_capacity)
+    }
+
+    /// Flow pausing: hold all traffic toward `dst` (until [`Self::resume`]).
+    pub fn pause(&mut self, dst: NodeId) {
+        self.state.entry(dst).or_default().paused = true;
+    }
+
+    /// Release a flow-pausing hold.
+    pub fn resume(&mut self, dst: NodeId) {
+        self.state.entry(dst).or_default().paused = false;
+    }
+
+    /// Push-back: embargo `dst` until `deadline`.
+    pub fn block_until(&mut self, dst: NodeId, deadline: SimTime) {
+        let s = self.state.entry(dst).or_default();
+        if deadline > s.blocked_until {
+            s.blocked_until = deadline;
+        }
+    }
+
+    /// Whether `dst` may be drained at `now`.
+    pub fn sendable(&self, dst: NodeId, now: SimTime) -> bool {
+        match self.state.get(&dst) {
+            Some(s) => !s.paused && now >= s.blocked_until,
+            None => true,
+        }
+    }
+
+    /// Pop the next segment to transmit, round-robin across sendable
+    /// destinations. Returns the destination node alongside the segment.
+    pub fn pop_next(&mut self, now: SimTime) -> Option<(NodeId, Segment)> {
+        let mut dsts: Vec<NodeId> =
+            self.queues.iter().filter(|(_, q)| !q.is_empty()).map(|(d, _)| *d).collect();
+        if dsts.is_empty() {
+            return None;
+        }
+        dsts.sort_unstable(); // determinism
+        let n = dsts.len();
+        for i in 0..n {
+            let dst = dsts[(self.rr_cursor + i) % n];
+            if !self.sendable(dst, now) {
+                continue;
+            }
+            if let Some((_, seg)) = self.queues.get_mut(&dst).and_then(|q| q.pop()) {
+                self.rr_cursor = (self.rr_cursor + i + 1) % n.max(1);
+                return Some((dst, seg));
+            }
+        }
+        None
+    }
+
+    /// Bytes queued toward `dst`.
+    pub fn queued_bytes(&self, dst: NodeId) -> u64 {
+        self.queues.get(&dst).map(|q| q.bytes()).unwrap_or(0)
+    }
+
+    /// Total queued bytes across destinations.
+    pub fn total_queued(&self) -> u64 {
+        self.queues.values().map(|q| q.bytes()).sum()
+    }
+
+    /// Per-destination queued bytes snapshot — the host's contribution to
+    /// traffic collection (§5.2: "packets buffered in separate queues
+    /// inside vma based on the destination switch").
+    pub fn queue_snapshot(&self) -> Vec<(NodeId, u64)> {
+        let mut v: Vec<(NodeId, u64)> =
+            self.queues.iter().map(|(d, q)| (*d, q.bytes())).collect();
+        v.sort_unstable_by_key(|(d, _)| *d);
+        v
+    }
+
+    /// Whether any sendable destination has queued data at `now`.
+    pub fn has_sendable(&self, now: SimTime) -> bool {
+        self.queues
+            .iter()
+            .any(|(d, q)| !q.is_empty() && self.sendable(*d, now))
+    }
+
+    /// The earliest push-back embargo expiry among destinations with queued
+    /// data, if every such destination is currently blocked (for engine
+    /// re-scheduling).
+    pub fn next_unblock(&self, now: SimTime) -> Option<SimTime> {
+        self.queues
+            .iter()
+            .filter(|(d, q)| {
+                !q.is_empty()
+                    && !self.sendable(**d, now)
+                    && !self.state.get(d).map(|s| s.paused).unwrap_or(false)
+            })
+            .filter_map(|(d, _)| self.state.get(d).map(|s| s.blocked_until))
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(flow: FlowId, bytes: u32, seq: u64) -> Segment {
+        Segment { flow, dst_host: HostId(9), bytes, seq }
+    }
+
+    #[test]
+    fn fifo_per_destination() {
+        let mut v = VmaStack::new(1_000_000);
+        v.send(NodeId(1), seg(1, 100, 0)).unwrap();
+        v.send(NodeId(1), seg(1, 100, 100)).unwrap();
+        let (d, s) = v.pop_next(SimTime::ZERO).unwrap();
+        assert_eq!(d, NodeId(1));
+        assert_eq!(s.seq, 0);
+        let (_, s2) = v.pop_next(SimTime::ZERO).unwrap();
+        assert_eq!(s2.seq, 100);
+        assert!(v.pop_next(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn round_robin_across_destinations() {
+        let mut v = VmaStack::new(1_000_000);
+        for i in 0..3 {
+            v.send(NodeId(1), seg(1, 100, i * 100)).unwrap();
+            v.send(NodeId(2), seg(2, 100, i * 100)).unwrap();
+        }
+        let mut order = vec![];
+        while let Some((d, _)) = v.pop_next(SimTime::ZERO) {
+            order.push(d.0);
+        }
+        // Alternates between the two destinations.
+        assert_eq!(order, vec![1, 2, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn pause_gates_draining_but_not_queueing() {
+        let mut v = VmaStack::new(1_000_000);
+        v.pause(NodeId(1));
+        v.send(NodeId(1), seg(1, 100, 0)).unwrap();
+        assert!(v.pop_next(SimTime::ZERO).is_none());
+        assert_eq!(v.queued_bytes(NodeId(1)), 100);
+        v.resume(NodeId(1));
+        assert!(v.pop_next(SimTime::ZERO).is_some());
+    }
+
+    #[test]
+    fn pushback_block_expires() {
+        let mut v = VmaStack::new(1_000_000);
+        v.send(NodeId(1), seg(1, 100, 0)).unwrap();
+        v.block_until(NodeId(1), SimTime::from_us(10));
+        assert!(v.pop_next(SimTime::from_us(5)).is_none());
+        assert_eq!(v.next_unblock(SimTime::from_us(5)), Some(SimTime::from_us(10)));
+        assert!(v.pop_next(SimTime::from_us(10)).is_some());
+    }
+
+    #[test]
+    fn block_never_shrinks() {
+        let mut v = VmaStack::new(1_000_000);
+        v.block_until(NodeId(1), SimTime::from_us(10));
+        v.block_until(NodeId(1), SimTime::from_us(5));
+        assert!(!v.sendable(NodeId(1), SimTime::from_us(7)));
+        assert!(v.sendable(NodeId(1), SimTime::from_us(10)));
+    }
+
+    #[test]
+    fn application_pushback_on_full_queue() {
+        let mut v = VmaStack::new(250);
+        v.send(NodeId(1), seg(1, 200, 0)).unwrap();
+        assert!(!v.would_accept(NodeId(1), 100));
+        let rejected = v.send(NodeId(1), seg(1, 100, 200));
+        assert!(rejected.is_err());
+        assert_eq!(v.app_pushback_events, 1);
+        // Draining reopens the socket.
+        v.pop_next(SimTime::ZERO);
+        assert!(v.would_accept(NodeId(1), 100));
+    }
+
+    #[test]
+    fn paused_destination_does_not_starve_others() {
+        let mut v = VmaStack::new(1_000_000);
+        v.send(NodeId(1), seg(1, 100, 0)).unwrap();
+        v.send(NodeId(2), seg(2, 100, 0)).unwrap();
+        v.pause(NodeId(1));
+        let (d, _) = v.pop_next(SimTime::ZERO).unwrap();
+        assert_eq!(d, NodeId(2));
+        assert!(!v.has_sendable(SimTime::ZERO));
+        assert_eq!(v.total_queued(), 100);
+    }
+
+    #[test]
+    fn snapshot_reports_per_destination() {
+        let mut v = VmaStack::new(1_000_000);
+        v.send(NodeId(2), seg(1, 300, 0)).unwrap();
+        v.send(NodeId(1), seg(2, 100, 0)).unwrap();
+        assert_eq!(v.queue_snapshot(), vec![(NodeId(1), 100), (NodeId(2), 300)]);
+    }
+}

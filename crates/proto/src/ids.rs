@@ -1,0 +1,109 @@
+//! Identifier newtypes for network entities.
+//!
+//! OpenOptics calls the electrical devices attached to the optical fabric
+//! *endpoint nodes* — ToR switches in the switch-centric design, host NICs
+//! in the host-centric one (§5). [`NodeId`] identifies such an endpoint;
+//! [`HostId`] identifies a server below a ToR; [`PortId`] an uplink port of
+//! a node facing the optical fabric.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An electrical endpoint node attached to the optical fabric (a ToR or pod
+/// switch, or a NIC in host-centric designs).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Raw index, usable as a dense array key.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A host (server) in the data center. Hosts are numbered globally;
+/// the mapping host → ToR lives in the topology configuration.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HostId(pub u32);
+
+impl HostId {
+    /// Raw index, usable as a dense array key.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "H{}", self.0)
+    }
+}
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// An optical-facing uplink port of an endpoint node (0-based).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PortId(pub u16);
+
+impl PortId {
+    /// Raw index, usable as a dense array key.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A transport flow identifier, unique per run.
+pub type FlowId = u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", NodeId(7)), "N7");
+        assert_eq!(format!("{}", HostId(3)), "H3");
+        assert_eq!(format!("{}", PortId(1)), "p1");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(NodeId(2) < NodeId(10));
+        assert!(PortId(0) < PortId(1));
+    }
+
+    #[test]
+    fn index_round_trip() {
+        assert_eq!(NodeId(9).index(), 9);
+        assert_eq!(HostId(4).index(), 4);
+        assert_eq!(PortId(2).index(), 2);
+    }
+}

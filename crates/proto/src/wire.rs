@@ -1,0 +1,240 @@
+//! Wire codec for control messages.
+//!
+//! The simulated data plane moves [`crate::Packet`] structs, but control
+//! messages get a real byte-level encoding so (a) their sizes charged to
+//! links are honest, and (b) the formats are pinned by round-trip tests the
+//! way a deployable implementation would pin them. Layout is little-endian,
+//! type-tag prefixed:
+//!
+//! ```text
+//! tag u8 | body
+//! 0x01 PushBack       dst u32 | slice u32 | cycle u64
+//! 0x02 CircuitNotify  dst u32 | opens_at u64 | slice u32
+//! 0x03 TrafficReport  from u32 | n u16 | n x (dst u32, bytes u64)
+//! 0x04 OffloadStore   slice u32 | count u32 | bytes u64
+//! 0x05 OffloadReturn  slice u32 | count u32 | bytes u64
+//! ```
+
+use crate::ids::NodeId;
+use crate::message::ControlMsg;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use openoptics_sim::time::SimTime;
+
+/// Errors produced when decoding a control message.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the message was complete.
+    Truncated,
+    /// The leading type tag is not a known message type.
+    UnknownTag(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "control message truncated"),
+            DecodeError::UnknownTag(t) => write!(f, "unknown control message tag {t:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encode a control message to bytes.
+pub fn encode(msg: &ControlMsg) -> Bytes {
+    let mut b = BytesMut::with_capacity(msg.wire_bytes() as usize);
+    match msg {
+        ControlMsg::PushBack { dst, slice, cycle } => {
+            b.put_u8(0x01);
+            b.put_u32_le(dst.0);
+            b.put_u32_le(*slice);
+            b.put_u64_le(*cycle);
+        }
+        ControlMsg::CircuitNotify { dst, opens_at, slice } => {
+            b.put_u8(0x02);
+            b.put_u32_le(dst.0);
+            b.put_u64_le(opens_at.as_ns());
+            b.put_u32_le(*slice);
+        }
+        ControlMsg::TrafficReport { from, volumes } => {
+            b.put_u8(0x03);
+            b.put_u32_le(from.0);
+            b.put_u16_le(volumes.len() as u16);
+            for (dst, bytes) in volumes {
+                b.put_u32_le(dst.0);
+                b.put_u64_le(*bytes);
+            }
+        }
+        ControlMsg::OffloadStore { slice, count, bytes } => {
+            b.put_u8(0x04);
+            b.put_u32_le(*slice);
+            b.put_u32_le(*count);
+            b.put_u64_le(*bytes);
+        }
+        ControlMsg::OffloadReturn { slice, count, bytes } => {
+            b.put_u8(0x05);
+            b.put_u32_le(*slice);
+            b.put_u32_le(*count);
+            b.put_u64_le(*bytes);
+        }
+    }
+    debug_assert_eq!(b.len() as u32, msg.wire_bytes(), "wire_bytes() out of sync with codec");
+    b.freeze()
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Decode a control message from bytes.
+pub fn decode(mut buf: Bytes) -> Result<ControlMsg, DecodeError> {
+    need(&buf, 1)?;
+    let tag = buf.get_u8();
+    match tag {
+        0x01 => {
+            need(&buf, 16)?;
+            Ok(ControlMsg::PushBack {
+                dst: NodeId(buf.get_u32_le()),
+                slice: buf.get_u32_le(),
+                cycle: buf.get_u64_le(),
+            })
+        }
+        0x02 => {
+            need(&buf, 16)?;
+            Ok(ControlMsg::CircuitNotify {
+                dst: NodeId(buf.get_u32_le()),
+                opens_at: SimTime::from_ns(buf.get_u64_le()),
+                slice: buf.get_u32_le(),
+            })
+        }
+        0x03 => {
+            need(&buf, 6)?;
+            let from = NodeId(buf.get_u32_le());
+            let n = buf.get_u16_le() as usize;
+            need(&buf, 12 * n)?;
+            let mut volumes = Vec::with_capacity(n);
+            for _ in 0..n {
+                volumes.push((NodeId(buf.get_u32_le()), buf.get_u64_le()));
+            }
+            Ok(ControlMsg::TrafficReport { from, volumes })
+        }
+        0x04 | 0x05 => {
+            need(&buf, 16)?;
+            let slice = buf.get_u32_le();
+            let count = buf.get_u32_le();
+            let bytes = buf.get_u64_le();
+            Ok(if tag == 0x04 {
+                ControlMsg::OffloadStore { slice, count, bytes }
+            } else {
+                ControlMsg::OffloadReturn { slice, count, bytes }
+            })
+        }
+        other => Err(DecodeError::UnknownTag(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: ControlMsg) {
+        let wire = encode(&msg);
+        assert_eq!(wire.len() as u32, msg.wire_bytes());
+        let back = decode(wire).expect("decode");
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        roundtrip(ControlMsg::PushBack { dst: NodeId(13), slice: 5, cycle: 999 });
+        roundtrip(ControlMsg::CircuitNotify {
+            dst: NodeId(2),
+            opens_at: SimTime::from_us(42),
+            slice: 7,
+        });
+        roundtrip(ControlMsg::TrafficReport {
+            from: NodeId(1),
+            volumes: vec![(NodeId(2), 1024), (NodeId(3), 0), (NodeId(107), u64::MAX)],
+        });
+        roundtrip(ControlMsg::TrafficReport { from: NodeId(0), volumes: vec![] });
+        roundtrip(ControlMsg::OffloadStore { slice: 3, count: 17, bytes: 25_500 });
+        roundtrip(ControlMsg::OffloadReturn { slice: 3, count: 17, bytes: 25_500 });
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let wire = encode(&ControlMsg::PushBack { dst: NodeId(1), slice: 0, cycle: 0 });
+        for cut in 0..wire.len() {
+            let r = decode(wire.slice(0..cut));
+            assert!(r.is_err(), "decode of {cut}-byte prefix should fail");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_detected() {
+        let mut b = BytesMut::new();
+        b.put_u8(0x77);
+        assert_eq!(decode(b.freeze()), Err(DecodeError::UnknownTag(0x77)));
+    }
+
+    #[test]
+    fn truncated_report_vector_detected() {
+        let msg = ControlMsg::TrafficReport {
+            from: NodeId(1),
+            volumes: vec![(NodeId(2), 5), (NodeId(3), 6)],
+        };
+        let wire = encode(&msg);
+        // Cut into the middle of the second (dst, bytes) record.
+        let r = decode(wire.slice(0..wire.len() - 5));
+        assert_eq!(r, Err(DecodeError::Truncated));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_msg() -> impl Strategy<Value = ControlMsg> {
+        prop_oneof![
+            (any::<u32>(), any::<u32>(), any::<u64>())
+                .prop_map(|(d, s, c)| ControlMsg::PushBack { dst: NodeId(d), slice: s, cycle: c }),
+            (any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(d, t, s)| {
+                ControlMsg::CircuitNotify {
+                    dst: NodeId(d),
+                    opens_at: SimTime::from_ns(t),
+                    slice: s,
+                }
+            }),
+            (any::<u32>(), proptest::collection::vec((any::<u32>(), any::<u64>()), 0..20))
+                .prop_map(|(f, v)| ControlMsg::TrafficReport {
+                    from: NodeId(f),
+                    volumes: v.into_iter().map(|(d, b)| (NodeId(d), b)).collect(),
+                }),
+            (any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(s, c, b)| {
+                ControlMsg::OffloadStore { slice: s, count: c, bytes: b }
+            }),
+            (any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(s, c, b)| {
+                ControlMsg::OffloadReturn { slice: s, count: c, bytes: b }
+            }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(msg in arb_msg()) {
+            let wire = encode(&msg);
+            prop_assert_eq!(wire.len() as u32, msg.wire_bytes());
+            prop_assert_eq!(decode(wire)?, msg);
+        }
+
+        #[test]
+        fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = decode(Bytes::from(bytes));
+        }
+    }
+}

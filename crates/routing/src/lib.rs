@@ -1,0 +1,55 @@
+//! # openoptics-routing
+//!
+//! Routing over dynamic optical schedules — the materializations of the
+//! abstract `routing()` API function (Table 1), the `neighbors()` /
+//! `earliest_path()` helpers, and `deploy_routing()`'s compilation of paths
+//! into time-flow-table entries.
+//!
+//! Routing in a TO optical DCN is routing on a **time-expanded graph**
+//! (§2.2): a packet at node *v* in slice *t* may traverse any circuit lit
+//! in slice *t* (arriving within the same slice — transit is far shorter
+//! than a slice) or wait for slice *t+1*. TA architectures are the special
+//! case where every slice looks the same, so classical graph algorithms
+//! apply unchanged.
+//!
+//! TA materializations: [`algos::Direct`], [`algos::Ecmp`], [`algos::Wcmp`],
+//! [`algos::Ksp`].  TO materializations: [`algos::Vlb`],
+//! [`algos::OperaRouting`], [`algos::Ucmp`], [`algos::Hoho`].
+
+pub mod algos;
+pub mod compile;
+pub mod path;
+pub mod timegraph;
+
+pub use compile::{compile, LookupMode, MultipathMode, RouteAction, RouteEntry, RouteMatch};
+pub use path::{Path, PathHop};
+pub use timegraph::{earliest_arrival, earliest_path, EarliestInfo};
+
+use openoptics_fabric::OpticalSchedule;
+use openoptics_proto::NodeId;
+use openoptics_sim::time::SliceIndex;
+
+/// A routing scheme: given the schedule, produce the candidate paths for a
+/// (source, destination, arrival-slice) triple. `arr = None` asks for
+/// slice-agnostic (TA / static) paths.
+pub trait RoutingAlgorithm {
+    /// Human-readable name (used in reports and benchmarks).
+    fn name(&self) -> &'static str;
+
+    /// Candidate paths for packets arriving at `src` in slice `arr` headed
+    /// to `dst`. An empty result means the scheme offers no route (the
+    /// caller may fall back or drop).
+    fn paths(
+        &self,
+        schedule: &OpticalSchedule,
+        src: NodeId,
+        dst: NodeId,
+        arr: Option<SliceIndex>,
+    ) -> Vec<Path>;
+
+    /// Whether this scheme requires source routing (cannot be decomposed
+    /// into independent per-hop lookups — Opera and UCMP, §3).
+    fn requires_source_routing(&self) -> bool {
+        false
+    }
+}

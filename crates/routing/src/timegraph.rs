@@ -1,0 +1,239 @@
+//! Earliest-arrival search on the time-expanded graph.
+//!
+//! The engine behind the `earliest_path()` helper (Table 1) and the UCMP /
+//! HOHO routing schemes. State is `(node, delta)` where `delta` counts
+//! slices elapsed since arrival at the source; transitions are *wait*
+//! (`delta + 1`, same node) and *traverse* (any circuit lit in slice
+//! `arr + delta`, same `delta` — fabric transit is orders of magnitude
+//! shorter than a slice). The search minimizes `(delta, hops)`
+//! lexicographically, i.e. earliest arrival first, fewest hops among those.
+
+use crate::path::{Path, PathHop};
+use openoptics_fabric::OpticalSchedule;
+use openoptics_proto::{NodeId, PortId};
+use openoptics_sim::time::SliceIndex;
+
+/// Result of the earliest-arrival sweep from one source/arrival slice.
+#[derive(Clone, Debug)]
+pub struct EarliestInfo {
+    /// `best[node] = (delta, hops)` — earliest slice offset and the fewest
+    /// hops achieving it; `None` if unreachable within the horizon.
+    pub best: Vec<Option<(u32, u32)>>,
+    /// Predecessor for path reconstruction: `prev[node] =
+    /// (prev_node, port, dep_slice)` on an optimal path.
+    prev: Vec<Option<(NodeId, PortId, SliceIndex)>>,
+    src: NodeId,
+    arr: SliceIndex,
+}
+
+/// Sweep the time-expanded graph from `(src, arr)` out to `max_delta`
+/// slices and `max_hops` hops. `max_delta` defaults sensibly to one full
+/// cycle — waiting longer than a cycle can never improve arrival time on a
+/// periodic schedule.
+pub fn earliest_arrival(
+    schedule: &OpticalSchedule,
+    src: NodeId,
+    arr: SliceIndex,
+    max_hops: u32,
+) -> EarliestInfo {
+    let n = schedule.num_nodes() as usize;
+    let cfg = schedule.slice_config();
+    let max_delta = cfg.num_slices; // a full cycle horizon
+    let mut best: Vec<Option<(u32, u32)>> = vec![None; n];
+    let mut prev: Vec<Option<(NodeId, PortId, SliceIndex)>> = vec![None; n];
+    best[src.index()] = Some((0, 0));
+
+    // Sweep slices in order. Within slice `arr + delta`, any node already
+    // reached at delta' <= delta (it simply waited since) may traverse
+    // circuits lit in that slice; multi-hop within one slice is closed out
+    // by the inner fixpoint (Opera-style same-slice relays). Since deltas
+    // only grow and the per-slice closure is monotone, one forward sweep
+    // computes exact lexicographic (delta, hops) optima.
+    for delta in 0..=max_delta {
+        let slice = cfg.advance(arr, delta);
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for i in 0..n {
+                let Some((d0, h0)) = best[i] else { continue };
+                if d0 > delta || h0 >= max_hops {
+                    continue;
+                }
+                let node = NodeId(i as u32);
+                for (port, peer) in schedule.neighbors(node, slice) {
+                    let cand = (delta, h0 + 1);
+                    let better = match best[peer.index()] {
+                        None => true,
+                        Some(cur) => cand < cur,
+                    };
+                    if better {
+                        best[peer.index()] = Some(cand);
+                        prev[peer.index()] = Some((node, port, slice));
+                        progress = true;
+                    }
+                }
+            }
+        }
+    }
+    EarliestInfo { best, prev, src, arr }
+}
+
+impl EarliestInfo {
+    /// Reconstruct the optimal path to `dst`, if reachable.
+    pub fn path_to(&self, dst: NodeId) -> Option<Path> {
+        self.best[dst.index()]?;
+        let mut hops_rev = Vec::new();
+        let mut at = dst;
+        while at != self.src {
+            let (pnode, port, slice) = self.prev[at.index()]?;
+            hops_rev.push(PathHop { node: pnode, port, dep_slice: Some(slice) });
+            at = pnode;
+        }
+        hops_rev.reverse();
+        Some(Path { src: self.src, dst, arr_slice: Some(self.arr), hops: hops_rev })
+    }
+
+    /// Earliest arrival offset (slices after `arr`) for `dst`.
+    pub fn delta_to(&self, dst: NodeId) -> Option<u32> {
+        self.best[dst.index()].map(|(d, _)| d)
+    }
+
+    /// Hops on the optimal path to `dst`.
+    pub fn hops_to(&self, dst: NodeId) -> Option<u32> {
+        self.best[dst.index()].map(|(_, h)| h)
+    }
+}
+
+/// The `earliest_path()` helper of Table 1: the first path from `src` to
+/// `dst` at or after slice `ts`, within `max_hops`.
+/// ```
+/// use openoptics_routing::earliest_path;
+/// use openoptics_fabric::OpticalSchedule;
+/// use openoptics_proto::NodeId;
+/// use openoptics_sim::time::SliceConfig;
+/// use openoptics_topo::round_robin;
+///
+/// let (circuits, slices) = round_robin(8, 1);
+/// let sched = OpticalSchedule::build(
+///     SliceConfig::new(100_000, slices, 1_000), 8, 1, &circuits,
+/// ).unwrap();
+/// let path = earliest_path(&sched, NodeId(0), NodeId(5), 0, 4).unwrap();
+/// path.validate(&sched).unwrap();
+/// // Multi-hop tours beat waiting for the direct circuit.
+/// assert!(path.slices_waited(&sched) <= sched.first_slice_connecting(
+///     NodeId(0), NodeId(5), 0).unwrap().1);
+/// ```
+pub fn earliest_path(
+    schedule: &OpticalSchedule,
+    src: NodeId,
+    dst: NodeId,
+    ts: SliceIndex,
+    max_hops: u32,
+) -> Option<Path> {
+    earliest_arrival(schedule, src, ts, max_hops).path_to(dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openoptics_fabric::Circuit;
+    use openoptics_sim::time::SliceConfig;
+
+    /// Fig. 2 schedule: ts0 {0-1, 2-3}, ts1 {0-2, 1-3}, ts2 {0-3, 1-2}.
+    fn fig2() -> OpticalSchedule {
+        let pairs = [[(0u32, 1u32), (2, 3)], [(0, 2), (1, 3)], [(0, 3), (1, 2)]];
+        let mut cs = vec![];
+        for (ts, sl) in pairs.iter().enumerate() {
+            for &(a, b) in sl {
+                cs.push(Circuit::in_slice(NodeId(a), PortId(0), NodeId(b), PortId(0), ts as u32));
+            }
+        }
+        OpticalSchedule::build(SliceConfig::new(1_000, 3, 100), 4, 1, &cs).unwrap()
+    }
+
+    #[test]
+    fn fig2_prefers_multi_hop_over_waiting() {
+        // From N0 at ts0 to N3: direct needs delta 2; via N1 arrives delta 1.
+        let p = earliest_path(&fig2(), NodeId(0), NodeId(3), 0, 4).unwrap();
+        p.validate(&fig2()).unwrap();
+        assert_eq!(p.hops.len(), 2);
+        assert_eq!(p.hops[0].dep_slice, Some(0));
+        assert_eq!(p.hops[1].node, NodeId(1));
+        assert_eq!(p.hops[1].dep_slice, Some(1));
+    }
+
+    #[test]
+    fn hop_cap_forces_direct() {
+        // With max_hops = 1, the only option is waiting for ts2.
+        let s = fig2();
+        let p = earliest_path(&s, NodeId(0), NodeId(3), 0, 1).unwrap();
+        p.validate(&s).unwrap();
+        assert_eq!(p.hops.len(), 1);
+        assert_eq!(p.hops[0].dep_slice, Some(2));
+        assert_eq!(p.slices_waited(&s), 2);
+    }
+
+    #[test]
+    fn immediate_neighbor_is_zero_delta() {
+        let info = earliest_arrival(&fig2(), NodeId(0), 0, 4);
+        assert_eq!(info.delta_to(NodeId(1)), Some(0));
+        assert_eq!(info.hops_to(NodeId(1)), Some(1));
+        assert_eq!(info.delta_to(NodeId(0)), Some(0));
+        assert_eq!(info.hops_to(NodeId(0)), Some(0));
+    }
+
+    #[test]
+    fn arrival_slice_shifts_answers() {
+        // From N0 at ts2, N3 is directly connected: delta 0, 1 hop.
+        let info = earliest_arrival(&fig2(), NodeId(0), 2, 4);
+        assert_eq!(info.best[3], Some((0, 1)));
+    }
+
+    #[test]
+    fn multi_hop_within_single_slice() {
+        // Opera-ish: a connected 2-uplink slice; 0->2 needs 2 hops, delta 0.
+        let cs = vec![
+            Circuit::in_slice(NodeId(0), PortId(0), NodeId(1), PortId(0), 0),
+            Circuit::in_slice(NodeId(1), PortId(1), NodeId(2), PortId(1), 0),
+        ];
+        let s =
+            OpticalSchedule::build(SliceConfig::new(1_000, 1, 100), 3, 2, &cs).unwrap();
+        let info = earliest_arrival(&s, NodeId(0), 0, 4);
+        assert_eq!(info.best[2], Some((0, 2)));
+        let p = info.path_to(NodeId(2)).unwrap();
+        p.validate(&s).unwrap();
+        assert_eq!(p.hops.len(), 2);
+        assert_eq!(p.hops[1].dep_slice, Some(0));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        // Node 3 is isolated (no circuits touch it).
+        let cs = vec![Circuit::in_slice(NodeId(0), PortId(0), NodeId(1), PortId(0), 0)];
+        let s =
+            OpticalSchedule::build(SliceConfig::new(1_000, 2, 100), 4, 1, &cs).unwrap();
+        assert!(earliest_path(&s, NodeId(0), NodeId(3), 0, 8).is_none());
+    }
+
+    #[test]
+    fn earliest_matches_schedule_helper_for_direct() {
+        let s = fig2();
+        // For max_hops=1, delta must equal first_slice_connecting's wait.
+        for src in 0..4u32 {
+            for dst in 0..4u32 {
+                if src == dst {
+                    continue;
+                }
+                for arr in 0..3u32 {
+                    let info = earliest_arrival(&s, NodeId(src), arr, 1);
+                    let expect = s.first_slice_connecting(NodeId(src), NodeId(dst), arr);
+                    assert_eq!(
+                        info.delta_to(NodeId(dst)),
+                        expect.map(|(_, wait)| wait),
+                        "src={src} dst={dst} arr={arr}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! A pausable byte-accounted FIFO.
+//!
+//! The primitive beneath both the switch calendar queues (§5.1) and the
+//! host-side vma segment queues (§5.2): items carry a byte length, the queue
+//! tracks total occupancy against a capacity, and the whole queue can be
+//! paused/resumed — the modern-ASIC queue-pausing feature OpenOptics is
+//! built on.
+
+use std::collections::VecDeque;
+
+/// A FIFO of items with byte accounting, a capacity, and a pause gate.
+#[derive(Debug, Clone)]
+pub struct ByteQueue<T> {
+    items: VecDeque<(u32, T)>,
+    bytes: u64,
+    capacity: u64,
+    paused: bool,
+    /// Cumulative bytes ever accepted (for telemetry / bw_usage()).
+    accepted_bytes: u64,
+    /// Cumulative count and bytes rejected for capacity.
+    dropped: u64,
+    dropped_bytes: u64,
+    /// High-water mark of occupancy, for buffer-usage reporting (Table 3).
+    peak_bytes: u64,
+}
+
+impl<T> ByteQueue<T> {
+    /// An empty, unpaused queue with the given byte capacity.
+    pub fn new(capacity: u64) -> Self {
+        ByteQueue {
+            items: VecDeque::new(),
+            bytes: 0,
+            capacity,
+            paused: false,
+            accepted_bytes: 0,
+            dropped: 0,
+            dropped_bytes: 0,
+            peak_bytes: 0,
+        }
+    }
+
+    /// Try to enqueue an item of `len` bytes. Fails (returning the item)
+    /// when it would exceed capacity. Pausing does not affect admission —
+    /// a paused queue still buffers; it just will not release.
+    pub fn push(&mut self, len: u32, item: T) -> Result<(), T> {
+        if self.bytes + len as u64 > self.capacity {
+            self.dropped += 1;
+            self.dropped_bytes += len as u64;
+            return Err(item);
+        }
+        self.bytes += len as u64;
+        self.accepted_bytes += len as u64;
+        self.peak_bytes = self.peak_bytes.max(self.bytes);
+        self.items.push_back((len, item));
+        Ok(())
+    }
+
+    /// Whether an item of `len` bytes would be admitted right now.
+    pub fn would_fit(&self, len: u32) -> bool {
+        self.bytes + len as u64 <= self.capacity
+    }
+
+    /// Dequeue the head item, unless empty or paused.
+    pub fn pop(&mut self) -> Option<(u32, T)> {
+        if self.paused {
+            return None;
+        }
+        self.pop_even_if_paused()
+    }
+
+    /// Dequeue ignoring the pause gate — used when draining a queue for
+    /// offload to a host rather than for transmission.
+    pub fn pop_even_if_paused(&mut self) -> Option<(u32, T)> {
+        let (len, item) = self.items.pop_front()?;
+        self.bytes -= len as u64;
+        Some((len, item))
+    }
+
+    /// Peek the head without dequeuing.
+    pub fn peek(&self) -> Option<&(u32, T)> {
+        self.items.front()
+    }
+
+    /// Pause the queue: `pop` returns `None` until resumed.
+    pub fn pause(&mut self) {
+        self.paused = true;
+    }
+
+    /// Resume the queue.
+    pub fn resume(&mut self) {
+        self.paused = false;
+    }
+
+    /// Whether the queue is paused.
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Current occupancy in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Byte capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Cumulative accepted bytes.
+    pub fn accepted_bytes(&self) -> u64 {
+        self.accepted_bytes
+    }
+
+    /// Count of items rejected for capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Bytes rejected for capacity.
+    pub fn dropped_bytes(&self) -> u64 {
+        self.dropped_bytes
+    }
+
+    /// High-water mark of occupancy since creation (or last reset).
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Reset the high-water mark to the current occupancy.
+    pub fn reset_peak(&mut self) {
+        self.peak_bytes = self.bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_accounting() {
+        let mut q = ByteQueue::new(1000);
+        q.push(100, "a").unwrap();
+        q.push(200, "b").unwrap();
+        assert_eq!(q.bytes(), 300);
+        assert_eq!(q.pop(), Some((100, "a")));
+        assert_eq!(q.pop(), Some((200, "b")));
+        assert_eq!(q.bytes(), 0);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn capacity_rejects_and_counts() {
+        let mut q = ByteQueue::new(250);
+        q.push(100, 1).unwrap();
+        q.push(100, 2).unwrap();
+        assert!(!q.would_fit(100));
+        assert_eq!(q.push(100, 3), Err(3));
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.dropped_bytes(), 100);
+        assert!(q.would_fit(50));
+        q.push(50, 4).unwrap();
+        assert_eq!(q.bytes(), 250);
+    }
+
+    #[test]
+    fn pause_blocks_pop_but_not_push() {
+        let mut q = ByteQueue::new(1000);
+        q.pause();
+        q.push(10, "x").unwrap();
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.len(), 1);
+        q.resume();
+        assert_eq!(q.pop(), Some((10, "x")));
+    }
+
+    #[test]
+    fn pop_even_if_paused_bypasses_gate() {
+        let mut q = ByteQueue::new(1000);
+        q.pause();
+        q.push(10, "x").unwrap();
+        assert_eq!(q.pop_even_if_paused(), Some((10, "x")));
+        assert_eq!(q.bytes(), 0);
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut q = ByteQueue::new(1000);
+        q.push(400, ()).unwrap();
+        q.push(300, ()).unwrap();
+        q.pop();
+        assert_eq!(q.peak_bytes(), 700);
+        q.reset_peak();
+        assert_eq!(q.peak_bytes(), 300);
+    }
+
+    #[test]
+    fn accepted_bytes_accumulates() {
+        let mut q = ByteQueue::new(100);
+        q.push(60, ()).unwrap();
+        q.pop();
+        q.push(60, ()).unwrap();
+        assert_eq!(q.accepted_bytes(), 120);
+    }
+}

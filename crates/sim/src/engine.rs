@@ -1,0 +1,111 @@
+//! Generic event-loop driver.
+//!
+//! A [`World`] owns all simulation state and interprets events; [`run`]
+//! repeatedly pops the earliest event and hands it to the world together
+//! with the queue so handlers can schedule follow-ups. Time never flows
+//! backwards: scheduling an event in the past is a logic error and panics in
+//! debug builds.
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// Simulation state machine: interprets events of type `Self::Event`.
+pub trait World {
+    /// The event alphabet of this world.
+    type Event;
+
+    /// Handle one event at instant `now`, scheduling any follow-up events on
+    /// `queue`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Drain events until the queue empties or the next event fires after
+/// `until` (events at exactly `until` are executed). Returns the number of
+/// events executed and the timestamp of the last executed event.
+pub fn run<W: World>(
+    world: &mut W,
+    queue: &mut EventQueue<W::Event>,
+    until: SimTime,
+) -> (u64, SimTime) {
+    run_while(world, queue, until, |_| true)
+}
+
+/// Like [`run`], but additionally stops (without executing further events)
+/// once `keep_going` returns `false` for the world after an event.
+pub fn run_while<W: World>(
+    world: &mut W,
+    queue: &mut EventQueue<W::Event>,
+    until: SimTime,
+    mut keep_going: impl FnMut(&W) -> bool,
+) -> (u64, SimTime) {
+    let mut executed = 0u64;
+    let mut last = SimTime::ZERO;
+    while let Some(t) = queue.peek_time() {
+        if t > until {
+            break;
+        }
+        let (now, ev) = queue.pop().expect("peeked event vanished");
+        debug_assert!(now >= last, "event queue delivered time travel: {now} < {last}");
+        world.handle(now, ev, queue);
+        executed += 1;
+        last = now;
+        if !keep_going(world) {
+            break;
+        }
+    }
+    (executed, last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A world that counts down: each event schedules the next one 10 ns later.
+    struct Countdown {
+        remaining: u32,
+        fired_at: Vec<SimTime>,
+    }
+
+    impl World for Countdown {
+        type Event = ();
+        fn handle(&mut self, now: SimTime, _: (), q: &mut EventQueue<()>) {
+            self.fired_at.push(now);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                q.schedule_after(now, 10, ());
+            }
+        }
+    }
+
+    #[test]
+    fn runs_chain_to_completion() {
+        let mut w = Countdown { remaining: 4, fired_at: vec![] };
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        let (n, last) = run(&mut w, &mut q, SimTime::from_secs(1));
+        assert_eq!(n, 5);
+        assert_eq!(last, SimTime::from_ns(40));
+        assert_eq!(w.fired_at.len(), 5);
+    }
+
+    #[test]
+    fn horizon_is_inclusive() {
+        let mut w = Countdown { remaining: 100, fired_at: vec![] };
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        let (n, last) = run(&mut w, &mut q, SimTime::from_ns(30));
+        assert_eq!(n, 4); // events at 0, 10, 20, 30
+        assert_eq!(last, SimTime::from_ns(30));
+        // The event at 40 ns remains queued.
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(40)));
+    }
+
+    #[test]
+    fn run_while_stops_on_predicate() {
+        let mut w = Countdown { remaining: 100, fired_at: vec![] };
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        let (n, _) = run_while(&mut w, &mut q, SimTime::from_secs(1), |w| w.fired_at.len() < 3);
+        assert_eq!(n, 3);
+    }
+}

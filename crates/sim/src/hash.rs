@@ -1,0 +1,92 @@
+//! Stable hashing for multipath selection.
+//!
+//! The time-flow table supports per-flow multipath via five-tuple hashing
+//! and per-packet multipath via ingress-timestamp hashing (§3). Switch
+//! ASICs use fixed hardware hash functions; we mirror that with an explicit
+//! FNV-1a so results are stable across Rust releases and platforms (the
+//! standard library hasher is deliberately unstable).
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// FNV-1a over an arbitrary byte string.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Hash a flow five-tuple (we identify flows by `(src node, dst node,
+/// flow id)` — the simulation's equivalent of the IP/port five-tuple).
+#[inline]
+pub fn flow_hash(src: u32, dst: u32, flow: u64) -> u64 {
+    let mut buf = [0u8; 16];
+    buf[0..4].copy_from_slice(&src.to_le_bytes());
+    buf[4..8].copy_from_slice(&dst.to_le_bytes());
+    buf[8..16].copy_from_slice(&flow.to_le_bytes());
+    fnv1a(&buf)
+}
+
+/// Hash an ingress timestamp with a per-packet sequence salt, used for
+/// packet-level multipath (packet spraying).
+#[inline]
+pub fn packet_hash(ingress_ns: u64, salt: u64) -> u64 {
+    let mut buf = [0u8; 16];
+    buf[0..8].copy_from_slice(&ingress_ns.to_le_bytes());
+    buf[8..16].copy_from_slice(&salt.to_le_bytes());
+    fnv1a(&buf)
+}
+
+/// Reduce a hash to an index in `0..n` with multiply-shift (avoids the
+/// modulo bias of `h % n` for non-power-of-two `n`).
+#[inline]
+pub fn bucket(h: u64, n: usize) -> usize {
+    debug_assert!(n > 0);
+    ((h as u128 * n as u128) >> 64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn flow_hash_is_stable_and_sensitive() {
+        let h = flow_hash(1, 2, 3);
+        assert_eq!(h, flow_hash(1, 2, 3));
+        assert_ne!(h, flow_hash(2, 1, 3));
+        assert_ne!(h, flow_hash(1, 2, 4));
+    }
+
+    #[test]
+    fn bucket_in_range_and_spread() {
+        let n = 7;
+        let mut counts = vec![0usize; n];
+        for i in 0..7000u64 {
+            let b = bucket(packet_hash(i * 17, i), n);
+            assert!(b < n);
+            counts[b] += 1;
+        }
+        // Each bucket should get roughly 1000 +- 20%.
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "skewed bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn bucket_single() {
+        assert_eq!(bucket(u64::MAX, 1), 0);
+        assert_eq!(bucket(0, 1), 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Link bandwidth and serialization-time arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A link bandwidth, stored in bits per second.
+///
+/// The conversions here are the ones the paper leans on for its guardband
+/// arithmetic: e.g. the 725 B queue-occupancy estimation error "translates
+/// to 58 ns delay under 100 Gbps bandwidth" (§7) — that is
+/// `Bandwidth::gbps(100).tx_time_ns(725) == 58`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Bandwidth(pub u64);
+
+impl Bandwidth {
+    /// From gigabits per second.
+    #[inline]
+    pub const fn gbps(g: u64) -> Self {
+        Bandwidth(g * 1_000_000_000)
+    }
+
+    /// From megabits per second.
+    #[inline]
+    pub const fn mbps(m: u64) -> Self {
+        Bandwidth(m * 1_000_000)
+    }
+
+    /// Raw bits per second.
+    #[inline]
+    pub const fn bps(self) -> u64 {
+        self.0
+    }
+
+    /// Bandwidth as fractional Gbps (for reporting).
+    #[inline]
+    pub fn as_gbps_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time to serialize `bytes` onto the wire, in ns, rounded to nearest.
+    /// Uses 128-bit intermediates so multi-gigabyte transfers don't overflow.
+    #[inline]
+    pub fn tx_time_ns(self, bytes: u64) -> u64 {
+        debug_assert!(self.0 > 0);
+        ((bytes as u128 * 8 * 1_000_000_000 + self.0 as u128 / 2) / self.0 as u128) as u64
+    }
+
+    /// Bytes transmittable in `ns` nanoseconds at this rate (floor).
+    #[inline]
+    pub fn bytes_in_ns(self, ns: u64) -> u64 {
+        (self.0 as u128 * ns as u128 / 8 / 1_000_000_000) as u64
+    }
+
+    /// Scale the bandwidth by a rational factor `num/den` (e.g. rate limits).
+    #[inline]
+    pub fn scale(self, num: u64, den: u64) -> Bandwidth {
+        Bandwidth((self.0 as u128 * num as u128 / den as u128) as u64)
+    }
+}
+
+impl fmt::Debug for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.1}Gbps", self.as_gbps_f64())
+        } else {
+            write!(f, "{:.1}Mbps", self.0 as f64 / 1e6)
+        }
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_times_match_paper_arithmetic() {
+        // §7: 725 B at 100 Gbps is 58 ns.
+        assert_eq!(Bandwidth::gbps(100).tx_time_ns(725), 58);
+        // A 1500 B MTU frame at 100 Gbps is 120 ns.
+        assert_eq!(Bandwidth::gbps(100).tx_time_ns(1500), 120);
+        // At 10 Gbps it is 1.2 us.
+        assert_eq!(Bandwidth::gbps(10).tx_time_ns(1500), 1200);
+    }
+
+    #[test]
+    fn bytes_in_interval() {
+        // §A: line-rate drain per 50 ns update interval at 100 Gbps = 625 B.
+        assert_eq!(Bandwidth::gbps(100).bytes_in_ns(50), 625);
+        // One full 2 us slice at 100 Gbps carries 25 kB.
+        assert_eq!(Bandwidth::gbps(100).bytes_in_ns(2_000), 25_000);
+    }
+
+    #[test]
+    fn no_overflow_on_large_transfers() {
+        // 20 MB at 100 Gbps = 1.6 ms.
+        let t = Bandwidth::gbps(100).tx_time_ns(20_000_000);
+        assert_eq!(t, 1_600_000);
+        // 1 TB at 1 Mbps doesn't overflow.
+        let t = Bandwidth::mbps(1).tx_time_ns(1_000_000_000_000);
+        assert_eq!(t, 8_000_000_000_000_000);
+    }
+
+    #[test]
+    fn scaling() {
+        assert_eq!(Bandwidth::gbps(100).scale(1, 10), Bandwidth::gbps(10));
+        assert_eq!(Bandwidth::gbps(3).scale(2, 3), Bandwidth::gbps(2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Bandwidth::gbps(100)), "100.0Gbps");
+        assert_eq!(format!("{}", Bandwidth::mbps(250)), "250.0Mbps");
+    }
+}

@@ -1,0 +1,199 @@
+//! Buffer offloading (§5.2) — switch-side bookkeeping.
+//!
+//! Multi-hop schemes like VLB buffer packets for up to a full optical cycle
+//! at intermediate switches. OpenOptics keeps only the calendar queues for
+//! the immediate future on the switch and stores the rest on hosts,
+//! returning them "in advance, guided by circuit notification messages".
+//!
+//! This module is the switch's ledger: which packets were parked for which
+//! absolute slice, and when each batch must be recalled so it reaches the
+//! switch before its slice activates. The engine moves the actual bytes
+//! over the host links; the Fig. 14 experiment measures how stable that
+//! round trip is.
+
+use openoptics_proto::{Packet, PortId};
+use openoptics_sim::time::{SimTime, SliceConfig};
+use std::collections::BTreeMap;
+
+/// Offloading policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct OffloadPolicy {
+    /// Ranks `< keep_ranks` stay in switch calendar queues; deeper ranks
+    /// are parked on hosts ("each switch only keeps N calendar queues per
+    /// egress port for the immediate future").
+    pub keep_ranks: u32,
+    /// How long before its slice a parked batch is recalled. Must cover the
+    /// host round trip plus jitter (Fig. 14: ±0.75 µs with libvma).
+    pub return_lead_ns: u64,
+}
+
+impl OffloadPolicy {
+    /// Whether a packet of this rank should be parked.
+    pub fn should_offload(&self, rank: u32) -> bool {
+        rank >= self.keep_ranks
+    }
+}
+
+/// The switch's ledger of parked packets, keyed by absolute slice ordinal.
+#[derive(Debug, Default)]
+pub struct OffloadBook {
+    parked: BTreeMap<u64, Vec<(PortId, Packet)>>,
+    parked_bytes: u64,
+    /// Total packets ever parked.
+    pub offloaded_packets: u64,
+    /// Total bytes ever parked.
+    pub offloaded_bytes: u64,
+    /// Total packets recalled.
+    pub returned_packets: u64,
+    /// Peak concurrently parked bytes.
+    pub peak_parked_bytes: u64,
+}
+
+impl OffloadBook {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Park a packet destined for absolute slice `abs_slice`, remembering
+    /// the uplink it must eventually leave on.
+    pub fn park(&mut self, abs_slice: u64, port: PortId, pkt: Packet) {
+        self.offloaded_packets += 1;
+        self.offloaded_bytes += pkt.size as u64;
+        self.parked_bytes += pkt.size as u64;
+        self.peak_parked_bytes = self.peak_parked_bytes.max(self.parked_bytes);
+        self.parked.entry(abs_slice).or_default().push((port, pkt));
+    }
+
+    /// Bytes currently parked on hosts.
+    pub fn parked_bytes(&self) -> u64 {
+        self.parked_bytes
+    }
+
+    /// Packets currently parked.
+    pub fn parked_packets(&self) -> usize {
+        self.parked.values().map(|v| v.len()).sum()
+    }
+
+    /// Whether anything is parked.
+    pub fn is_empty(&self) -> bool {
+        self.parked.is_empty()
+    }
+
+    /// The recall deadline for a batch destined to `abs_slice`: the slice's
+    /// start minus the configured lead.
+    pub fn recall_time(abs_slice: u64, cfg: &SliceConfig, lead_ns: u64) -> SimTime {
+        SimTime::from_ns((abs_slice * cfg.slice_ns).saturating_sub(lead_ns))
+    }
+
+    /// The earliest pending recall deadline, if any batch is parked.
+    pub fn next_recall(&self, cfg: &SliceConfig, lead_ns: u64) -> Option<(u64, SimTime)> {
+        self.parked
+            .keys()
+            .next()
+            .map(|&s| (s, Self::recall_time(s, cfg, lead_ns)))
+    }
+
+    /// Pull every batch whose recall deadline is at or before `now`.
+    /// Returns `(target absolute slice, port, packet)` triples.
+    pub fn due(&mut self, now: SimTime, cfg: &SliceConfig, lead_ns: u64) -> Vec<(u64, PortId, Packet)> {
+        let due_slices: Vec<u64> = self
+            .parked
+            .keys()
+            .copied()
+            .take_while(|&s| Self::recall_time(s, cfg, lead_ns) <= now)
+            .collect();
+        let mut out = Vec::new();
+        for s in due_slices {
+            let batch = self.parked.remove(&s).expect("key just listed");
+            for (_, p) in &batch {
+                self.parked_bytes -= p.size as u64;
+            }
+            self.returned_packets += batch.len() as u64;
+            out.extend(batch.into_iter().map(|(port, p)| (s, port, p)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openoptics_proto::{HostId, NodeId};
+
+    fn pkt(id: u64, size: u32) -> Packet {
+        let mut p = Packet::data(
+            id,
+            1,
+            NodeId(0),
+            NodeId(1),
+            HostId(0),
+            HostId(1),
+            size - 64,
+            0,
+            SimTime::ZERO,
+        );
+        assert_eq!(p.size, size);
+        p.hops = 1;
+        p
+    }
+
+    fn cfg() -> SliceConfig {
+        SliceConfig::new(100_000, 32, 1_000) // 100 us slices
+    }
+
+    #[test]
+    fn policy_splits_by_rank() {
+        let p = OffloadPolicy { keep_ranks: 8, return_lead_ns: 10_000 };
+        assert!(!p.should_offload(0));
+        assert!(!p.should_offload(7));
+        assert!(p.should_offload(8));
+    }
+
+    #[test]
+    fn park_and_recall_in_slice_order() {
+        let mut b = OffloadBook::new();
+        b.park(50, PortId(0), pkt(1, 1500));
+        b.park(40, PortId(0), pkt(2, 1500));
+        b.park(60, PortId(1), pkt(3, 1500));
+        assert_eq!(b.parked_packets(), 3);
+        let c = cfg();
+        // Recall deadline for slice 40 = 40*100us - 10us = 3.99 ms.
+        let (s, t) = b.next_recall(&c, 10_000).unwrap();
+        assert_eq!(s, 40);
+        assert_eq!(t, SimTime::from_ns(40 * 100_000 - 10_000));
+        // At 4.0 ms, slice 40's batch is due, 50/60 are not.
+        let due = b.due(SimTime::from_ms(4), &c, 10_000);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].0, 40);
+        assert_eq!(due[0].2.id, 2);
+        assert_eq!(b.parked_packets(), 2);
+        assert_eq!(b.returned_packets, 1);
+    }
+
+    #[test]
+    fn byte_accounting_and_peak() {
+        let mut b = OffloadBook::new();
+        b.park(10, PortId(0), pkt(1, 1500));
+        b.park(10, PortId(0), pkt(2, 500));
+        assert_eq!(b.parked_bytes(), 2000);
+        assert_eq!(b.peak_parked_bytes, 2000);
+        let due = b.due(SimTime::from_secs(1), &cfg(), 0);
+        assert_eq!(due.len(), 2);
+        assert_eq!(b.parked_bytes(), 0);
+        assert_eq!(b.peak_parked_bytes, 2000);
+        assert_eq!(b.offloaded_bytes, 2000);
+    }
+
+    #[test]
+    fn recall_lead_saturates_at_zero() {
+        // A batch for slice 0 with a huge lead recalls at t=0, not underflow.
+        assert_eq!(OffloadBook::recall_time(0, &cfg(), 999_999), SimTime::ZERO);
+    }
+
+    #[test]
+    fn empty_book_has_no_recalls() {
+        let b = OffloadBook::new();
+        assert!(b.next_recall(&cfg(), 0).is_none());
+    }
+}

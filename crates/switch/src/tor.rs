@@ -1,0 +1,763 @@
+//! The OpenOptics-enabled ToR switch (§5).
+//!
+//! Composition of the whole switch backend: time-flow-table lookup on
+//! ingress, calendar-queue enqueue by departure rank, EQO-based congestion
+//! detection with pluggable responses, push-back generation, and buffer
+//! offloading for far-future ranks. The simulation engine drives a
+//! [`ToRSwitch`] with three calls: [`ToRSwitch::ingress`] when a packet
+//! head arrives, [`ToRSwitch::rotate`] at each (locally clocked) slice
+//! boundary, and [`ToRSwitch::pop_if_fits`] when an uplink is free to
+//! transmit.
+
+use crate::calendar::{CalendarPort, EnqueueError};
+use crate::congestion::{admissible_bytes, evaluate, CongestionConfig, CongestionOutcome, CongestionPolicy};
+use crate::eqo::Eqo;
+use crate::offload::{OffloadBook, OffloadPolicy};
+use crate::pushback::PushbackGen;
+use crate::tft::TimeFlowTable;
+use openoptics_proto::packet::HEADER_BYTES;
+use openoptics_proto::{ControlMsg, NodeId, Packet, PortId};
+use openoptics_routing::RouteEntry;
+use openoptics_sim::rate::Bandwidth;
+use openoptics_sim::time::{SimTime, SliceConfig, SliceIndex};
+
+/// Static configuration of one ToR switch.
+#[derive(Clone, Debug)]
+pub struct TorConfig {
+    /// This switch's endpoint-node identity.
+    pub id: NodeId,
+    /// Slice structure of the optical schedule.
+    pub slice_cfg: SliceConfig,
+    /// Optical uplinks.
+    pub uplinks: u16,
+    /// Uplink line rate (circuit bandwidth).
+    pub uplink_bandwidth: Bandwidth,
+    /// Calendar queues per uplink (Tofino2 exposes 32-ish usable egress
+    /// queues per port).
+    pub num_queues: usize,
+    /// Byte capacity of each calendar queue.
+    pub queue_capacity: u64,
+    /// Congestion-detection service configuration.
+    pub congestion: CongestionConfig,
+    /// Whether the push-back service is armed.
+    pub pushback_enabled: bool,
+    /// Buffer offloading policy, if enabled.
+    pub offload: Option<OffloadPolicy>,
+    /// EQO update interval (50 ns in the paper).
+    pub eqo_interval_ns: u64,
+    /// Ablation switch: read ground-truth queue occupancy for congestion
+    /// detection instead of the EQO estimate (impossible on hardware).
+    pub use_true_occupancy: bool,
+}
+
+impl TorConfig {
+    /// A reasonable default for tests and examples.
+    pub fn basic(id: NodeId, slice_cfg: SliceConfig, uplinks: u16) -> Self {
+        TorConfig {
+            id,
+            slice_cfg,
+            uplinks,
+            uplink_bandwidth: Bandwidth::gbps(100),
+            num_queues: 32.min(slice_cfg.num_slices as usize).max(1),
+            queue_capacity: 2 * 1024 * 1024,
+            congestion: CongestionConfig::default(),
+            pushback_enabled: false,
+            offload: None,
+            eqo_interval_ns: Eqo::PAPER_INTERVAL_NS,
+            use_true_occupancy: false,
+        }
+    }
+}
+
+/// Why a packet was dropped at the switch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// Congestion policy decided to drop (or defer found no room).
+    Congestion,
+    /// Ground-truth queue capacity exceeded (EQO under-estimated).
+    QueueCapacity,
+    /// Departure rank beyond the calendar ring and offloading disabled.
+    RankOverflow,
+}
+
+/// Outcome of one ingress pipeline pass.
+#[derive(Debug)]
+pub enum IngressDecision {
+    /// Destination is this switch: hand to the local host layer.
+    DeliverLocal(Packet),
+    /// Buffered in a calendar queue.
+    Enqueued {
+        /// Uplink the packet will leave on.
+        port: PortId,
+        /// Slices until departure.
+        rank: u32,
+    },
+    /// Parked on a host by the offload service.
+    Offloaded {
+        /// Absolute slice ordinal the packet is parked for.
+        abs_slice: u64,
+        /// Uplink it will eventually leave on.
+        port: PortId,
+    },
+    /// Payload trimmed (Opera-style); header-only packet enqueued.
+    Trimmed {
+        /// Uplink the trimmed header will leave on.
+        port: PortId,
+        /// Slices until departure.
+        rank: u32,
+    },
+    /// Dropped; packet consumed.
+    Dropped(DropReason),
+    /// No matching time-flow entry; packet returned so the caller can
+    /// consult the controller (lazy table population) and retry.
+    NoRoute(Packet),
+}
+
+/// Ingress outcome plus any push-back broadcast to emit.
+#[derive(Debug)]
+pub struct IngressResult {
+    /// What happened to the packet.
+    pub decision: IngressDecision,
+    /// Push-back message to broadcast to local hosts, if generated.
+    pub pushback: Option<ControlMsg>,
+}
+
+/// Packet-level counters for one switch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TorCounters {
+    /// Packets buffered successfully.
+    pub enqueued: u64,
+    /// Packets delivered to local hosts.
+    pub delivered_local: u64,
+    /// Packets deferred to a later slice by congestion response.
+    pub deferred: u64,
+    /// Defer responses that found no admissible slice and fell back to a
+    /// slice-missing enqueue.
+    pub defer_exhausted: u64,
+    /// Packets trimmed to header-only.
+    pub trimmed: u64,
+    /// Drops by congestion policy.
+    pub dropped_congestion: u64,
+    /// Drops by ground-truth queue capacity.
+    pub dropped_capacity: u64,
+    /// Drops by rank overflow (no offload).
+    pub dropped_rank: u64,
+    /// Bytes transmitted per uplink (bandwidth telemetry).
+    pub tx_bytes: u64,
+    /// Packets transmitted.
+    pub tx_packets: u64,
+}
+
+/// The switch model.
+pub struct ToRSwitch {
+    /// Static configuration.
+    pub cfg: TorConfig,
+    tft: TimeFlowTable,
+    ports: Vec<CalendarPort<Packet>>,
+    eqo: Eqo,
+    pushback: PushbackGen,
+    /// Offload ledger (meaningful only when `cfg.offload` is set).
+    pub offload_book: OffloadBook,
+    current_slice: SliceIndex,
+    abs_slice: u64,
+    /// Telemetry counters.
+    pub counters: TorCounters,
+    /// Peak total calendar occupancy observed, bytes (Table 3).
+    pub peak_buffer_bytes: u64,
+}
+
+impl ToRSwitch {
+    /// Build a switch from its configuration.
+    pub fn new(cfg: TorConfig) -> Self {
+        let ports = (0..cfg.uplinks)
+            .map(|_| CalendarPort::new(cfg.num_queues, cfg.queue_capacity))
+            .collect();
+        let eqo = Eqo::new(
+            cfg.uplinks as usize,
+            cfg.num_queues,
+            cfg.eqo_interval_ns,
+            cfg.uplink_bandwidth,
+        );
+        let pushback = PushbackGen::new(cfg.pushback_enabled);
+        ToRSwitch {
+            cfg,
+            tft: TimeFlowTable::new(),
+            ports,
+            eqo,
+            pushback,
+            offload_book: OffloadBook::new(),
+            current_slice: 0,
+            abs_slice: 0,
+            counters: TorCounters::default(),
+            peak_buffer_bytes: 0,
+        }
+    }
+
+    /// Install compiled route entries (the `deploy_routing` endpoint).
+    pub fn install_routes(&mut self, entries: impl IntoIterator<Item = RouteEntry>) {
+        self.tft.install_all(entries);
+    }
+
+    /// Access the time-flow table (telemetry, tests).
+    pub fn tft(&self) -> &TimeFlowTable {
+        &self.tft
+    }
+
+    /// Mutable table access (TA reconfiguration swaps routes).
+    pub fn tft_mut(&mut self) -> &mut TimeFlowTable {
+        &mut self.tft
+    }
+
+    /// The slice this switch currently believes is active.
+    pub fn current_slice(&self) -> SliceIndex {
+        self.current_slice
+    }
+
+    /// Absolute slice ordinal (not wrapped).
+    pub fn abs_slice(&self) -> u64 {
+        self.abs_slice
+    }
+
+    /// Initialize the local slice counters (used when a switch joins with a
+    /// clock offset).
+    pub fn set_slice(&mut self, slice: SliceIndex, abs: u64) {
+        self.current_slice = slice;
+        self.abs_slice = abs;
+    }
+
+    /// Total bytes currently buffered in calendar queues.
+    pub fn buffer_bytes(&self) -> u64 {
+        self.ports.iter().map(|p| p.total_bytes()).sum()
+    }
+
+    /// Packets currently buffered in calendar queues.
+    pub fn buffer_packets(&self) -> usize {
+        self.ports.iter().map(|p| p.total_len()).sum()
+    }
+
+    /// Per-port buffered bytes (the `buffer_usage()` monitoring API).
+    pub fn port_buffer_bytes(&self, port: PortId) -> u64 {
+        self.ports[port.index()].total_bytes()
+    }
+
+    /// Rank-overflow events across ports.
+    pub fn rank_overflows(&self) -> u64 {
+        self.ports.iter().map(|p| p.rank_overflow).sum()
+    }
+
+    fn active_indices(&self) -> Vec<usize> {
+        self.ports.iter().map(|p| p.active_index()).collect()
+    }
+
+    fn note_peak(&mut self) {
+        let b = self.buffer_bytes();
+        if b > self.peak_buffer_bytes {
+            self.peak_buffer_bytes = b;
+        }
+    }
+
+    /// Slice-boundary rotation: apply pending EQO drain for the old active
+    /// queues, then rotate every port and bump the slice counters.
+    pub fn rotate(&mut self, now: SimTime) {
+        let active = self.active_indices();
+        self.eqo.refresh(now, &active);
+        for p in &mut self.ports {
+            p.rotate();
+        }
+        self.current_slice = self.cfg.slice_cfg.advance(self.current_slice, 1);
+        self.abs_slice += 1;
+        self.pushback.gc(self.abs_slice / self.cfg.slice_cfg.num_slices as u64);
+    }
+
+    /// Ingress pipeline for one packet.
+    pub fn ingress(&mut self, mut pkt: Packet, now: SimTime) -> IngressResult {
+        let active = self.active_indices();
+        self.eqo.refresh(now, &active);
+        pkt.ingress_ts = now;
+
+        if pkt.dst == self.cfg.id {
+            self.counters.delivered_local += 1;
+            return IngressResult {
+                decision: IngressDecision::DeliverLocal(pkt),
+                pushback: None,
+            };
+        }
+        pkt.hops = pkt.hops.saturating_add(1);
+
+        // Resolve the egress decision: an in-flight source route wins;
+        // otherwise the time-flow table (which may itself stamp a route).
+        let (port, dep_slice) = if let Some(hop) =
+            pkt.source_route.as_ref().and_then(|sr| sr.current())
+        {
+            pkt.source_route.as_mut().expect("just read").advance();
+            // The executed hop's header entry is popped off the wire.
+            pkt.size = pkt.size.saturating_sub(4);
+            (hop.port, hop.dep_slice)
+        } else {
+            let Some(action) = self.tft.lookup(&pkt, self.current_slice) else {
+                return IngressResult { decision: IngressDecision::NoRoute(pkt), pushback: None };
+            };
+            let (port, dep) = (action.port, action.dep_slice);
+            if let Some(mut sr) = action.source_route() {
+                // Stamping the hop stack costs wire bytes (4 per hop,
+                // Fig. 3d); the first hop is executed and popped right away.
+                pkt.size += sr.wire_bytes().saturating_sub(4);
+                sr.advance();
+                pkt.source_route = Some(sr);
+            }
+            (port, dep)
+        };
+
+        let rank = match dep_slice {
+            Some(dep) => self.cfg.slice_cfg.rank(self.current_slice, dep),
+            None => 0,
+        };
+        self.admit(pkt, port, rank, now)
+    }
+
+    /// Admission: offload check, congestion detection, calendar enqueue.
+    fn admit(&mut self, mut pkt: Packet, port: PortId, rank: u32, now: SimTime) -> IngressResult {
+        let pidx = port.index();
+
+        // Buffer offloading: far-future ranks are parked on hosts.
+        if let Some(pol) = self.cfg.offload {
+            if pol.should_offload(rank) || !self.ports[pidx].rank_fits(rank) {
+                let abs = self.abs_slice + rank as u64;
+                self.offload_book.park(abs, port, pkt);
+                return IngressResult {
+                    decision: IngressDecision::Offloaded { abs_slice: abs, port },
+                    pushback: None,
+                };
+            }
+        } else if !self.ports[pidx].rank_fits(rank) {
+            self.counters.dropped_rank += 1;
+            // A rank the ring cannot express is also a queue-full condition
+            // for push-back purposes.
+            let pb = self.queue_full_pushback(&pkt, rank);
+            return IngressResult {
+                decision: IngressDecision::Dropped(DropReason::RankOverflow),
+                pushback: pb,
+            };
+        }
+
+        // Congestion detection against the EQO estimate.
+        let mut chosen_rank = rank;
+        let qidx = self.ports[pidx].index_for_rank(rank);
+        let est = if self.cfg.use_true_occupancy {
+            self.ports[pidx].queue_bytes(qidx)
+        } else {
+            self.eqo.estimate(pidx, qidx)
+        };
+        let admissible =
+            admissible_bytes(&self.cfg.slice_cfg, self.cfg.uplink_bandwidth, rank, now);
+        let mut trimmed = false;
+        let mut pushback = None;
+        if evaluate(&self.cfg.congestion, est, pkt.size, admissible) == CongestionOutcome::Congested
+        {
+            pushback = self.queue_full_pushback(&pkt, rank);
+            match self.cfg.congestion.policy {
+                CongestionPolicy::Drop => {
+                    self.counters.dropped_congestion += 1;
+                    return IngressResult {
+                        decision: IngressDecision::Dropped(DropReason::Congestion),
+                        pushback,
+                    };
+                }
+                CongestionPolicy::Trim => {
+                    pkt.size = HEADER_BYTES;
+                    pkt.payload = 0;
+                    pkt.trimmed = true;
+                    trimmed = true;
+                    self.counters.trimmed += 1;
+                }
+                CongestionPolicy::Wait => {
+                    // Enqueue into the intended queue regardless; the
+                    // packet misses its slice and waits a cycle.
+                }
+                CongestionPolicy::Defer { max_extra_slices } => {
+                    let mut found = None;
+                    for extra in 1..=max_extra_slices {
+                        let r = rank + extra;
+                        if !self.ports[pidx].rank_fits(r) {
+                            if let Some(pol) = self.cfg.offload {
+                                if pol.should_offload(r) {
+                                    let abs = self.abs_slice + r as u64;
+                                    self.offload_book.park(abs, port, pkt);
+                                    self.counters.deferred += 1;
+                                    return IngressResult {
+                                        decision: IngressDecision::Offloaded { abs_slice: abs, port },
+                                        pushback,
+                                    };
+                                }
+                            }
+                            break;
+                        }
+                        let qi = self.ports[pidx].index_for_rank(r);
+                        let e = if self.cfg.use_true_occupancy {
+                            self.ports[pidx].queue_bytes(qi)
+                        } else {
+                            self.eqo.estimate(pidx, qi)
+                        };
+                        let adm = admissible_bytes(
+                            &self.cfg.slice_cfg,
+                            self.cfg.uplink_bandwidth,
+                            r,
+                            now,
+                        );
+                        if evaluate(&self.cfg.congestion, e, pkt.size, adm)
+                            == CongestionOutcome::Admit
+                        {
+                            found = Some(r);
+                            break;
+                        }
+                    }
+                    match found {
+                        Some(r) => {
+                            chosen_rank = r;
+                            self.counters.deferred += 1;
+                        }
+                        None => {
+                            // Every reachable slice is congested: fall back
+                            // to the intended queue and accept the slice
+                            // miss (the §5.2 failure mode is delay, not
+                            // loss; actual loss only occurs when the queue
+                            // capacity itself overflows below).
+                            self.counters.defer_exhausted += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Ground-truth enqueue.
+        let size = pkt.size;
+        match self.ports[pidx].enqueue(chosen_rank, size, pkt) {
+            Ok(qidx) => {
+                self.eqo.on_enqueue(pidx, qidx, size);
+                self.counters.enqueued += 1;
+                self.note_peak();
+                IngressResult {
+                    decision: if trimmed {
+                        IngressDecision::Trimmed { port, rank: chosen_rank }
+                    } else {
+                        IngressDecision::Enqueued { port, rank: chosen_rank }
+                    },
+                    pushback,
+                }
+            }
+            Err(EnqueueError::QueueFull(_)) => {
+                self.counters.dropped_capacity += 1;
+                IngressResult {
+                    decision: IngressDecision::Dropped(DropReason::QueueCapacity),
+                    pushback,
+                }
+            }
+            Err(EnqueueError::RankOverflow(_)) => {
+                self.counters.dropped_rank += 1;
+                IngressResult {
+                    decision: IngressDecision::Dropped(DropReason::RankOverflow),
+                    pushback,
+                }
+            }
+        }
+    }
+
+    fn queue_full_pushback(&mut self, pkt: &Packet, rank: u32) -> Option<ControlMsg> {
+        let slice = self.cfg.slice_cfg.advance(self.current_slice, rank);
+        let cycle = (self.abs_slice + rank as u64) / self.cfg.slice_cfg.num_slices as u64;
+        self.pushback.on_queue_full(pkt.dst, slice, cycle)
+    }
+
+    /// Pop the next packet from `port`'s active queue if its serialization
+    /// (plus `end_margin_ns` safety) still fits in the current slice.
+    /// Returns the packet and its serialization time.
+    pub fn pop_if_fits(
+        &mut self,
+        port: PortId,
+        now: SimTime,
+        end_margin_ns: u64,
+    ) -> Option<(Packet, u64)> {
+        let active = self.active_indices();
+        self.eqo.refresh(now, &active);
+        let cp = &mut self.ports[port.index()];
+        let (len, _) = *cp.peek_active()?;
+        let tx = self.cfg.uplink_bandwidth.tx_time_ns(len as u64).max(1);
+        let remaining = if self.cfg.slice_cfg.num_slices > 1 {
+            self.cfg.slice_cfg.remaining_in_slice(now)
+        } else {
+            u64::MAX // static fabric: no slice boundary to respect
+        };
+        if tx + end_margin_ns > remaining {
+            return None;
+        }
+        let (len, pkt) = cp.pop_active().expect("peeked head vanished");
+        self.counters.tx_bytes += len as u64;
+        self.counters.tx_packets += 1;
+        Some((pkt, tx))
+    }
+
+    /// Whether `port`'s active queue has a packet waiting.
+    pub fn has_active_traffic(&self, port: PortId) -> bool {
+        self.ports[port.index()].active_bytes() > 0
+    }
+
+    /// Offload batches due for recall at `now` (engine re-injects them
+    /// through [`ToRSwitch::reinject_offloaded`] after the host round trip).
+    /// Returns `(target absolute slice, port, packet)` triples.
+    pub fn offload_due(&mut self, now: SimTime) -> Vec<(u64, PortId, Packet)> {
+        match self.cfg.offload {
+            Some(pol) => self.offload_book.due(now, &self.cfg.slice_cfg, pol.return_lead_ns),
+            None => vec![],
+        }
+    }
+
+    /// The next offload recall deadline, for engine scheduling.
+    pub fn next_offload_recall(&self) -> Option<SimTime> {
+        self.cfg
+            .offload
+            .and_then(|pol| self.offload_book.next_recall(&self.cfg.slice_cfg, pol.return_lead_ns))
+            .map(|(_, t)| t)
+    }
+
+    /// Re-admit a returned offloaded packet: it flows through the normal
+    /// admission path, now with a near rank.
+    pub fn reinject_offloaded(&mut self, pkt: Packet, port: PortId, rank: u32, now: SimTime) -> IngressResult {
+        // Bypass the offload check for near ranks by construction: the
+        // caller recalls with lead < keep_ranks slices.
+        self.admit(pkt, port, rank, now)
+    }
+
+    /// The push-back generator's statistics.
+    pub fn pushback_stats(&self) -> (u64, u64) {
+        (self.pushback.events, self.pushback.emitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openoptics_proto::HostId;
+    use openoptics_routing::{MultipathMode, RouteAction, RouteMatch};
+
+    fn cfg(num_slices: u32) -> TorConfig {
+        TorConfig::basic(NodeId(0), SliceConfig::new(2_000, num_slices, 200), 2)
+    }
+
+    fn entry(arr: Option<u32>, dst: NodeId, port: PortId, dep: Option<u32>) -> RouteEntry {
+        RouteEntry {
+            node: NodeId(0),
+            m: RouteMatch { arr_slice: arr, dst },
+            actions: vec![(RouteAction { port, dep_slice: dep, push_source_route: None }, 1)],
+            multipath: MultipathMode::None,
+        }
+    }
+
+    fn pkt(id: u64, dst: NodeId) -> Packet {
+        Packet::data(id, 1, NodeId(0), dst, HostId(0), HostId(9), 1000, 0, SimTime::ZERO)
+    }
+
+    #[test]
+    fn local_delivery_short_circuits() {
+        let mut t = ToRSwitch::new(cfg(8));
+        let r = t.ingress(pkt(1, NodeId(0)), SimTime::from_ns(300));
+        assert!(matches!(r.decision, IngressDecision::DeliverLocal(_)));
+        assert_eq!(t.counters.delivered_local, 1);
+    }
+
+    #[test]
+    fn no_route_returns_packet() {
+        let mut t = ToRSwitch::new(cfg(8));
+        let r = t.ingress(pkt(1, NodeId(3)), SimTime::from_ns(300));
+        match r.decision {
+            IngressDecision::NoRoute(p) => assert_eq!(p.dst, NodeId(3)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn enqueue_rank_matches_departure_slice() {
+        let mut t = ToRSwitch::new(cfg(8));
+        // Arrive slice 0, depart slice 3 -> rank 3.
+        t.install_routes([entry(Some(0), NodeId(3), PortId(1), Some(3))]);
+        let r = t.ingress(pkt(1, NodeId(3)), SimTime::from_ns(300));
+        match r.decision {
+            IngressDecision::Enqueued { port, rank } => {
+                assert_eq!(port, PortId(1));
+                assert_eq!(rank, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Not transmittable now (queue paused)...
+        assert!(!t.has_active_traffic(PortId(1)));
+        // ...but after three rotations it is.
+        for i in 1..=3u64 {
+            t.rotate(SimTime::from_ns(2_000 * i));
+        }
+        assert!(t.has_active_traffic(PortId(1)));
+        let (p, tx) = t.pop_if_fits(PortId(1), SimTime::from_ns(6_300), 0).unwrap();
+        assert_eq!(p.id, 1);
+        assert!(tx > 0);
+    }
+
+    #[test]
+    fn tail_that_misses_slice_waits() {
+        let mut t = ToRSwitch::new(cfg(8));
+        t.install_routes([entry(Some(0), NodeId(3), PortId(0), Some(0))]);
+        t.ingress(pkt(1, NodeId(3)), SimTime::from_ns(200));
+        // 1064-byte wire packet at 100 Gbps = ~85 ns; only 50 ns left.
+        assert!(t.pop_if_fits(PortId(0), SimTime::from_ns(1_950), 0).is_none());
+        // Earlier in the slice it fits.
+        assert!(t.pop_if_fits(PortId(0), SimTime::from_ns(1_000), 0).is_some());
+    }
+
+    #[test]
+    fn source_route_overrides_table() {
+        use openoptics_proto::packet::{SourceHop, SourceRoute};
+        let mut t = ToRSwitch::new(cfg(8));
+        // Table says port 0; the packet carries a source route via port 1.
+        t.install_routes([entry(Some(0), NodeId(3), PortId(0), Some(0))]);
+        let mut p = pkt(1, NodeId(3));
+        p.source_route = Some(SourceRoute::new(vec![SourceHop {
+            port: PortId(1),
+            dep_slice: Some(2),
+        }]));
+        let r = t.ingress(p, SimTime::from_ns(300));
+        match r.decision {
+            IngressDecision::Enqueued { port, rank } => {
+                assert_eq!(port, PortId(1));
+                assert_eq!(rank, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn congestion_drop_policy() {
+        let mut c = cfg(8);
+        c.congestion = CongestionConfig {
+            detection_enabled: true,
+            threshold_bytes: 1_000_000,
+            policy: CongestionPolicy::Drop,
+        };
+        let mut t = ToRSwitch::new(c);
+        t.install_routes([entry(Some(0), NodeId(3), PortId(0), Some(1))]);
+        // Admissible for a future slice: 100 Gbps x 1800 ns = 22_500 B.
+        // 21 x 1064 B = 22_344 B fit; the 22nd exceeds.
+        let mut dropped = 0;
+        for i in 0..25 {
+            let r = t.ingress(pkt(i, NodeId(3)), SimTime::from_ns(300));
+            if matches!(r.decision, IngressDecision::Dropped(DropReason::Congestion)) {
+                dropped += 1;
+            }
+        }
+        assert!(dropped >= 3, "expected tail drops, got {dropped}");
+        assert_eq!(t.counters.dropped_congestion, dropped);
+    }
+
+    #[test]
+    fn congestion_defer_moves_to_later_slice() {
+        let mut c = cfg(8);
+        c.congestion.policy = CongestionPolicy::Defer { max_extra_slices: 4 };
+        let mut t = ToRSwitch::new(c);
+        t.install_routes([entry(Some(0), NodeId(3), PortId(0), Some(1))]);
+        let mut ranks = vec![];
+        for i in 0..30 {
+            let r = t.ingress(pkt(i, NodeId(3)), SimTime::from_ns(300));
+            if let IngressDecision::Enqueued { rank, .. } = r.decision {
+                ranks.push(rank);
+            }
+        }
+        assert!(ranks.iter().any(|&r| r > 1), "no packet deferred: {ranks:?}");
+        assert!(t.counters.deferred > 0);
+        assert_eq!(t.counters.dropped_congestion, 0);
+    }
+
+    #[test]
+    fn congestion_trim_keeps_header() {
+        let mut c = cfg(8);
+        c.congestion.policy = CongestionPolicy::Trim;
+        let mut t = ToRSwitch::new(c);
+        t.install_routes([entry(Some(0), NodeId(3), PortId(0), Some(1))]);
+        let mut saw_trim = false;
+        for i in 0..30 {
+            let r = t.ingress(pkt(i, NodeId(3)), SimTime::from_ns(300));
+            if matches!(r.decision, IngressDecision::Trimmed { .. }) {
+                saw_trim = true;
+            }
+        }
+        assert!(saw_trim);
+        assert!(t.counters.trimmed > 0);
+    }
+
+    #[test]
+    fn pushback_emitted_once_on_full() {
+        let mut c = cfg(8);
+        c.pushback_enabled = true;
+        c.congestion.policy = CongestionPolicy::Drop;
+        let mut t = ToRSwitch::new(c);
+        t.install_routes([entry(Some(0), NodeId(3), PortId(0), Some(1))]);
+        let mut msgs = 0;
+        for i in 0..40 {
+            let r = t.ingress(pkt(i, NodeId(3)), SimTime::from_ns(300));
+            if r.pushback.is_some() {
+                msgs += 1;
+            }
+        }
+        assert_eq!(msgs, 1, "push-back must deduplicate per (dst, slice, cycle)");
+    }
+
+    #[test]
+    fn rank_overflow_without_offload_drops() {
+        let mut c = cfg(64); // 64 slices but only 32 queues
+        c.num_queues = 32;
+        let mut t = ToRSwitch::new(c);
+        t.install_routes([entry(Some(0), NodeId(3), PortId(0), Some(40))]);
+        let r = t.ingress(pkt(1, NodeId(3)), SimTime::from_ns(300));
+        assert!(matches!(r.decision, IngressDecision::Dropped(DropReason::RankOverflow)));
+    }
+
+    #[test]
+    fn offload_parks_far_ranks_and_recalls() {
+        let mut c = cfg(64);
+        c.num_queues = 32;
+        c.offload = Some(OffloadPolicy { keep_ranks: 8, return_lead_ns: 3_000 });
+        let mut t = ToRSwitch::new(c);
+        t.install_routes([entry(Some(0), NodeId(3), PortId(0), Some(40))]);
+        let r = t.ingress(pkt(1, NodeId(3)), SimTime::from_ns(300));
+        match r.decision {
+            IngressDecision::Offloaded { abs_slice, .. } => assert_eq!(abs_slice, 40),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(t.offload_book.parked_packets(), 1);
+        // Recall due at slice 40 start (80_000 ns) minus 3_000 ns lead.
+        let recall = t.next_offload_recall().unwrap();
+        assert_eq!(recall, SimTime::from_ns(77_000));
+        let due = t.offload_due(recall);
+        assert_eq!(due.len(), 1);
+    }
+
+    #[test]
+    fn buffer_telemetry_tracks_peak() {
+        let mut t = ToRSwitch::new(cfg(8));
+        t.install_routes([entry(Some(0), NodeId(3), PortId(0), Some(2))]);
+        for i in 0..5 {
+            t.ingress(pkt(i, NodeId(3)), SimTime::from_ns(300));
+        }
+        assert_eq!(t.buffer_packets(), 5);
+        assert_eq!(t.buffer_bytes(), 5 * 1064);
+        assert_eq!(t.peak_buffer_bytes, 5 * 1064);
+        assert_eq!(t.port_buffer_bytes(PortId(0)), 5 * 1064);
+        assert_eq!(t.port_buffer_bytes(PortId(1)), 0);
+    }
+
+    #[test]
+    fn static_single_slice_acts_as_flow_table() {
+        // num_slices = 1: wildcard entries, immediate transmission.
+        let mut t = ToRSwitch::new(cfg(1));
+        t.install_routes([entry(None, NodeId(3), PortId(0), None)]);
+        let r = t.ingress(pkt(1, NodeId(3)), SimTime::from_ns(5));
+        assert!(matches!(r.decision, IngressDecision::Enqueued { rank: 0, .. }));
+        // pop works regardless of slice remaining (static mode).
+        assert!(t.pop_if_fits(PortId(0), SimTime::from_ns(1_999), 0).is_some());
+    }
+}

@@ -1,0 +1,29 @@
+//! # openoptics-topo
+//!
+//! Circuit-scheduling algorithms — the materializations of the abstract
+//! `topo()` API function (Table 1 of the paper):
+//!
+//! * [`round_robin()`](round_robin::round_robin) — the TO optical schedules of RotorNet (1-D, u uplinks),
+//!   Opera (1-D, N uplinks), and Shale (multi-dimensional, 1 uplink);
+//! * [`matching`] — Edmonds/Hungarian-style max-weight matchings used by
+//!   c-Through-class TA architectures;
+//! * [`bvn`] — Birkhoff–von-Neumann decomposition used by Mordia;
+//! * [`jupiter`] — Google Jupiter's gradually-evolving mesh;
+//! * [`sorn`] — the semi-oblivious skewed round-robin (TA+TO hybrid, §4.3);
+//! * [`expander`] — Opera-style per-slice connected expander schedules;
+//! * [`matrix`] — the traffic-matrix type all TA algorithms consume.
+//!
+//! Every generator returns plain [`openoptics_fabric::Circuit`] lists that
+//! `deploy_topo()` validates and installs; nothing here touches the data
+//! plane.
+
+pub mod bvn;
+pub mod expander;
+pub mod jupiter;
+pub mod matching;
+pub mod matrix;
+pub mod round_robin;
+pub mod sorn;
+
+pub use matrix::TrafficMatrix;
+pub use round_robin::{one_factorization, round_robin, round_robin_multidim};

@@ -1,0 +1,210 @@
+//! Flow-size distributions for the three benchmark traces (§7).
+//!
+//! Synthetic empirical CDFs matching the published shape of the traces the
+//! paper replays:
+//!
+//! * **RPC** — the Homa paper's RPC workload mix: dominated by small
+//!   messages with a tail into the megabytes;
+//! * **Hadoop** — Facebook's Hadoop cluster (Roy et al., SIGCOMM'15):
+//!   heavier mid-range with a fat multi-megabyte tail;
+//! * **KV store** — Facebook's memcached pools (Atikoglu et al.,
+//!   SIGMETRICS'12): overwhelmingly tiny objects, rare large values.
+//!
+//! Samples are drawn by inverse-transform over a piecewise log-linear CDF.
+
+use openoptics_sim::rng::SimRng;
+
+/// Which benchmark trace to synthesize.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Trace {
+    /// Homa-style RPC mix.
+    Rpc,
+    /// Facebook Hadoop.
+    Hadoop,
+    /// Facebook memcached/KV.
+    KvStore,
+}
+
+impl Trace {
+    /// All three traces, in the order Tables 3/4 list them.
+    pub const ALL: [Trace; 3] = [Trace::KvStore, Trace::Rpc, Trace::Hadoop];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Trace::Rpc => "RPC",
+            Trace::Hadoop => "Hadoop",
+            Trace::KvStore => "KV store",
+        }
+    }
+
+    /// The trace's flow-size distribution.
+    ///
+    /// ```
+    /// use openoptics_workload::{Trace, FlowSizeDist};
+    /// use openoptics_sim::SimRng;
+    ///
+    /// let dist = Trace::Hadoop.dist();
+    /// let mut rng = SimRng::new(1);
+    /// let size = dist.sample(&mut rng);
+    /// let (lo, hi) = dist.range();
+    /// assert!(size >= lo && size <= hi);
+    /// ```
+    pub fn dist(&self) -> FlowSizeDist {
+        match self {
+            Trace::KvStore => FlowSizeDist::from_cdf(vec![
+                (64, 0.0),
+                (256, 0.40),
+                (512, 0.60),
+                (1_024, 0.75),
+                (4_096, 0.90),
+                (16_384, 0.96),
+                (65_536, 0.99),
+                (1_048_576, 1.0),
+            ]),
+            Trace::Rpc => FlowSizeDist::from_cdf(vec![
+                (64, 0.0),
+                (256, 0.20),
+                (1_024, 0.45),
+                (4_096, 0.65),
+                (16_384, 0.78),
+                (65_536, 0.88),
+                (262_144, 0.94),
+                (1_048_576, 0.98),
+                (10_485_760, 1.0),
+            ]),
+            Trace::Hadoop => FlowSizeDist::from_cdf(vec![
+                (256, 0.0),
+                (1_024, 0.15),
+                (10_240, 0.40),
+                (102_400, 0.62),
+                (1_048_576, 0.80),
+                (10_485_760, 0.93),
+                (104_857_600, 1.0),
+            ]),
+        }
+    }
+}
+
+/// A piecewise log-linear empirical flow-size CDF.
+#[derive(Clone, Debug)]
+pub struct FlowSizeDist {
+    /// `(bytes, cumulative probability)`, strictly increasing in both.
+    points: Vec<(u64, f64)>,
+}
+
+impl FlowSizeDist {
+    /// Build from CDF anchor points. The first probability must be 0.0 and
+    /// the last 1.0; both coordinates must be strictly increasing.
+    pub fn from_cdf(points: Vec<(u64, f64)>) -> Self {
+        assert!(points.len() >= 2, "need at least two CDF points");
+        assert_eq!(points[0].1, 0.0, "CDF must start at probability 0");
+        assert!((points.last().unwrap().1 - 1.0).abs() < 1e-12, "CDF must end at 1");
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "sizes must increase");
+            assert!(w[0].1 < w[1].1, "probabilities must increase");
+        }
+        FlowSizeDist { points }
+    }
+
+    /// Inverse-transform sample: log-linear interpolation between anchors.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.f64();
+        self.quantile(u)
+    }
+
+    /// The size at cumulative probability `u` in `[0, 1]`.
+    pub fn quantile(&self, u: f64) -> u64 {
+        let u = u.clamp(0.0, 1.0);
+        for w in self.points.windows(2) {
+            let (s0, p0) = w[0];
+            let (s1, p1) = w[1];
+            if u <= p1 {
+                let f = (u - p0) / (p1 - p0);
+                let ln = (s0 as f64).ln() + f * ((s1 as f64).ln() - (s0 as f64).ln());
+                return ln.exp().round().max(1.0) as u64;
+            }
+        }
+        self.points.last().expect("non-empty").0
+    }
+
+    /// Mean flow size (bytes), by numerical integration of the quantile
+    /// function — the value load scaling divides by.
+    pub fn mean_bytes(&self) -> f64 {
+        let steps = 10_000;
+        (0..steps).map(|i| self.quantile((i as f64 + 0.5) / steps as f64) as f64).sum::<f64>()
+            / steps as f64
+    }
+
+    /// Smallest and largest producible sizes.
+    pub fn range(&self) -> (u64, u64) {
+        (self.points[0].0, self.points.last().expect("non-empty").0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_hit_anchor_points() {
+        let d = Trace::KvStore.dist();
+        assert_eq!(d.quantile(0.0), 64);
+        assert_eq!(d.quantile(0.40), 256);
+        assert_eq!(d.quantile(1.0), 1_048_576);
+    }
+
+    #[test]
+    fn samples_within_range_and_mass_roughly_right() {
+        let d = Trace::Rpc.dist();
+        let (lo, hi) = d.range();
+        let mut rng = SimRng::new(42);
+        let mut small = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let s = d.sample(&mut rng);
+            assert!((lo..=hi).contains(&s));
+            if s <= 4_096 {
+                small += 1;
+            }
+        }
+        // CDF says 65% at or below 4 KB.
+        let frac = small as f64 / n as f64;
+        assert!((0.60..0.70).contains(&frac), "P(<=4KB) = {frac}");
+    }
+
+    #[test]
+    fn trace_means_are_ordered() {
+        // Hadoop flows are much larger on average than RPC, which exceeds KV.
+        let kv = Trace::KvStore.dist().mean_bytes();
+        let rpc = Trace::Rpc.dist().mean_bytes();
+        let hadoop = Trace::Hadoop.dist().mean_bytes();
+        assert!(kv < rpc, "kv {kv} < rpc {rpc}");
+        assert!(rpc < hadoop, "rpc {rpc} < hadoop {hadoop}");
+        // Sanity magnitude checks.
+        assert!(kv < 50_000.0);
+        assert!(hadoop > 1_000_000.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = Trace::Hadoop.dist();
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "CDF must start")]
+    fn rejects_bad_cdf() {
+        FlowSizeDist::from_cdf(vec![(10, 0.5), (100, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities must increase")]
+    fn rejects_flat_cdf() {
+        FlowSizeDist::from_cdf(vec![(10, 0.0), (50, 0.5), (100, 0.5), (200, 1.0)]);
+    }
+}

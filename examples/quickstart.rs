@@ -1,0 +1,55 @@
+//! Quickstart: the paper's Fig. 5(a) RotorNet program, in Rust.
+//!
+//! Builds an 8-node RotorNet (1-D round-robin schedule, VLB routing with
+//! per-packet spraying), runs a single 1 MB flow across it, and prints the
+//! flow completion time and fabric statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use openoptics::core::{NetConfig, OpenOpticsNet, TransportKind};
+use openoptics::proto::HostId;
+use openoptics::routing::algos::Vlb;
+use openoptics::routing::{LookupMode, MultipathMode};
+use openoptics::sim::time::SimTime;
+use openoptics::topo::round_robin;
+
+fn main() {
+    // The static configuration — the paper's JSON file. Every field has a
+    // default; JSON strings work too: `NetConfig::from_json(r#"{...}"#)`.
+    let cfg = NetConfig::from_json(
+        r#"{
+            "node": "rack",
+            "node_num": 8,
+            "uplink": 1,
+            "hosts_per_node": 1,
+            "slice_ns": 100000,
+            "uplink_gbps": 100
+        }"#,
+    )
+    .expect("valid config");
+
+    // net = OpenOptics.net(config)
+    let mut net = OpenOpticsNet::new(cfg.clone());
+
+    // circuits = round_robin(dimension=1, uplink=config.uplink)
+    let (circuits, num_slices) = round_robin(cfg.node_num, cfg.uplink);
+
+    // net.deploy_topo(circuits)
+    net.deploy_topo(&circuits, num_slices).expect("round robin is feasible");
+
+    // net.deploy_routing(vlb(circuits), LOOKUP="hop", MULTIPATH="packet")
+    net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+
+    // Run a 1 MB flow from host 0 (under ToR 0) to host 5 (under ToR 5).
+    net.add_flow(SimTime::from_ns(100), HostId(0), HostId(5), 1_000_000, TransportKind::Paced);
+    net.run_for(SimTime::from_ms(50));
+
+    let rec = net.fct().completed().first().expect("flow completed");
+    println!("RotorNet quickstart ({} nodes, {} slices of {} us)", cfg.node_num, num_slices, cfg.slice_ns / 1000);
+    println!("  flow: {} bytes in {:.1} us", rec.bytes, rec.fct_ns() as f64 / 1e3);
+    let (delivered, lost) = net.engine.fabric_stats();
+    println!("  optical fabric: {delivered} packets delivered, {lost} lost");
+    println!("  ToR0 port0 transmitted {} bytes", net.bw_usage(openoptics::proto::NodeId(0), openoptics::proto::PortId(0)));
+}

@@ -1,0 +1,20 @@
+//! # OpenOptics (facade crate)
+//!
+//! Umbrella crate re-exporting the whole OpenOptics workspace under one
+//! dependency. Reproduction of *"OpenOptics: An Open Research Framework for
+//! Optical Data Center Networks"* (SIGCOMM 2024) as a deterministic
+//! packet-level simulation.
+//!
+//! Start with [`core`] — the programming model ([`core::OpenOpticsNet`],
+//! architecture presets) — and see the `examples/` directory for runnable
+//! scenarios.
+
+pub use openoptics_core as core;
+pub use openoptics_fabric as fabric;
+pub use openoptics_host as host;
+pub use openoptics_proto as proto;
+pub use openoptics_routing as routing;
+pub use openoptics_sim as sim;
+pub use openoptics_switch as switch;
+pub use openoptics_topo as topo;
+pub use openoptics_workload as workload;

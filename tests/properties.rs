@@ -1,0 +1,153 @@
+//! Cross-crate property tests: schedule/routing/data-plane invariants that
+//! must hold for arbitrary configurations, not just the curated examples.
+
+use openoptics::fabric::OpticalSchedule;
+use openoptics::proto::NodeId;
+use openoptics::routing::algos::{Direct, Hoho, Ucmp, Vlb};
+use openoptics::routing::{compile, LookupMode, MultipathMode, RoutingAlgorithm};
+use openoptics::sim::time::SliceConfig;
+use openoptics::topo::round_robin;
+use proptest::prelude::*;
+
+fn rr_schedule(n: u32, uplinks: u16) -> OpticalSchedule {
+    let (circuits, slices) = round_robin(n, uplinks);
+    OpticalSchedule::build(SliceConfig::new(10_000, slices, 500), n, uplinks, &circuits)
+        .expect("round robin always deploys")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every round-robin schedule is a valid matching per slice and covers
+    /// all pairs over the cycle.
+    #[test]
+    fn round_robin_schedules_always_valid(n in 3u32..24, u in 1u16..4) {
+        let s = rr_schedule(n, u);
+        prop_assert!(s.cycle_covers_all_pairs());
+        for ts in 0..s.slice_config().num_slices {
+            for node in 0..n {
+                // Degree never exceeds the uplink count.
+                prop_assert!(s.neighbors(NodeId(node), ts).len() <= u as usize);
+            }
+        }
+    }
+
+    /// Paths produced by every TO routing scheme validate against the
+    /// schedule they were computed for, at any (src, dst, arrival slice).
+    #[test]
+    fn to_routing_paths_always_validate(
+        n in 4u32..16,
+        u in 1u16..3,
+        src in 0u32..16,
+        dst in 0u32..16,
+        arr_seed in 0u32..64,
+    ) {
+        let src = src % n;
+        let dst = dst % n;
+        prop_assume!(src != dst);
+        let s = rr_schedule(n, u);
+        let arr = arr_seed % s.slice_config().num_slices;
+        let algos: Vec<Box<dyn RoutingAlgorithm>> = vec![
+            Box::new(Direct),
+            Box::new(Vlb),
+            Box::new(Ucmp::default()),
+            Box::new(Hoho::default()),
+        ];
+        for algo in &algos {
+            let paths = algo.paths(&s, NodeId(src), NodeId(dst), Some(arr));
+            prop_assert!(!paths.is_empty(), "{} found no path", algo.name());
+            for p in &paths {
+                prop_assert!(
+                    p.validate(&s).is_ok(),
+                    "{}: invalid path {:?}", algo.name(), p
+                );
+            }
+        }
+    }
+
+    /// HOHO (the earliest-arrival optimum) never waits longer than the
+    /// direct path, which never waits longer than a full cycle.
+    #[test]
+    fn hoho_dominates_direct(
+        n in 4u32..16,
+        src in 0u32..16,
+        dst in 0u32..16,
+        arr_seed in 0u32..64,
+    ) {
+        let src = src % n;
+        let dst = dst % n;
+        prop_assume!(src != dst);
+        let s = rr_schedule(n, 1);
+        let arr = arr_seed % s.slice_config().num_slices;
+        let d = Direct.paths(&s, NodeId(src), NodeId(dst), Some(arr));
+        let h = Hoho::default().paths(&s, NodeId(src), NodeId(dst), Some(arr));
+        let dw = d[0].slices_waited(&s);
+        let hw = h[0].slices_waited(&s);
+        prop_assert!(hw <= dw, "hoho waited {hw} > direct {dw}");
+        prop_assert!(dw < s.slice_config().num_slices);
+    }
+
+    /// Per-hop compilation and source-route compilation of the same path
+    /// replay to the same hop sequence.
+    #[test]
+    fn compile_modes_agree(
+        n in 4u32..12,
+        src in 0u32..12,
+        dst in 0u32..12,
+        arr_seed in 0u32..32,
+    ) {
+        let src = src % n;
+        let dst = dst % n;
+        prop_assume!(src != dst);
+        let s = rr_schedule(n, 1);
+        let arr = arr_seed % s.slice_config().num_slices;
+        let paths = Hoho::default().paths(&s, NodeId(src), NodeId(dst), Some(arr));
+        let hop_entries = compile(&paths, LookupMode::PerHop, MultipathMode::None);
+        let sr_entries = compile(&paths, LookupMode::SourceRouting, MultipathMode::None);
+        // Source routing: exactly one entry at the source.
+        prop_assert_eq!(sr_entries.len(), 1);
+        prop_assert_eq!(sr_entries[0].node, NodeId(src));
+        let stack = sr_entries[0].actions[0].0.push_source_route.as_ref().unwrap();
+        prop_assert_eq!(stack.len(), paths[0].hops.len());
+        // The per-hop entries, walked in path order, match the stack.
+        let mut at = NodeId(src);
+        let mut arr_here = Some(arr);
+        for (i, hop) in stack.iter().enumerate() {
+            let e = hop_entries
+                .iter()
+                .find(|e| e.node == at && e.m.arr_slice == arr_here && e.m.dst == NodeId(dst))
+                .unwrap_or_else(|| panic!("no per-hop entry at hop {i}"));
+            let a = &e.actions[0].0;
+            prop_assert_eq!(a.port, hop.port);
+            prop_assert_eq!(a.dep_slice, hop.dep_slice);
+            let (peer, _) = s
+                .peer(at, hop.port, hop.dep_slice.expect("TO hop"))
+                .expect("validated path hop rides a lit circuit");
+            at = peer;
+            arr_here = hop.dep_slice;
+        }
+        prop_assert_eq!(at, NodeId(dst));
+    }
+
+    /// The wildcard reduction: a schedule of held circuits routes
+    /// identically from every arrival slice.
+    #[test]
+    fn held_circuits_are_slice_invariant(n in 4u32..12, seed in 0u32..8) {
+        use openoptics::fabric::Circuit;
+        use openoptics::proto::PortId;
+        // A held ring.
+        let circuits: Vec<Circuit> = (0..n)
+            .map(|i| Circuit::held(NodeId(i), PortId(1), NodeId((i + 1) % n), PortId(0)))
+            .collect();
+        let s = OpticalSchedule::build(SliceConfig::new(10_000, 4, 500), n, 2, &circuits)
+            .expect("ring deploys");
+        let src = NodeId(seed % n);
+        let dst = NodeId((seed + 1 + seed % (n - 1)) % n);
+        prop_assume!(src != dst);
+        for ts in 0..4 {
+            let a = s.port_to(src, dst, ts);
+            let b = s.port_to(src, dst, 0);
+            prop_assert_eq!(a, b, "held circuits must not vary by slice");
+        }
+    }
+}
