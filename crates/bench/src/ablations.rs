@@ -12,6 +12,7 @@
 //! 4. **Offload recall lead** — recall too late and packets miss their
 //!    slice; recall too early and the switch buffers refill.
 
+use crate::par;
 use crate::util::{testbed, Table};
 use openoptics_core::{archs, NetConfig, OpenOpticsNet, TransportKind};
 use openoptics_proto::{HostId, NodeId};
@@ -35,9 +36,10 @@ pub struct GuardRow {
 /// device dead window and 28 ns sync error. Expected knee: loss above zero
 /// until guard ≳ dead + sync spread; zero at the paper's 200 ns.
 pub fn guardband_sweep() -> Vec<GuardRow> {
-    [0u64, 50, 100, 130, 160, 200, 400]
-        .iter()
-        .map(|&guard| {
+    const GUARDS: [u64; 7] = [0, 50, 100, 130, 160, 200, 400];
+    par::par_map(GUARDS.len(), |i| {
+        let guard = GUARDS[i];
+        {
             let mut cfg = testbed(2_000, 1);
             cfg.guard_ns = guard;
             cfg.fabric_dead_ns = 100;
@@ -54,13 +56,14 @@ pub fn guardband_sweep() -> Vec<GuardRow> {
             }
             net.run_for(SimTime::from_ms(40));
             let (delivered, lost) = net.engine.fabric_stats();
+            par::note_events(net.events_scheduled());
             GuardRow {
                 guard_ns: guard,
                 fabric_loss: lost as f64 / (delivered + lost).max(1) as f64,
                 completed: net.fct().completed().len(),
             }
-        })
-        .collect()
+        }
+    })
 }
 
 /// One defer-window point.
@@ -76,9 +79,10 @@ pub struct DeferRow {
 
 /// Sweep the congestion defer window under bursty load.
 pub fn defer_sweep(ms: u64) -> Vec<DeferRow> {
-    [0u32, 1, 4, 10, 31]
-        .iter()
-        .map(|&window| {
+    const WINDOWS: [u32; 5] = [0, 1, 4, 10, 31];
+    par::par_map(WINDOWS.len(), |i| {
+        let window = WINDOWS[i];
+        {
             let mut cfg = testbed(300_000, 1);
             cfg.node_num = 12;
             if window == 0 {
@@ -95,6 +99,7 @@ pub fn defer_sweep(ms: u64) -> Vec<DeferRow> {
             let c = net.engine.counters;
             let lost = c.switch_drops + c.fabric_drops + c.no_route_drops + c.link_drops;
             let delays = &net.engine.delay_samples;
+            par::note_events(net.events_scheduled());
             DeferRow {
                 window,
                 loss: lost as f64 / c.host_tx_packets.max(1) as f64,
@@ -104,8 +109,8 @@ pub fn defer_sweep(ms: u64) -> Vec<DeferRow> {
                     delays.iter().sum::<u64>() as f64 / delays.len() as f64 / 1e3
                 },
             }
-        })
-        .collect()
+        }
+    })
 }
 
 /// One EQO-mode measurement.
@@ -127,9 +132,10 @@ pub struct EqoRow {
 /// shows the framework pays almost nothing for living within the
 /// hardware's constraints.
 pub fn eqo_sweep(ms: u64) -> Vec<EqoRow> {
-    [("eqo-estimate", false), ("ground-truth", true)]
-        .iter()
-        .map(|&(mode, truth)| {
+    const MODES: [(&str, bool); 2] = [("eqo-estimate", false), ("ground-truth", true)];
+    par::par_map(MODES.len(), |i| {
+        let (mode, truth) = MODES[i];
+        {
             let mut cfg = testbed(20_000, 1);
             cfg.node_num = 8;
             cfg.eqo_ground_truth = truth;
@@ -145,14 +151,15 @@ pub fn eqo_sweep(ms: u64) -> Vec<EqoRow> {
                 deferred += net.engine.tor(NodeId(n)).counters.deferred;
                 cap += net.engine.tor(NodeId(n)).counters.dropped_capacity;
             }
+            par::note_events(net.events_scheduled());
             EqoRow {
                 mode,
                 loss: lost as f64 / c.host_tx_packets.max(1) as f64,
                 deferred,
                 capacity_drops: cap,
             }
-        })
-        .collect()
+        }
+    })
 }
 
 /// One offload-lead point.
@@ -170,9 +177,10 @@ pub struct LeadRow {
 /// risk missing the slice (FCT climbs); large leads refill the buffers the
 /// offload was meant to empty.
 pub fn offload_lead_sweep() -> Vec<LeadRow> {
-    [500u64, 5_000, 20_000, 60_000, 150_000, 280_000]
-        .iter()
-        .map(|&lead| {
+    const LEADS: [u64; 6] = [500, 5_000, 20_000, 60_000, 150_000, 280_000];
+    par::par_map(LEADS.len(), |i| {
+        let lead = LEADS[i];
+        {
             let mut cfg = testbed(300_000, 1);
             cfg.node_num = 12;
             cfg.num_queues = 4;
@@ -192,8 +200,8 @@ pub fn offload_lead_sweep() -> Vec<LeadRow> {
             net.run_for(SimTime::from_ms(80));
             let resident: u64 =
                 (0..12).map(|n| net.engine.tor(NodeId(n)).peak_buffer_bytes).max().unwrap_or(0);
-            let fcts: Vec<u64> =
-                net.fct().completed().iter().map(|r| r.fct_ns()).collect();
+            let fcts: Vec<u64> = net.fct().completed().iter().map(|r| r.fct_ns()).collect();
+            par::note_events(net.events_scheduled());
             LeadRow {
                 lead_ns: lead,
                 resident_mb: resident as f64 / 1e6,
@@ -203,15 +211,14 @@ pub fn offload_lead_sweep() -> Vec<LeadRow> {
                     fcts.iter().sum::<u64>() as f64 / fcts.len() as f64 / 1e6
                 },
             }
-        })
-        .collect()
+        }
+    })
 }
 
 fn attach_trace(net: &mut OpenOpticsNet, trace: Trace, load: f64, ms: u64) {
     let cfg: &NetConfig = &net.engine.cfg;
     let hosts = (0..cfg.total_hosts()).map(HostId).collect();
-    let mut gen =
-        PoissonArrivals::new(hosts, trace.dist(), cfg.host_link_bandwidth(), load, 5);
+    let mut gen = PoissonArrivals::new(hosts, trace.dist(), cfg.host_link_bandwidth(), load, 5);
     for f in gen.take_until(SimTime::from_ms(ms)) {
         net.add_flow(f.at, f.src, f.dst, f.bytes.min(2_000_000), TransportKind::Paced);
     }
@@ -262,11 +269,7 @@ pub fn render(ms: u64) -> String {
         t.row(vec![
             format!("{}us", r.lead_ns / 1_000),
             format!("{:.2} MB", r.resident_mb),
-            if r.mean_fct_ms.is_nan() {
-                "-".into()
-            } else {
-                format!("{:.2} ms", r.mean_fct_ms)
-            },
+            if r.mean_fct_ms.is_nan() { "-".into() } else { format!("{:.2} ms", r.mean_fct_ms) },
         ]);
     }
     out.push_str(&t.render());

@@ -9,6 +9,7 @@
 //! far less sensitive, with a cost-performance sweet spot around the
 //! 100 µs-class device.
 
+use crate::par;
 use crate::util::{self, Table};
 use openoptics_core::archs;
 use openoptics_fabric::OCS_CATALOG;
@@ -36,32 +37,32 @@ pub struct Fig10Row {
 }
 
 /// Run the device × routing sweep. `duration_ms` is the workload window.
+/// Each `(device, routing)` cell is an independent parallel point.
 pub fn run(duration_ms: u64) -> Vec<Fig10Row> {
-    let mut rows = vec![];
-    for dev in &OCS_CATALOG {
-        for routing in ["vlb", "ucmp"] {
-            let mut cfg = util::testbed(dev.min_slice_ns, 2);
-            cfg.guard_ns = dev.guardband_ns();
-            let mut net = match routing {
-                "vlb" => archs::rotornet_with(cfg, Vlb, MultipathMode::PerPacket),
-                _ => archs::rotornet_with(cfg, Ucmp::default(), MultipathMode::PerPacket),
-            };
-            let stop = SimTime::from_ms(duration_ms);
-            util::attach_memcached(&mut net, stop);
-            net.run_for(SimTime::from_ms(duration_ms + 10));
-            let (p50, _, p99, samples) = util::mice_percentiles(net.fct());
-            rows.push(Fig10Row {
-                device: dev.name,
-                slice_ns: dev.min_slice_ns,
-                routing: if routing == "vlb" { "VLB" } else { "UCMP" },
-                p50_us: p50,
-                p99_us: p99,
-                samples,
-                cdf: openoptics_workload::FctStats::cdf(&net.fct().mice_fcts(), 10),
-            });
+    par::par_map(OCS_CATALOG.len() * 2, |i| {
+        let dev = &OCS_CATALOG[i / 2];
+        let routing = ["vlb", "ucmp"][i % 2];
+        let mut cfg = util::testbed(dev.min_slice_ns, 2);
+        cfg.guard_ns = dev.guardband_ns();
+        let mut net = match routing {
+            "vlb" => archs::rotornet_with(cfg, Vlb, MultipathMode::PerPacket),
+            _ => archs::rotornet_with(cfg, Ucmp::default(), MultipathMode::PerPacket),
+        };
+        let stop = SimTime::from_ms(duration_ms);
+        util::attach_memcached(&mut net, stop);
+        net.run_for(SimTime::from_ms(duration_ms + 10));
+        par::note_events(net.events_scheduled());
+        let (p50, _, p99, samples) = util::mice_percentiles(net.fct());
+        Fig10Row {
+            device: dev.name,
+            slice_ns: dev.min_slice_ns,
+            routing: if routing == "vlb" { "VLB" } else { "UCMP" },
+            p50_us: p50,
+            p99_us: p99,
+            samples,
+            cdf: openoptics_workload::FctStats::cdf(&net.fct().mice_fcts(), 10),
         }
-    }
-    rows
+    })
 }
 
 /// Render as a table.
@@ -86,7 +87,13 @@ pub fn render(rows: &[Fig10Row]) -> String {
             .map(|(ns, f)| format!("{:.0}%:{}", f * 100.0, util::us(*ns as f64 / 1e3)))
             .collect::<Vec<_>>()
             .join("  ");
-        out.push_str(&format!("  {:<19}{:<6}{:<5} {}\n", r.device, format!("{}us", r.slice_ns / 1_000), r.routing, series));
+        out.push_str(&format!(
+            "  {:<19}{:<6}{:<5} {}\n",
+            r.device,
+            format!("{}us", r.slice_ns / 1_000),
+            r.routing,
+            series
+        ));
     }
     out
 }

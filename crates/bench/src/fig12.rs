@@ -75,10 +75,7 @@ fn measure(interval_ns: u64, steps: usize, seed: u64) -> Fig12Row {
 
 /// Sweep update intervals.
 pub fn run(steps: usize) -> Vec<Fig12Row> {
-    [25u64, 50, 100, 200, 400, 800]
-        .iter()
-        .map(|&i| measure(i, steps, 12))
-        .collect()
+    [25u64, 50, 100, 200, 400, 800].iter().map(|&i| measure(i, steps, 12)).collect()
 }
 
 /// Render as a table.

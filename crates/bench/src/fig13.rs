@@ -8,6 +8,7 @@
 //! emulation) run the identical probe train; the comparison is between the
 //! two distributions' shapes.
 
+use crate::par;
 use crate::util::{self, Table};
 use openoptics_core::archs;
 use openoptics_proto::HostId;
@@ -34,6 +35,7 @@ fn measure(emulated: bool, probes: u64) -> Fig13Row {
     let mut net = archs::rotornet(cfg);
     let train = net.add_probe_train(HostId(0), HostId(5), 50_000, probes, 100);
     net.run_for(SimTime::from_ms(probes / 20 * 2 + 50));
+    par::note_events(net.events_scheduled());
     let stats = net.engine.probe_stats(train);
     let p = |q: f64| stats.percentile_ns(q).map(|x| x as f64 / 1e3).unwrap_or(f64::NAN);
     Fig13Row {
@@ -41,17 +43,13 @@ fn measure(emulated: bool, probes: u64) -> Fig13Row {
         samples: stats.len(),
         pcts_us: (p(10.0), p(50.0), p(90.0), p(99.0)),
         steps_us: stats.steps_ns(0.4).iter().map(|&s| s as f64 / 1e3).collect(),
-        by_hops: stats
-            .by_hops()
-            .into_iter()
-            .map(|(h, m, c)| (h, m / 1e3, c))
-            .collect(),
+        by_hops: stats.by_hops().into_iter().map(|(h, m, c)| (h, m / 1e3, c)).collect(),
     }
 }
 
-/// Run both fabric profiles.
+/// Run both fabric profiles as independent parallel points.
 pub fn run(probes: u64) -> Vec<Fig13Row> {
-    vec![measure(false, probes), measure(true, probes)]
+    par::par_map(2, |i| measure(i == 1, probes))
 }
 
 /// Render as a table.

@@ -64,10 +64,8 @@ fn measure(stack: &'static str, n: usize, seed: u64) -> Fig14Row {
     let p50 = pct(&rtts, 50.0) as f64 / 1e3;
     let band95 = (pct(&rtts, 97.5) - pct(&rtts, 2.5)) as f64 / 1e3;
     // Spacing deviation: difference of consecutive arrivals vs the cadence.
-    let mut devs: Vec<u64> = arrivals
-        .windows(2)
-        .map(|w| (w[1] - w[0]).abs_diff(interval))
-        .collect();
+    let mut devs: Vec<u64> =
+        arrivals.windows(2).map(|w| (w[1] - w[0]).abs_diff(interval)).collect();
     devs.sort_unstable();
     let dev95 = pct(&devs, 95.0) as f64 / 1e3;
     Fig14Row { stack, p50_us: p50, band95_us: band95, spacing_dev95_us: dev95 }

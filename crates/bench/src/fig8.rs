@@ -12,6 +12,7 @@
 //! architectures roughly double completion times (circuits exist only part
 //! of the time).
 
+use crate::par;
 use crate::util::{self, Table};
 use openoptics_core::archs;
 use openoptics_proto::{HostId, NodeId};
@@ -40,42 +41,46 @@ pub struct MiceRow {
 /// Slice duration used for the fine-grained (TO + Mordia) architectures.
 const TO_SLICE_NS: u64 = 100_000;
 
-fn architectures(uplinks: u16) -> Vec<(&'static str, openoptics_core::OpenOpticsNet)> {
+/// The seven Fig. 8 architectures, constructed by index so each parallel
+/// point builds exactly its own network.
+const ARCH_NAMES: [&str; 7] =
+    ["clos", "c-through", "jupiter", "mordia", "rotornet-vlb", "opera", "rotornet-ucmp"];
+
+fn architecture(i: usize, uplinks: u16) -> (&'static str, openoptics_core::OpenOpticsNet) {
     let cfg = || util::testbed(TO_SLICE_NS, uplinks);
-    let tm = util::memcached_tm(8, NodeId(0));
-    vec![
-        ("clos", archs::clos(cfg())),
-        ("c-through", archs::cthrough(cfg(), &tm)),
-        ("jupiter", archs::jupiter(cfg())),
-        ("mordia", archs::mordia(cfg(), &tm, 8)),
-        ("rotornet-vlb", archs::rotornet(cfg())),
-        ("opera", archs::opera(cfg())),
-        (
-            "rotornet-ucmp",
-            archs::rotornet_with(cfg(), Ucmp::default(), MultipathMode::PerPacket),
-        ),
-    ]
+    let tm = || util::memcached_tm(8, NodeId(0));
+    let net = match ARCH_NAMES[i] {
+        "clos" => archs::clos(cfg()),
+        "c-through" => archs::cthrough(cfg(), &tm()),
+        "jupiter" => archs::jupiter(cfg()),
+        "mordia" => archs::mordia(cfg(), &tm(), 8),
+        "rotornet-vlb" => archs::rotornet(cfg()),
+        "opera" => archs::opera(cfg()),
+        _ => archs::rotornet_with(cfg(), Ucmp::default(), MultipathMode::PerPacket),
+    };
+    (ARCH_NAMES[i], net)
 }
 
 /// Fig. 8(a): memcached mice FCT distribution per architecture.
-/// `duration_ms` controls the measurement window.
+/// `duration_ms` controls the measurement window. Architectures run as
+/// independent parallel points.
 pub fn run_mice(duration_ms: u64) -> Vec<MiceRow> {
-    let mut rows = vec![];
-    for (name, mut net) in architectures(1) {
+    par::par_map(ARCH_NAMES.len(), |i| {
+        let (name, mut net) = architecture(i, 1);
         let stop = SimTime::from_ms(duration_ms);
         util::attach_memcached(&mut net, stop);
         net.run_for(SimTime::from_ms(duration_ms + 5));
+        par::note_events(net.events_scheduled());
         let (p50, p90, p99, samples) = util::mice_percentiles(net.fct());
-        rows.push(MiceRow {
+        MiceRow {
             arch: name,
             p50_us: p50,
             p90_us: p90,
             p99_us: p99,
             samples,
             cdf: openoptics_workload::FctStats::cdf(&net.fct().mice_fcts(), 10),
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// One architecture's allreduce row.
@@ -88,45 +93,33 @@ pub struct AllreduceRow {
 }
 
 /// Fig. 8(b): ring-allreduce completion per architecture at `data_bytes`.
+/// Architectures run as independent parallel points.
 pub fn run_allreduce(data_bytes: u64) -> Vec<AllreduceRow> {
-    let tm = util::ring_tm(8);
-    let mut rows = vec![];
-    // TA architectures get 2 uplinks so matching circuits can realize the
-    // full ring (as the paper's testbed topology does).
-    for (name, mut net) in [
-        ("clos", archs::clos(util::testbed(TO_SLICE_NS, 2))),
-        ("c-through", {
-            let mut c = util::testbed(TO_SLICE_NS, 2);
-            c.elephant_threshold = 100_000;
-            archs::cthrough(c, &tm)
-        }),
-        ("jupiter", {
-            let mut net = archs::jupiter(util::testbed(TO_SLICE_NS, 2));
-            archs::jupiter_reconfigure(&mut net, &tm);
-            net
-        }),
-        ("mordia", archs::mordia(util::testbed(TO_SLICE_NS, 2), &tm, 8)),
-        ("rotornet-vlb", archs::rotornet(util::testbed(TO_SLICE_NS, 2))),
-        ("opera", archs::opera(util::testbed(TO_SLICE_NS, 2))),
-        (
-            "rotornet-ucmp",
-            archs::rotornet_with(
-                util::testbed(TO_SLICE_NS, 2),
-                Ucmp::default(),
-                MultipathMode::PerPacket,
-            ),
-        ),
-    ] {
+    par::par_map(ARCH_NAMES.len(), |i| {
+        let tm = util::ring_tm(8);
+        // TA architectures get 2 uplinks so matching circuits can realize
+        // the full ring (as the paper's testbed topology does).
+        let (name, mut net) = match ARCH_NAMES[i] {
+            "c-through" => {
+                let mut c = util::testbed(TO_SLICE_NS, 2);
+                c.elephant_threshold = 100_000;
+                ("c-through", archs::cthrough(c, &tm))
+            }
+            "jupiter" => {
+                let mut net = archs::jupiter(util::testbed(TO_SLICE_NS, 2));
+                archs::jupiter_reconfigure(&mut net, &tm);
+                ("jupiter", net)
+            }
+            "mordia" => ("mordia", archs::mordia(util::testbed(TO_SLICE_NS, 2), &tm, 8)),
+            _ => architecture(i, 2),
+        };
         let hosts: Vec<HostId> = (0..8).map(HostId).collect();
         let idx = net.add_allreduce(hosts, data_bytes);
         net.run_for(SimTime::from_ms(400));
+        par::note_events(net.events_scheduled());
         let done = net.engine.collective_done[idx];
-        rows.push(AllreduceRow {
-            arch: name,
-            completion_ms: done.map(|t| t.as_ms_f64()).unwrap_or(f64::NAN),
-        });
-    }
-    rows
+        AllreduceRow { arch: name, completion_ms: done.map(|t| t.as_ms_f64()).unwrap_or(f64::NAN) }
+    })
 }
 
 /// Render Fig. 8(a) as a table plus the CDF series the figure plots.
@@ -142,9 +135,11 @@ pub fn render_mice(rows: &[MiceRow]) -> String {
         ]);
     }
     let mut out = t.render();
-    out.push_str("
+    out.push_str(
+        "
 CDF series (cumulative fraction -> FCT):
-");
+",
+    );
     for r in rows {
         let series = r
             .cdf
@@ -152,8 +147,11 @@ CDF series (cumulative fraction -> FCT):
             .map(|(ns, f)| format!("{:.0}%:{}", f * 100.0, util::us(*ns as f64 / 1e3)))
             .collect::<Vec<_>>()
             .join("  ");
-        out.push_str(&format!("  {:<14} {}
-", r.arch, series));
+        out.push_str(&format!(
+            "  {:<14} {}
+",
+            r.arch, series
+        ));
     }
     out
 }

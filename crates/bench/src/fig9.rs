@@ -11,6 +11,7 @@
 //! direct at dupack 3 and recovers toward its expected share at dupack 5,
 //! while VLB improves but stays low.
 
+use crate::par;
 use crate::util::{self, Table};
 use openoptics_core::{archs, DispatchPolicy, PauseMode, TransportKind};
 use openoptics_host::tcp::TcpConfig;
@@ -72,6 +73,7 @@ fn measure_with(
         transport,
     );
     net.run_for(SimTime::from_ms(ms));
+    par::note_events(net.events_scheduled());
     // The flow id is 1 (first flow started).
     let delivered = net.engine.flow_delivered(1);
     let goodput = delivered as f64 * 8.0 / (ms as f64 / 1e3) / 1e9;
@@ -85,46 +87,56 @@ fn measure_with(
     }
 }
 
-/// Run the full Fig. 9 sweep.
+/// The five Fig. 9 network setups, in the paper's presentation order.
+const SETUPS: usize = 5;
+
+/// Run the full Fig. 9 sweep; each `(dupack, setup)` cell is an
+/// independent parallel point.
 pub fn run(ms: u64) -> Vec<Fig9Row> {
-    let mut rows = vec![];
-    for dupack in [3u32, 5] {
-        rows.push(measure("clos", archs::clos(iperf_cfg()), dupack, ms));
-
-        let mut direct_cfg = iperf_cfg();
-        // Direct-circuit traffic waits for its own circuit rather than
-        // deferring onto another pair's slice.
-        direct_cfg.congestion_policy = "wait".to_string();
-        let mut direct = archs::rotornet_with(direct_cfg, Direct, MultipathMode::None);
-        direct.engine.pause_mode = PauseMode::DirectCircuit;
-        rows.push(measure("rotornet-direct", direct, dupack, ms));
-
-        let vlb = archs::rotornet_with(iperf_cfg(), Vlb, MultipathMode::PerPacket);
-        rows.push(measure("rotornet-vlb", vlb, dupack, ms));
-
-        let mut hybrid_cfg = iperf_cfg();
-        hybrid_cfg.electrical_gbps = 10;
-        hybrid_cfg.congestion_policy = "wait".to_string();
-        let mut hybrid = archs::rotornet_with(hybrid_cfg, Direct, MultipathMode::None);
-        hybrid.engine.policy = DispatchPolicy::HybridDirect;
-        rows.push(measure("rotornet-hybrid", hybrid, dupack, ms));
-
-        // The "newly designed protocol" the framework lets us evaluate:
-        // TDTCP's per-topology state on the same hybrid network.
-        let mut hybrid_cfg = iperf_cfg();
-        hybrid_cfg.electrical_gbps = 10;
-        hybrid_cfg.congestion_policy = "wait".to_string();
-        let mut hybrid_td = archs::rotornet_with(hybrid_cfg, Direct, MultipathMode::None);
-        hybrid_td.engine.policy = DispatchPolicy::HybridDirect;
-        rows.push(measure_with(
-            "rotornet-hybrid-tdtcp",
-            hybrid_td,
-            TransportKind::TdTcp(tcp(dupack)),
-            dupack,
-            ms,
-        ));
-    }
-    rows
+    par::par_map(2 * SETUPS, |i| {
+        let dupack = [3u32, 5][i / SETUPS];
+        match i % SETUPS {
+            0 => measure("clos", archs::clos(iperf_cfg()), dupack, ms),
+            1 => {
+                let mut direct_cfg = iperf_cfg();
+                // Direct-circuit traffic waits for its own circuit rather
+                // than deferring onto another pair's slice.
+                direct_cfg.congestion_policy = "wait".to_string();
+                let mut direct = archs::rotornet_with(direct_cfg, Direct, MultipathMode::None);
+                direct.engine.pause_mode = PauseMode::DirectCircuit;
+                measure("rotornet-direct", direct, dupack, ms)
+            }
+            2 => {
+                let vlb = archs::rotornet_with(iperf_cfg(), Vlb, MultipathMode::PerPacket);
+                measure("rotornet-vlb", vlb, dupack, ms)
+            }
+            3 => {
+                let mut hybrid_cfg = iperf_cfg();
+                hybrid_cfg.electrical_gbps = 10;
+                hybrid_cfg.congestion_policy = "wait".to_string();
+                let mut hybrid = archs::rotornet_with(hybrid_cfg, Direct, MultipathMode::None);
+                hybrid.engine.policy = DispatchPolicy::HybridDirect;
+                measure("rotornet-hybrid", hybrid, dupack, ms)
+            }
+            _ => {
+                // The "newly designed protocol" the framework lets us
+                // evaluate: TDTCP's per-topology state on the same hybrid
+                // network.
+                let mut hybrid_cfg = iperf_cfg();
+                hybrid_cfg.electrical_gbps = 10;
+                hybrid_cfg.congestion_policy = "wait".to_string();
+                let mut hybrid_td = archs::rotornet_with(hybrid_cfg, Direct, MultipathMode::None);
+                hybrid_td.engine.policy = DispatchPolicy::HybridDirect;
+                measure_with(
+                    "rotornet-hybrid-tdtcp",
+                    hybrid_td,
+                    TransportKind::TdTcp(tcp(dupack)),
+                    dupack,
+                    ms,
+                )
+            }
+        }
+    })
 }
 
 /// Render as a table.

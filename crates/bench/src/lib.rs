@@ -3,8 +3,9 @@
 //! The experiment harness: one module per table/figure of the OpenOptics
 //! evaluation (§6–§7 and the appendices), each exposing a `run(scale)`
 //! function that regenerates the paper's rows/series and returns them as
-//! structured data. The `experiments` binary prints them; Criterion benches
-//! exercise the hot paths.
+//! structured data. The `experiments` binary prints them (fanning
+//! independent simulation points over the [`par`] worker pool); the
+//! `micro` bench exercises the hot paths.
 //!
 //! Scale: the paper's testbed is 8 ToRs at 100 Gbps with a 108-ToR emulated
 //! benchmark; the simulations here default to the same 8-ToR fabric (and a
@@ -22,6 +23,7 @@ pub mod fig14;
 pub mod fig8;
 pub mod fig9;
 pub mod minslice;
+pub mod par;
 pub mod table2;
 pub mod table3;
 pub mod table4;

@@ -2,127 +2,233 @@
 //! evaluation.
 //!
 //! ```text
-//! experiments <id> [--quick]
+//! experiments <id> [--quick] [--jobs N]
 //!   ids: fig8a fig8b fig9 fig10 fig11 fig12 fig13 fig14
-//!        table2 table3 table4 minslice all
+//!        table2 table3 table4 ablations minslice all
 //! ```
 //!
 //! `--quick` shrinks measurement windows for smoke runs (used by CI and the
 //! `figures` bench); the default windows are the EXPERIMENTS.md settings.
+//!
+//! `--jobs N` sets the worker count for the parallel experiment runner
+//! (default: available parallelism). Independent simulation points fan out
+//! across a `std::thread::scope` pool; results are collected in original
+//! order, so the rendered output is byte-identical at any worker count —
+//! `--jobs 1` reproduces the serial behavior exactly.
+//!
+//! Each experiment reports wall-clock time and engine throughput (events
+//! scheduled per second, from `EventQueue::scheduled_total`) to stderr, and
+//! the run writes a machine-readable `BENCH_engine.json` summary.
 
 use openoptics_bench as x;
 use std::time::Instant;
 
+/// One experiment's instrumentation record.
+struct ExpStat {
+    id: &'static str,
+    wall_s: f64,
+    events: u64,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| {
-        eprintln!("usage: experiments <fig8a|fig8b|fig9|fig10|fig11|fig12|fig13|fig14|table2|table3|table4|ablations|minslice|all> [--quick]");
-        std::process::exit(2);
-    });
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        let n = args
+            .get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                eprintln!("--jobs expects a positive integer");
+                std::process::exit(2);
+            });
+        x::par::set_jobs(n);
+    }
+    let which = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            // Skip flags and the value following --jobs.
+            !a.starts_with("--") && (*i == 0 || args[i - 1] != "--jobs")
+        })
+        .map(|(_, a)| a.clone())
+        .next()
+        .unwrap_or_else(|| {
+            eprintln!("usage: experiments <fig8a|fig8b|fig9|fig10|fig11|fig12|fig13|fig14|table2|table3|table4|ablations|minslice|all> [--quick] [--jobs N]");
+            std::process::exit(2);
+        });
     let all = which == "all";
     let run = |id: &str| all || which == id;
     let mut ran = false;
+    let mut stats: Vec<ExpStat> = vec![];
 
     let section = |title: &str| println!("\n=== {title} ===");
+
+    // Run one experiment body with wall-clock + events/sec instrumentation.
+    let instrument = |stats: &mut Vec<ExpStat>, id: &'static str, body: &mut dyn FnMut()| {
+        x::par::take_events(); // drop any counts from a previous section
+        let t = Instant::now();
+        body();
+        let wall_s = t.elapsed().as_secs_f64();
+        let events = x::par::take_events();
+        if events > 0 {
+            eprintln!(
+                "[{id} took {wall_s:.2}s; {events} events, {:.2} Mevents/s]",
+                events as f64 / wall_s / 1e6
+            );
+        } else {
+            eprintln!("[{id} took {wall_s:.2}s]");
+        }
+        stats.push(ExpStat { id, wall_s, events });
+    };
 
     if run("fig8a") {
         ran = true;
         section("Fig. 8a — memcached mice FCTs per architecture");
-        let t = Instant::now();
-        let rows = x::fig8::run_mice(if quick { 8 } else { 40 });
-        print!("{}", x::fig8::render_mice(&rows));
-        eprintln!("[fig8a took {:?}]", t.elapsed());
+        instrument(&mut stats, "fig8a", &mut || {
+            let rows = x::fig8::run_mice(if quick { 8 } else { 40 });
+            print!("{}", x::fig8::render_mice(&rows));
+        });
     }
     if run("fig8b") {
         ran = true;
         section("Fig. 8b — Gloo ring-allreduce completion per architecture");
-        let t = Instant::now();
-        for size in if quick { vec![800_000u64] } else { vec![800_000, 4_000_000, 20_000_000] } {
-            println!("\n-- data size {} --", if size >= 1_000_000 { format!("{}MB", size / 1_000_000) } else { format!("{}KB", size / 1_000) });
-            let rows = x::fig8::run_allreduce(size);
-            print!("{}", x::fig8::render_allreduce(&rows));
-        }
-        eprintln!("[fig8b took {:?}]", t.elapsed());
+        instrument(&mut stats, "fig8b", &mut || {
+            for size in if quick { vec![800_000u64] } else { vec![800_000, 4_000_000, 20_000_000] }
+            {
+                println!(
+                    "\n-- data size {} --",
+                    if size >= 1_000_000 {
+                        format!("{}MB", size / 1_000_000)
+                    } else {
+                        format!("{}KB", size / 1_000)
+                    }
+                );
+                let rows = x::fig8::run_allreduce(size);
+                print!("{}", x::fig8::render_allreduce(&rows));
+            }
+        });
     }
     if run("fig9") {
         ran = true;
         section("Fig. 9 — TCP throughput & reordering (iperf)");
-        let t = Instant::now();
-        let rows = x::fig9::run(if quick { 10 } else { 50 });
-        print!("{}", x::fig9::render(&rows));
-        eprintln!("[fig9 took {:?}]", t.elapsed());
+        instrument(&mut stats, "fig9", &mut || {
+            let rows = x::fig9::run(if quick { 10 } else { 50 });
+            print!("{}", x::fig9::render(&rows));
+        });
     }
     if run("fig10") {
         ran = true;
         section("Fig. 10 — mice FCT vs OCS slice duration (VLB / UCMP)");
-        let t = Instant::now();
-        let rows = x::fig10::run(if quick { 8 } else { 30 });
-        print!("{}", x::fig10::render(&rows));
-        eprintln!("[fig10 took {:?}]", t.elapsed());
+        instrument(&mut stats, "fig10", &mut || {
+            let rows = x::fig10::run(if quick { 8 } else { 30 });
+            print!("{}", x::fig10::render(&rows));
+        });
     }
     if run("fig11") {
         ran = true;
         section("Fig. 11 — switch-to-switch delay vs packet size");
-        let rows = x::fig11::run(if quick { 500 } else { 5_000 });
-        print!("{}", x::fig11::render(&rows));
+        instrument(&mut stats, "fig11", &mut || {
+            let rows = x::fig11::run(if quick { 500 } else { 5_000 });
+            print!("{}", x::fig11::render(&rows));
+        });
     }
     if run("fig12") {
         ran = true;
         section("Fig. 12 — EQO error vs update interval");
-        let rows = x::fig12::run(if quick { 2_000 } else { 20_000 });
-        print!("{}", x::fig12::render(&rows));
+        instrument(&mut stats, "fig12", &mut || {
+            let rows = x::fig12::run(if quick { 2_000 } else { 20_000 });
+            print!("{}", x::fig12::render(&rows));
+        });
     }
     if run("fig13") {
         ran = true;
         section("Fig. 13 — UDP RTT distribution (emulated vs real OCS)");
-        let t = Instant::now();
-        let rows = x::fig13::run(if quick { 400 } else { 3_000 });
-        print!("{}", x::fig13::render(&rows));
-        eprintln!("[fig13 took {:?}]", t.elapsed());
+        instrument(&mut stats, "fig13", &mut || {
+            let rows = x::fig13::run(if quick { 400 } else { 3_000 });
+            print!("{}", x::fig13::render(&rows));
+        });
     }
     if run("fig14") {
         ran = true;
         section("Fig. 14 — offload RTT stability (libvma vs kernel)");
-        let rows = x::fig14::run(if quick { 2_000 } else { 20_000 });
-        print!("{}", x::fig14::render(&rows));
+        instrument(&mut stats, "fig14", &mut || {
+            let rows = x::fig14::run(if quick { 2_000 } else { 20_000 });
+            print!("{}", x::fig14::render(&rows));
+        });
     }
     if run("table2") {
         ran = true;
         section("Table 2 — Tofino2 resource usage (108-ToR)");
-        print!("{}", x::table2::render(&x::table2::run()));
+        instrument(&mut stats, "table2", &mut || {
+            print!("{}", x::table2::render(&x::table2::run()));
+        });
     }
     if run("table3") {
         ran = true;
         section("Table 3 — p99.9 buffer usage (300us slices, 40% load)");
-        let t = Instant::now();
-        let rows = x::table3::run(if quick { 6 } else { 30 });
-        print!("{}", x::table3::render(&rows));
-        eprintln!("[table3 took {:?}]", t.elapsed());
+        instrument(&mut stats, "table3", &mut || {
+            let rows = x::table3::run(if quick { 6 } else { 30 });
+            print!("{}", x::table3::render(&rows));
+        });
     }
     if run("table4") {
         ran = true;
         section("Table 4 — congestion detection & push-back ablation (HOHO, 70% load)");
-        let t = Instant::now();
-        let rows = x::table4::run(if quick { 6 } else { 30 });
-        print!("{}", x::table4::render(&rows));
-        eprintln!("[table4 took {:?}]", t.elapsed());
+        instrument(&mut stats, "table4", &mut || {
+            let rows = x::table4::run(if quick { 6 } else { 30 });
+            print!("{}", x::table4::render(&rows));
+        });
     }
     if run("ablations") {
         ran = true;
         section("Ablations — guardband / defer window / EQO / offload lead");
-        let t = Instant::now();
-        print!("{}", x::ablations::render(if quick { 6 } else { 20 }));
-        eprintln!("[ablations took {:?}]", t.elapsed());
+        instrument(&mut stats, "ablations", &mut || {
+            print!("{}", x::ablations::render(if quick { 6 } else { 20 }));
+        });
     }
     if run("minslice") {
         ran = true;
         section("§7 — minimum time-slice derivation");
-        print!("{}", x::minslice::render(&x::minslice::run()));
+        instrument(&mut stats, "minslice", &mut || {
+            print!("{}", x::minslice::render(&x::minslice::run()));
+        });
     }
 
     if !ran {
         eprintln!("unknown experiment id: {which}");
         std::process::exit(2);
+    }
+
+    write_bench_json(&stats);
+}
+
+/// Write the machine-readable run summary next to the working directory.
+fn write_bench_json(stats: &[ExpStat]) {
+    let total_wall: f64 = stats.iter().map(|s| s.wall_s).sum();
+    let total_events: u64 = stats.iter().map(|s| s.events).sum();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"jobs\": {},\n", x::par::jobs()));
+    out.push_str(&format!("  \"total_wall_s\": {total_wall:.3},\n"));
+    out.push_str(&format!("  \"total_events\": {total_events},\n"));
+    out.push_str(&format!(
+        "  \"events_per_sec\": {:.0},\n",
+        if total_wall > 0.0 { total_events as f64 / total_wall } else { 0.0 }
+    ));
+    out.push_str("  \"experiments\": [\n");
+    for (i, s) in stats.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}}}{}\n",
+            s.id,
+            s.wall_s,
+            s.events,
+            if s.wall_s > 0.0 { s.events as f64 / s.wall_s } else { 0.0 },
+            if i + 1 < stats.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_engine.json", &out) {
+        Ok(()) => eprintln!("[wrote BENCH_engine.json]"),
+        Err(e) => eprintln!("[could not write BENCH_engine.json: {e}]"),
     }
 }

@@ -34,10 +34,8 @@ pub struct MinSlice {
 /// Derive the budget from the component models.
 pub fn run() -> MinSlice {
     let rotation = PipelineModel::default().rotation_variance_ns(1500);
-    let eqo = fig12::run(4_000)
-        .into_iter()
-        .find(|r| r.interval_ns == 50)
-        .expect("50 ns row present");
+    let eqo =
+        fig12::run(4_000).into_iter().find(|r| r.interval_ns == 50).expect("50 ns row present");
     let eqo_bytes = eqo.max_error_bytes;
     let eqo_ns = Bandwidth::gbps(100).tx_time_ns(eqo_bytes);
     let sync = 2 * ClockSync::PAPER_MAX_ERR_NS;

@@ -7,6 +7,7 @@
 //! for up to a cycle) yet far below the 64 MB Tofino2 buffer, and
 //! offloading cuts the switch-resident share by an order of magnitude.
 
+use crate::par;
 use crate::util::{testbed, Table};
 use openoptics_core::{archs, OpenOpticsNet, TransportKind};
 use openoptics_proto::NodeId;
@@ -55,13 +56,8 @@ fn build(routing: &'static str, offload: bool) -> OpenOpticsNet {
 
 fn attach_load(net: &mut OpenOpticsNet, trace: Trace, load: f64, horizon: SimTime, seed: u64) {
     let hosts = (0..net.engine.cfg.total_hosts()).map(openoptics_proto::HostId).collect();
-    let mut gen = PoissonArrivals::new(
-        hosts,
-        trace.dist(),
-        net.engine.cfg.host_link_bandwidth(),
-        load,
-        seed,
-    );
+    let mut gen =
+        PoissonArrivals::new(hosts, trace.dist(), net.engine.cfg.host_link_bandwidth(), load, seed);
     for f in gen.take_until(horizon) {
         // Cap single flows at 2 MB so one straggler doesn't dominate the
         // short window (documented substitution; the distribution body is
@@ -94,6 +90,7 @@ fn measure(routing: &'static str, offload: bool, trace: Trace, ms: u64) -> Table
         .map(|n| net.engine.tor(NodeId(n)).offload_book.peak_parked_bytes)
         .max()
         .unwrap_or(0);
+    par::note_events(net.events_scheduled());
     Table3Row {
         routing,
         trace: trace.name(),
@@ -103,22 +100,21 @@ fn measure(routing: &'static str, offload: bool, trace: Trace, ms: u64) -> Table
     }
 }
 
-/// Run the routing × trace sweep over `ms` milliseconds per cell.
+/// Run the routing × trace sweep over `ms` milliseconds per cell; each
+/// `(trace, routing)` cell is an independent parallel point.
 pub fn run(ms: u64) -> Vec<Table3Row> {
-    let mut rows = vec![];
-    for trace in Trace::ALL {
-        rows.push(measure("vlb", false, trace, ms));
-        rows.push(measure("vlb+offload", true, trace, ms));
-        rows.push(measure("hoho", false, trace, ms));
-        rows.push(measure("ucmp", false, trace, ms));
-    }
-    rows
+    const ROUTINGS: [(&str, bool); 4] =
+        [("vlb", false), ("vlb+offload", true), ("hoho", false), ("ucmp", false)];
+    par::par_map(Trace::ALL.len() * ROUTINGS.len(), |i| {
+        let trace = Trace::ALL[i / ROUTINGS.len()];
+        let (routing, offload) = ROUTINGS[i % ROUTINGS.len()];
+        measure(routing, offload, trace, ms)
+    })
 }
 
 /// Render as a table.
 pub fn render(rows: &[Table3Row]) -> String {
-    let mut t =
-        Table::new(&["trace", "routing", "p99.9 buffer", "peak buffer", "offloaded peak"]);
+    let mut t = Table::new(&["trace", "routing", "p99.9 buffer", "peak buffer", "offloaded peak"]);
     for r in rows {
         t.row(vec![
             r.trace.to_string(),

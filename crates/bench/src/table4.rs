@@ -8,6 +8,7 @@
 //! column 3 eliminates loss and collapses delays to microseconds at some
 //! throughput cost (senders are held back).
 
+use crate::par;
 use crate::util::{testbed, Table};
 use openoptics_core::{archs, OpenOpticsNet, TransportKind};
 use openoptics_routing::algos::Hoho;
@@ -78,13 +79,11 @@ fn measure(
         net.add_flow(f.at, f.src, f.dst, f.bytes.min(2_000_000), TransportKind::Paced);
     }
     net.run_for(SimTime::from_ms(ms));
+    par::note_events(net.events_scheduled());
     let c = net.engine.counters;
     let lost = c.switch_drops + c.fabric_drops + c.link_drops + c.no_route_drops;
-    let loss_rate = if c.host_tx_packets > 0 {
-        lost as f64 / c.host_tx_packets as f64
-    } else {
-        0.0
-    };
+    let loss_rate =
+        if c.host_tx_packets > 0 { lost as f64 / c.host_tx_packets as f64 } else { 0.0 };
     let tput = c.delivered_payload_bytes as f64 * 8.0 / (ms as f64 / 1e3) / 1e9;
     let mut delays = std::mem::take(&mut net.engine.delay_samples);
     delays.sort_unstable();
@@ -108,19 +107,19 @@ fn measure(
     }
 }
 
-/// Run the 3-config × 3-trace ablation over `ms` milliseconds per cell.
+/// Run the 3-config × 3-trace ablation over `ms` milliseconds per cell;
+/// each `(config, trace)` cell is an independent parallel point.
 pub fn run(ms: u64) -> Vec<Table4Row> {
-    let mut rows = vec![];
-    for (config, det, pb) in [
+    const CONFIGS: [(&str, bool, bool); 3] = [
         ("no detection, no push-back", false, false),
         ("detection only", true, false),
         ("detection + push-back", true, true),
-    ] {
-        for trace in Trace::ALL {
-            rows.push(measure(config, det, pb, trace, ms));
-        }
-    }
-    rows
+    ];
+    par::par_map(CONFIGS.len() * Trace::ALL.len(), |i| {
+        let (config, det, pb) = CONFIGS[i / Trace::ALL.len()];
+        let trace = Trace::ALL[i % Trace::ALL.len()];
+        measure(config, det, pb, trace, ms)
+    })
 }
 
 /// Render as a table.

@@ -1,0 +1,30 @@
+//! The parallel experiment runner must be invisible in the output: the same
+//! experiment rendered with 1 worker and with 4 workers must be
+//! byte-identical (results are collected in original index order, and every
+//! simulation point owns its RNG). This is the `--jobs 1` vs `--jobs 4`
+//! acceptance check from the issue, run in-process against fig8a --quick.
+//!
+//! Single test function: `par::set_jobs` is a process-global knob, so the
+//! serial and parallel runs must happen sequentially in one test.
+
+use openoptics_bench as x;
+
+#[test]
+fn fig8a_quick_output_identical_across_worker_counts() {
+    x::par::set_jobs(1);
+    let serial_rows = x::fig8::run_mice(8);
+    let serial = x::fig8::render_mice(&serial_rows);
+    let serial_events = x::par::take_events();
+
+    x::par::set_jobs(4);
+    let parallel_rows = x::fig8::run_mice(8);
+    let parallel = x::fig8::render_mice(&parallel_rows);
+    let parallel_events = x::par::take_events();
+
+    assert_eq!(serial, parallel, "rendered fig8a output differs between --jobs 1 and --jobs 4");
+    assert_eq!(
+        serial_events, parallel_events,
+        "event counts differ between worker counts: the simulations themselves diverged"
+    );
+    assert!(serial_events > 0, "instrumentation recorded no events");
+}

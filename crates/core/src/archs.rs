@@ -46,8 +46,8 @@ pub fn cthrough(mut cfg: NetConfig, tm: &TrafficMatrix) -> OpenOpticsNet {
         cfg.electrical_gbps = 10; // rate-limited as in the original design (§6)
     }
     cfg.emulated_fabric = false; // real MEMS OCS
-    // Direct-circuit traffic must wait for its own circuit; deferring onto
-    // a different pair's slice would strand packets (as for Mordia).
+                                 // Direct-circuit traffic must wait for its own circuit; deferring onto
+                                 // a different pair's slice would strand packets (as for Mordia).
     cfg.congestion_policy = "wait".to_string();
     let uplinks = cfg.uplink;
     let mut net = OpenOpticsNet::new(cfg);
@@ -74,8 +74,9 @@ pub fn jupiter(mut cfg: NetConfig) -> OpenOpticsNet {
     if cfg.uplink < 2 {
         cfg.uplink = 2; // a mesh needs multiple stripes
     }
-    let mut net = OpenOpticsNet::new(cfg.clone());
-    let mesh = uniform_mesh(cfg.node_num, cfg.uplink);
+    let (nodes, uplinks) = (cfg.node_num, cfg.uplink);
+    let mut net = OpenOpticsNet::new(cfg);
+    let mesh = uniform_mesh(nodes, uplinks);
     net.deploy_topo(&mesh, 1).expect("uniform mesh is conflict-free");
     net.deploy_routing(Wcmp::default(), LookupMode::PerHop, MultipathMode::PerFlow);
     net.engine.policy = DispatchPolicy::OpticalOnly;
@@ -84,9 +85,9 @@ pub fn jupiter(mut cfg: NetConfig) -> OpenOpticsNet {
 
 /// One Jupiter evolution step toward a new traffic matrix.
 pub fn jupiter_reconfigure(net: &mut OpenOpticsNet, tm: &TrafficMatrix) {
-    let cfg = net.engine.cfg.clone();
+    let (nodes, uplinks) = (net.engine.cfg.node_num, net.engine.cfg.uplink);
     let prev = net.engine.schedule().circuits().to_vec();
-    let next = evolve(&prev, tm, cfg.node_num, cfg.uplink);
+    let next = evolve(&prev, tm, nodes, uplinks);
     net.deploy_topo(&next, 1).expect("evolved mesh is conflict-free");
     net.deploy_routing(Wcmp::default(), LookupMode::PerHop, MultipathMode::PerFlow);
 }
@@ -120,8 +121,9 @@ pub fn rotornet_with<A: RoutingAlgorithm + 'static>(
     algo: A,
     multipath: MultipathMode,
 ) -> OpenOpticsNet {
-    let mut net = OpenOpticsNet::new(cfg.clone());
-    let (circuits, slices) = round_robin(cfg.node_num, cfg.uplink);
+    let (nodes, uplinks) = (cfg.node_num, cfg.uplink);
+    let mut net = OpenOpticsNet::new(cfg);
+    let (circuits, slices) = round_robin(nodes, uplinks);
     net.deploy_topo(&circuits, slices).expect("round robin is conflict-free");
     net.deploy_routing(algo, LookupMode::PerHop, multipath);
     net.engine.policy = DispatchPolicy::OpticalOnly;
@@ -134,8 +136,9 @@ pub fn opera(mut cfg: NetConfig) -> OpenOpticsNet {
     if cfg.uplink < 2 {
         cfg.uplink = 2; // Opera needs per-slice connectivity
     }
-    let mut net = OpenOpticsNet::new(cfg.clone());
-    let (circuits, slices) = opera_schedule(cfg.node_num, cfg.uplink);
+    let (nodes, uplinks) = (cfg.node_num, cfg.uplink);
+    let mut net = OpenOpticsNet::new(cfg);
+    let (circuits, slices) = opera_schedule(nodes, uplinks);
     net.deploy_topo(&circuits, slices).expect("expander schedule is conflict-free");
     net.deploy_routing(
         OperaRouting::default(),
@@ -154,8 +157,9 @@ pub fn opera(mut cfg: NetConfig) -> OpenOpticsNet {
 /// grid's dimension-ordered circuits.
 pub fn shale(mut cfg: NetConfig, dim: u32) -> OpenOpticsNet {
     cfg.uplink = 1;
-    let mut net = OpenOpticsNet::new(cfg.clone());
-    let (circuits, slices) = round_robin_multidim(cfg.node_num, dim);
+    let nodes = cfg.node_num;
+    let mut net = OpenOpticsNet::new(cfg);
+    let (circuits, slices) = round_robin_multidim(nodes, dim);
     net.deploy_topo(&circuits, slices).expect("grid round robin is conflict-free");
     net.deploy_routing(Hoho::default(), LookupMode::PerHop, MultipathMode::None);
     net.engine.policy = DispatchPolicy::OpticalOnly;
@@ -166,8 +170,9 @@ pub fn shale(mut cfg: NetConfig, dim: u32) -> OpenOpticsNet {
 /// traffic matrix, redeployed periodically by the caller via
 /// [`semi_oblivious_reconfigure`].
 pub fn semi_oblivious(cfg: NetConfig, tm: &TrafficMatrix, extra_slices: u32) -> OpenOpticsNet {
-    let mut net = OpenOpticsNet::new(cfg.clone());
-    let (circuits, slices) = sorn(tm, cfg.node_num, cfg.uplink, extra_slices);
+    let (nodes, uplinks) = (cfg.node_num, cfg.uplink);
+    let mut net = OpenOpticsNet::new(cfg);
+    let (circuits, slices) = sorn(tm, nodes, uplinks, extra_slices);
     net.deploy_topo(&circuits, slices).expect("sorn schedule is conflict-free");
     net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
     net.engine.policy = DispatchPolicy::OpticalOnly;
@@ -176,13 +181,9 @@ pub fn semi_oblivious(cfg: NetConfig, tm: &TrafficMatrix, extra_slices: u32) -> 
 
 /// Refresh a semi-oblivious schedule for a new TM (the 10-minute loop of
 /// Fig. 5c).
-pub fn semi_oblivious_reconfigure(
-    net: &mut OpenOpticsNet,
-    tm: &TrafficMatrix,
-    extra_slices: u32,
-) {
-    let cfg = net.engine.cfg.clone();
-    let (circuits, slices) = sorn(tm, cfg.node_num, cfg.uplink, extra_slices);
+pub fn semi_oblivious_reconfigure(net: &mut OpenOpticsNet, tm: &TrafficMatrix, extra_slices: u32) {
+    let (nodes, uplinks) = (net.engine.cfg.node_num, net.engine.cfg.uplink);
+    let (circuits, slices) = sorn(tm, nodes, uplinks, extra_slices);
     net.deploy_topo(&circuits, slices).expect("sorn schedule is conflict-free");
     net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
 }
@@ -263,13 +264,7 @@ mod tests {
         // A mouse (electrical) and an elephant (optical, paused until its
         // held circuit — which exists for pair 0-5).
         net.add_flow(SimTime::from_ns(100), HostId(1), HostId(2), 10_000, TransportKind::Paced);
-        net.add_flow(
-            SimTime::from_ns(100),
-            HostId(0),
-            HostId(5),
-            2_000_000,
-            TransportKind::Paced,
-        );
+        net.add_flow(SimTime::from_ns(100), HostId(0), HostId(5), 2_000_000, TransportKind::Paced);
         net.run_for(SimTime::from_ms(50));
         assert_eq!(net.fct().completed().len(), 2, "both flows complete");
     }

@@ -4,16 +4,15 @@
 //! (json file) for hardware setups (e.g., OCSes count and structure,
 //! optical uplinks per endpoint, and time slice duration), along with a
 //! Python program that invokes the API functions." The Rust equivalent:
-//! a serde-deserializable [`NetConfig`] plus a program against
+//! a JSON-deserializable [`NetConfig`] plus a program against
 //! [`crate::net::OpenOpticsNet`].
 
+use crate::json;
 use openoptics_sim::rate::Bandwidth;
 use openoptics_sim::time::SliceConfig;
-use serde::{Deserialize, Serialize};
 
 /// The static configuration file contents.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-#[serde(default)]
+#[derive(Clone, Debug)]
 pub struct NetConfig {
     /// Endpoint node type: `"rack"` (ToR-centric) or `"host"`
     /// (host-centric; modeled identically with one host per node).
@@ -128,15 +127,98 @@ impl Default for NetConfig {
     }
 }
 
+/// Expand once per `NetConfig` field: keeps JSON parse and serialize in
+/// lockstep with the struct definition (a field added here is both read and
+/// written, or the compiler complains about the struct literal).
+macro_rules! for_each_config_field {
+    ($m:ident) => {
+        $m!(str node);
+        $m!(u32 node_num);
+        $m!(u16 uplink);
+        $m!(u32 hosts_per_node);
+        $m!(u64 slice_ns);
+        $m!(u64 guard_ns);
+        $m!(u64 uplink_gbps);
+        $m!(u64 host_link_gbps);
+        $m!(u64 ocs_reconfig_ns);
+        $m!(bool emulated_fabric);
+        $m!(u64 electrical_gbps);
+        $m!(u64 electrical_core_ns);
+        $m!(usize num_queues);
+        $m!(u64 queue_capacity);
+        $m!(bool congestion_detection);
+        $m!(u64 congestion_threshold);
+        $m!(str congestion_policy);
+        $m!(bool pushback);
+        $m!(bool offload);
+        $m!(u32 offload_keep_ranks);
+        $m!(u64 offload_return_lead_ns);
+        $m!(u64 eqo_interval_ns);
+        $m!(u64 sync_err_ns);
+        $m!(u64 fabric_dead_ns);
+        $m!(u16 ocs_count);
+        $m!(u32 ocs_ports);
+        $m!(u32 defer_max_extra_slices);
+        $m!(bool eqo_ground_truth);
+        $m!(u64 segment_queue_bytes);
+        $m!(u64 elephant_threshold);
+        $m!(u64 seed);
+    };
+}
+
 impl NetConfig {
-    /// Parse from the JSON configuration file format.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Parse from the JSON configuration file format. Missing fields take
+    /// their defaults; unknown fields are ignored; wrongly-typed fields are
+    /// an error.
+    pub fn from_json(json_text: &str) -> Result<Self, json::JsonError> {
+        let parsed = json::parse(json_text)?;
+        let json::Json::Obj(fields) = parsed else {
+            return Err(json::JsonError::not_an_object());
+        };
+        let mut cfg = NetConfig::default();
+        for (key, value) in &fields {
+            macro_rules! read_field {
+                (str $name:ident) => {
+                    if key == stringify!($name) {
+                        cfg.$name = value.as_str()?.to_string();
+                        continue;
+                    }
+                };
+                (bool $name:ident) => {
+                    if key == stringify!($name) {
+                        cfg.$name = value.as_bool()?;
+                        continue;
+                    }
+                };
+                ($int:ident $name:ident) => {
+                    if key == stringify!($name) {
+                        cfg.$name = value.as_u64()? as $int;
+                        continue;
+                    }
+                };
+            }
+            for_each_config_field!(read_field);
+        }
+        Ok(cfg)
     }
 
-    /// Serialize to JSON.
+    /// Serialize to JSON (all fields, pretty-printed).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("config serializes")
+        let mut lines: Vec<String> = vec![];
+        macro_rules! write_field {
+            (str $name:ident) => {
+                lines.push(format!(
+                    "  {}: {}",
+                    json::escape(stringify!($name)),
+                    json::escape(&self.$name)
+                ));
+            };
+            ($_kind:ident $name:ident) => {
+                lines.push(format!("  {}: {}", json::escape(stringify!($name)), self.$name));
+            };
+        }
+        for_each_config_field!(write_field);
+        format!("{{\n{}\n}}", lines.join(",\n"))
     }
 
     /// The slice structure for a schedule of `num_slices` slices.
@@ -181,10 +263,9 @@ mod tests {
     #[test]
     fn partial_json_uses_defaults() {
         // The paper's Fig. 5 style config: only the fields users care about.
-        let c = NetConfig::from_json(
-            r#"{"node":"host","node_num":128,"uplink":2,"slice_ns":2000}"#,
-        )
-        .unwrap();
+        let c =
+            NetConfig::from_json(r#"{"node":"host","node_num":128,"uplink":2,"slice_ns":2000}"#)
+                .unwrap();
         assert_eq!(c.node, "host");
         assert_eq!(c.node_num, 128);
         assert_eq!(c.uplink, 2);
@@ -194,7 +275,8 @@ mod tests {
 
     #[test]
     fn derived_values() {
-        let c = NetConfig { node_num: 8, hosts_per_node: 6, uplink_gbps: 100, ..Default::default() };
+        let c =
+            NetConfig { node_num: 8, hosts_per_node: 6, uplink_gbps: 100, ..Default::default() };
         assert_eq!(c.total_hosts(), 48);
         assert_eq!(c.uplink_bandwidth(), Bandwidth::gbps(100));
         assert!(c.electrical_bandwidth().is_none());

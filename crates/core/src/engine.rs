@@ -24,6 +24,7 @@ use openoptics_proto::packet::{PacketKind, HEADER_BYTES};
 use openoptics_proto::{ControlMsg, FlowId, HostId, NodeId, Packet, PortId};
 use openoptics_routing::{compile, LookupMode, MultipathMode, Path, RoutingAlgorithm};
 use openoptics_sim::bytequeue::ByteQueue;
+use openoptics_sim::hash::FxHashMap;
 use openoptics_sim::rate::Bandwidth;
 use openoptics_sim::time::{SimTime, SliceConfig};
 use openoptics_sim::{EventQueue, SimRng, World};
@@ -32,7 +33,6 @@ use openoptics_switch::offload::OffloadPolicy;
 use openoptics_switch::{IngressDecision, PipelineModel, ToRSwitch, TorConfig};
 use openoptics_topo::TrafficMatrix;
 use openoptics_workload::FctStats;
-use std::collections::HashMap;
 
 /// Maximum payload per packet (MTU minus headers).
 pub const MSS: u32 = 1436;
@@ -285,7 +285,7 @@ pub struct Engine {
     router: Option<RouterSpec>,
     pipeline: PipelineModel,
     sync: ClockSync,
-    flows: HashMap<FlowId, FlowState>,
+    flows: FxHashMap<FlowId, FlowState>,
     next_flow_id: FlowId,
     next_pkt_id: u64,
     /// Flow-completion-time collector.
@@ -399,7 +399,7 @@ impl Engine {
             router: None,
             pipeline: PipelineModel::default(),
             sync,
-            flows: HashMap::new(),
+            flows: FxHashMap::default(),
             next_flow_id: 1,
             next_pkt_id: 1,
             fct: FctStats::new(),
@@ -441,8 +441,7 @@ impl Engine {
     /// computed against the new topology.
     pub fn reconfigure_schedule(&mut self, schedule: OpticalSchedule, now: SimTime) -> SimTime {
         let done = self.fabric.reconfigure(schedule, now);
-        self.fabric
-            .set_dead_window_ns(self.cfg.fabric_dead_ns.min(self.slice_cfg.slice_ns / 2));
+        self.fabric.set_dead_window_ns(self.cfg.fabric_dead_ns.min(self.slice_cfg.slice_ns / 2));
         for t in &mut self.tors {
             t.tft_mut().clear();
         }
@@ -603,8 +602,9 @@ impl Engine {
         // Per-node rotations (only for rotating schedules).
         if self.slice_cfg.num_slices > 1 {
             for node in 0..self.cfg.node_num {
-                let fire =
-                    self.sync.global_fire_time(node as usize, SimTime::from_ns(self.slice_cfg.slice_ns));
+                let fire = self
+                    .sync
+                    .global_fire_time(node as usize, SimTime::from_ns(self.slice_cfg.slice_ns));
                 q.schedule(fire, Event::Rotate(NodeId(node)));
             }
         }
@@ -629,7 +629,10 @@ impl Engine {
         for (a, app) in self.memcached.iter().enumerate() {
             for c in 0..app.clients.len() {
                 let gap = app.params.next_gap_ns(&mut self.rng);
-                q.schedule(SimTime::from_ns(gap), Event::Timer(Timer::MemcachedOp { app: a, client_idx: c }));
+                q.schedule(
+                    SimTime::from_ns(gap),
+                    Event::Timer(Timer::MemcachedOp { app: a, client_idx: c }),
+                );
             }
         }
         // Allreduce first steps.
@@ -711,10 +714,7 @@ impl Engine {
                 q.schedule(deadline, Event::Timer(Timer::TcpRto(id)));
             }
         }
-        if matches!(
-            self.flows[&id].transport,
-            Transport::Tcp { .. } | Transport::TdTcp { .. }
-        ) {
+        if matches!(self.flows[&id].transport, Transport::Tcp { .. } | Transport::TdTcp { .. }) {
             self.pump_tcp(id, now);
         }
         self.pump_host(src, now, q);
@@ -724,9 +724,13 @@ impl Engine {
     /// Queue paced-flow segments into the vma stack, respecting socket
     /// capacity (application push-back).
     fn pump_backlog(&mut self, host: HostId) {
-        let h = &mut self.hosts[host.index()];
+        // Take the backlog to iterate without aliasing `self`; flows that
+        // remain unfinished are collected into `still`, which becomes the
+        // new backlog (reusing the taken allocation's slot keeps this a
+        // zero-copy swap rather than a per-call clone).
+        let backlog = std::mem::take(&mut self.hosts[host.index()].backlog);
         let mut still = vec![];
-        for &fid in &h.backlog.clone() {
+        for &fid in &backlog {
             let Some(f) = self.flows.get_mut(&fid) else { continue };
             if f.done {
                 continue;
@@ -924,7 +928,13 @@ impl Engine {
 
     /// Send a packet over the electrical fabric (accounting done by caller
     /// or by [`Self::dispatch_from_host`]).
-    fn dispatch_electrical(&mut self, host: HostId, pkt: Packet, now: SimTime, q: &mut EventQueue<Event>) {
+    fn dispatch_electrical(
+        &mut self,
+        host: HostId,
+        pkt: Packet,
+        now: SimTime,
+        q: &mut EventQueue<Event>,
+    ) {
         let src_tor = self.hosts[host.index()].tor;
         let link = &mut self.elec[src_tor.index()];
         let size = pkt.size;
@@ -1074,7 +1084,13 @@ impl Engine {
         }
     }
 
-    fn on_tor_ingress(&mut self, node: NodeId, pkt: Packet, now: SimTime, q: &mut EventQueue<Event>) {
+    fn on_tor_ingress(
+        &mut self,
+        node: NodeId,
+        pkt: Packet,
+        now: SimTime,
+        q: &mut EventQueue<Event>,
+    ) {
         let src_tor_of_pkt = pkt.src;
         let dst = pkt.dst;
         let res = self.tors[node.index()].ingress(pkt, now);
@@ -1149,7 +1165,13 @@ impl Engine {
         }
     }
 
-    fn on_port_free(&mut self, node: NodeId, port: PortId, now: SimTime, q: &mut EventQueue<Event>) {
+    fn on_port_free(
+        &mut self,
+        node: NodeId,
+        port: PortId,
+        now: SimTime,
+        q: &mut EventQueue<Event>,
+    ) {
         self.port_pending[node.index()][port.index()] = false;
         // All slice-relative gating below runs on the switch's LOCAL clock:
         // a badly synchronized node holds off / transmits at the wrong
@@ -1181,8 +1203,7 @@ impl Engine {
                 }
             }
             None => {
-                if self.tors[node.index()].has_active_traffic(port)
-                    && self.slice_cfg.num_slices > 1
+                if self.tors[node.index()].has_active_traffic(port) && self.slice_cfg.num_slices > 1
                 {
                     // Head doesn't fit before the slice ends: retry after
                     // the next rotation + guard (local clock).
@@ -1276,8 +1297,16 @@ impl Engine {
         }
     }
 
-    fn on_host_rx(&mut self, host: HostId, pkt: Packet, now: SimTime, q: &mut EventQueue<Event>) {
-        match pkt.kind.clone() {
+    fn on_host_rx(
+        &mut self,
+        host: HostId,
+        mut pkt: Packet,
+        now: SimTime,
+        q: &mut EventQueue<Event>,
+    ) {
+        // Move the kind out of the delivered packet (it is consumed here)
+        // instead of cloning it — Control carries heap-allocated reports.
+        match std::mem::replace(&mut pkt.kind, PacketKind::Data) {
             PacketKind::Data => {
                 self.counters.delivered_packets += 1;
                 self.counters.delivered_payload_bytes += pkt.payload as u64;
@@ -1445,9 +1474,10 @@ impl Engine {
         let res = self.tors[node.index()].reinject_offloaded(pkt, port, rank, now);
         match res.decision {
             IngressDecision::Enqueued { port, .. } | IngressDecision::Trimmed { port, .. }
-                if self.tors[node.index()].has_active_traffic(port) => {
-                    self.kick_port(node, port, now, q);
-                }
+                if self.tors[node.index()].has_active_traffic(port) =>
+            {
+                self.kick_port(node, port, now, q);
+            }
             IngressDecision::Dropped(_) => self.counters.switch_drops += 1,
             IngressDecision::Offloaded { .. } => {
                 if let Some(t) = self.tors[node.index()].next_offload_recall() {
@@ -1491,7 +1521,8 @@ impl Engine {
                 if f.done {
                     return;
                 }
-                if retransmit && f.delivered == f.delivered_at_last_watchdog && f.queued >= f.bytes {
+                if retransmit && f.delivered == f.delivered_at_last_watchdog && f.queued >= f.bytes
+                {
                     // Stalled with everything queued: re-send the missing tail.
                     let missing = f.bytes - f.delivered;
                     f.queued = f.bytes - missing;
@@ -1566,8 +1597,7 @@ impl Engine {
                 };
                 let dst_tor = self.hosts[dst.index()].tor;
                 let src_tor = self.hosts[src.index()].tor;
-                let mut pkt =
-                    Packet::data(0, 0, src_tor, dst_tor, src, dst, payload, 0, now);
+                let mut pkt = Packet::data(0, 0, src_tor, dst_tor, src, dst, payload, 0, now);
                 pkt.id = self.alloc_pkt_id();
                 pkt.kind = PacketKind::Probe { echo_of: now, is_reply: false };
                 self.dispatch_from_host(src, pkt, now, q);

@@ -21,6 +21,7 @@
 pub mod archs;
 pub mod config;
 pub mod engine;
+pub mod json;
 pub mod net;
 pub mod workflow;
 

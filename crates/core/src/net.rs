@@ -148,13 +148,13 @@ impl OpenOpticsNet {
             // of the new circuits (drives flow pausing on static schedules,
             // where no rotation would otherwise refresh the state).
             for node in 0..self.engine.cfg.node_num {
-                self.queue.schedule(
-                    done,
-                    Event::Timer(crate::engine::Timer::NotifyHosts(NodeId(node))),
-                );
+                self.queue
+                    .schedule(done, Event::Timer(crate::engine::Timer::NotifyHosts(NodeId(node))));
             }
         } else {
-            let netcfg = self.engine.cfg.clone();
+            // The old engine is discarded on the next line, so take its
+            // config instead of cloning it.
+            let netcfg = std::mem::take(&mut self.engine.cfg);
             let mut fresh = Engine::new(netcfg, sched);
             fresh.policy = self.engine.policy;
             fresh.pause_mode = self.engine.pause_mode;
@@ -180,11 +180,8 @@ impl OpenOpticsNet {
         lookup: LookupMode,
         multipath: MultipathMode,
     ) {
-        let lookup = if algo.requires_source_routing() {
-            LookupMode::SourceRouting
-        } else {
-            lookup
-        };
+        let lookup =
+            if algo.requires_source_routing() { LookupMode::SourceRouting } else { lookup };
         let ta = self.is_ta();
         self.engine.set_router(Box::new(algo), lookup, multipath, ta);
     }
@@ -295,6 +292,13 @@ impl OpenOpticsNet {
     /// Completed-flow FCT statistics.
     pub fn fct(&self) -> &openoptics_workload::FctStats {
         &self.engine.fct
+    }
+
+    /// Total events scheduled on this network's event queue so far — the
+    /// natural unit of simulation work (events/second is the engine's
+    /// throughput metric).
+    pub fn events_scheduled(&self) -> u64 {
+        self.queue.scheduled_total()
     }
 
     /// Bytes delivered for a flow so far.

@@ -106,10 +106,7 @@ mod tests {
         net.run_for(SimTime::from_ms(60));
         // After evolution the hotspot pair holds a direct circuit.
         assert!(
-            net.engine
-                .schedule()
-                .port_to(NodeId(0), NodeId(5), 0)
-                .is_some(),
+            net.engine.schedule().port_to(NodeId(0), NodeId(5), 0).is_some(),
             "hotspot should have earned a direct circuit"
         );
         assert_eq!(net.fct().outstanding(), 0, "all flows complete despite reconfigs");

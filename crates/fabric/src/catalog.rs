@@ -9,10 +9,8 @@
 //! port count, and a relative cost figure ("OCS costs rise substantially
 //! with shorter time slices").
 
-use serde::{Deserialize, Serialize};
-
 /// Device-level characteristics of an optical circuit switch technology.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct OcsProfile {
     /// Technology name.
     pub name: &'static str,

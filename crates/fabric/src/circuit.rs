@@ -6,14 +6,13 @@
 //! means the circuit is held across all slices — the static-configuration
 //! case TA architectures use.
 
-use openoptics_sim::time::SliceIndex;
 use openoptics_proto::{NodeId, PortId};
-use serde::{Deserialize, Serialize};
+use openoptics_sim::time::SliceIndex;
 use std::fmt;
 
 /// A bidirectional optical circuit between two endpoint-node ports, valid
 /// in one time slice (or all slices when `slice` is `None`).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Circuit {
     /// First endpoint node.
     pub a: NodeId,
@@ -30,7 +29,13 @@ pub struct Circuit {
 
 impl Circuit {
     /// Circuit valid in a single slice.
-    pub fn in_slice(a: NodeId, a_port: PortId, b: NodeId, b_port: PortId, slice: SliceIndex) -> Self {
+    pub fn in_slice(
+        a: NodeId,
+        a_port: PortId,
+        b: NodeId,
+        b_port: PortId,
+        slice: SliceIndex,
+    ) -> Self {
         Circuit { a, a_port, b, b_port, slice: Some(slice) }
     }
 
@@ -80,11 +85,9 @@ impl Circuit {
 impl fmt::Debug for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.slice {
-            Some(ts) => write!(
-                f,
-                "{}:{}<->{}:{}@ts{}",
-                self.a, self.a_port, self.b, self.b_port, ts
-            ),
+            Some(ts) => {
+                write!(f, "{}:{}<->{}:{}@ts{}", self.a, self.a_port, self.b, self.b_port, ts)
+            }
             None => write!(f, "{}:{}<->{}:{}@*", self.a, self.a_port, self.b, self.b_port),
         }
     }

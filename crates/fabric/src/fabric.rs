@@ -203,7 +203,11 @@ impl Fabric {
         match self.schedule.peer(node, port, cfg.slice_at(t)) {
             Some((peer, peer_port)) => {
                 self.delivered += 1;
-                Transit::Delivered { node: peer, port: peer_port, latency_ns: self.profile.latency_ns() }
+                Transit::Delivered {
+                    node: peer,
+                    port: peer_port,
+                    latency_ns: self.profile.latency_ns(),
+                }
             }
             None => {
                 self.lost_no_circuit += 1;

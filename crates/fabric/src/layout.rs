@@ -131,7 +131,11 @@ impl OcsLayout {
                 terminations.push(Some(Termination { ocs, ocs_port: port }));
             }
         }
-        Ok(OcsLayout { port_counts: vec![ports_per_device; devices as usize], terminations, uplinks })
+        Ok(OcsLayout {
+            port_counts: vec![ports_per_device; devices as usize],
+            terminations,
+            uplinks,
+        })
     }
 
     /// The paper's common structure: one OCS per uplink *rail* — every
@@ -195,7 +199,7 @@ mod tests {
     fn rail_layout_compiles_round_robin() {
         use openoptics_sim::time::SliceConfig;
         let _ = SliceConfig::new(1, 1, 0); // keep the sim dep honest
-        // 8 nodes x 2 uplinks, one rotor per rail.
+                                           // 8 nodes x 2 uplinks, one rotor per rail.
         let layout = OcsLayout::per_uplink_rails(8, 2, 16);
         assert_eq!(layout.num_devices(), 2);
         // A same-rail circuit compiles.

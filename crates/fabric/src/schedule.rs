@@ -142,18 +142,16 @@ impl OpticalSchedule {
     /// This is the `neighbors()` helper of Table 1.
     pub fn neighbors(&self, node: NodeId, slice: SliceIndex) -> Vec<(PortId, NodeId)> {
         (0..self.uplinks)
-            .filter_map(|p| {
-                self.peer(node, PortId(p), slice).map(|(peer, _)| (PortId(p), peer))
-            })
+            .filter_map(|p| self.peer(node, PortId(p), slice).map(|(peer, _)| (PortId(p), peer)))
             .collect()
     }
 
     /// The local egress port on `node` that reaches `dst` directly in
     /// `slice`, if a circuit exists.
     pub fn port_to(&self, node: NodeId, dst: NodeId, slice: SliceIndex) -> Option<PortId> {
-        (0..self.uplinks).map(PortId).find(|&p| {
-            self.peer(node, p, slice).map(|(peer, _)| peer == dst).unwrap_or(false)
-        })
+        (0..self.uplinks)
+            .map(PortId)
+            .find(|&p| self.peer(node, p, slice).map(|(peer, _)| peer == dst).unwrap_or(false))
     }
 
     /// All slices (cycle-relative, ascending) in which `a` and `b` share a
@@ -333,9 +331,7 @@ mod tests {
         assert!(!s.slice_is_connected(0));
         // A ring over 2 uplinks is connected.
         let ring: Vec<Circuit> = (0..4)
-            .map(|i| {
-                Circuit::held(NodeId(i), PortId(1), NodeId((i + 1) % 4), PortId(0))
-            })
+            .map(|i| Circuit::held(NodeId(i), PortId(1), NodeId((i + 1) % 4), PortId(0)))
             .collect();
         let s = OpticalSchedule::build(cfg(1), 4, 2, &ring).unwrap();
         assert!(s.slice_is_connected(0));

@@ -30,9 +30,8 @@ impl ClockSync {
     /// Draw a uniformly distributed offset in `[-max_err_ns, +max_err_ns]`
     /// for each node — the steady-state residual of the sync protocol.
     pub fn uniform(num_nodes: u32, max_err_ns: u64, rng: &mut SimRng) -> Self {
-        let offsets_ns = (0..num_nodes)
-            .map(|_| rng.range(-(max_err_ns as i64)..=max_err_ns as i64))
-            .collect();
+        let offsets_ns =
+            (0..num_nodes).map(|_| rng.range(-(max_err_ns as i64)..=max_err_ns as i64)).collect();
         ClockSync { offsets_ns, max_err_ns }
     }
 
@@ -119,8 +118,7 @@ mod tests {
         let mut rng = SimRng::new(3);
         let cs = ClockSync::uniform(50, 28, &mut rng);
         let boundary = SimTime::from_us(10);
-        let fires: Vec<u64> =
-            (0..50).map(|n| cs.global_fire_time(n, boundary).as_ns()).collect();
+        let fires: Vec<u64> = (0..50).map(|n| cs.global_fire_time(n, boundary).as_ns()).collect();
         let lo = *fires.iter().min().unwrap();
         let hi = *fires.iter().max().unwrap();
         assert!(lo >= boundary.as_ns() - 28);

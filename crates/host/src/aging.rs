@@ -6,12 +6,12 @@
 //! over direct circuits; mice keep flowing immediately.
 
 use openoptics_proto::FlowId;
-use std::collections::HashMap;
+use openoptics_sim::hash::FxHashMap;
 
 /// Per-flow byte aging with an elephant threshold.
 #[derive(Debug, Clone)]
 pub struct FlowAging {
-    sent: HashMap<FlowId, u64>,
+    sent: FxHashMap<FlowId, u64>,
     threshold: u64,
 }
 
@@ -20,7 +20,7 @@ impl FlowAging {
     /// PIAS-style demotion thresholds in DCNs sit around 100 KB–1 MB; the
     /// default used across the benchmarks is 1 MB.
     pub fn new(threshold: u64) -> Self {
-        FlowAging { sent: HashMap::new(), threshold }
+        FlowAging { sent: FxHashMap::default(), threshold }
     }
 
     /// Record `bytes` sent on `flow`; returns `true` if this crossing

@@ -167,8 +167,8 @@ impl TcpSender {
                     if self.cwnd < self.ssthresh {
                         self.cwnd += newly as f64; // slow start
                     } else {
-                        self.cwnd +=
-                            (self.cfg.mss as f64) * (newly as f64 / self.cwnd); // CA
+                        self.cwnd += (self.cfg.mss as f64) * (newly as f64 / self.cwnd);
+                        // CA
                     }
                     self.cwnd = self.cwnd.min(self.cfg.max_cwnd as f64);
                 }

@@ -15,8 +15,8 @@
 
 use openoptics_proto::{FlowId, HostId, NodeId};
 use openoptics_sim::bytequeue::ByteQueue;
+use openoptics_sim::hash::FxHashMap;
 use openoptics_sim::time::SimTime;
-use std::collections::HashMap;
 
 /// One queued application segment.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -44,8 +44,8 @@ struct DstState {
 /// endpoint node (ToR).
 #[derive(Debug)]
 pub struct VmaStack {
-    queues: HashMap<NodeId, ByteQueue<Segment>>,
-    state: HashMap<NodeId, DstState>,
+    queues: FxHashMap<NodeId, ByteQueue<Segment>>,
+    state: FxHashMap<NodeId, DstState>,
     queue_capacity: u64,
     /// Round-robin cursor over destinations for fair draining.
     rr_cursor: usize,
@@ -59,8 +59,8 @@ impl VmaStack {
     /// bytes (the socket buffer).
     pub fn new(queue_capacity: u64) -> Self {
         VmaStack {
-            queues: HashMap::new(),
-            state: HashMap::new(),
+            queues: FxHashMap::default(),
+            state: FxHashMap::default(),
             queue_capacity,
             rr_cursor: 0,
             app_pushback_events: 0,
@@ -81,7 +81,10 @@ impl VmaStack {
 
     /// Whether a segment of `bytes` toward `dst` would be accepted.
     pub fn would_accept(&self, dst: NodeId, bytes: u32) -> bool {
-        self.queues.get(&dst).map(|q| q.would_fit(bytes)).unwrap_or(bytes as u64 <= self.queue_capacity)
+        self.queues
+            .get(&dst)
+            .map(|q| q.would_fit(bytes))
+            .unwrap_or(bytes as u64 <= self.queue_capacity)
     }
 
     /// Flow pausing: hold all traffic toward `dst` (until [`Self::resume`]).
@@ -147,17 +150,14 @@ impl VmaStack {
     /// traffic collection (§5.2: "packets buffered in separate queues
     /// inside vma based on the destination switch").
     pub fn queue_snapshot(&self) -> Vec<(NodeId, u64)> {
-        let mut v: Vec<(NodeId, u64)> =
-            self.queues.iter().map(|(d, q)| (*d, q.bytes())).collect();
+        let mut v: Vec<(NodeId, u64)> = self.queues.iter().map(|(d, q)| (*d, q.bytes())).collect();
         v.sort_unstable_by_key(|(d, _)| *d);
         v
     }
 
     /// Whether any sendable destination has queued data at `now`.
     pub fn has_sendable(&self, now: SimTime) -> bool {
-        self.queues
-            .iter()
-            .any(|(d, q)| !q.is_empty() && self.sendable(*d, now))
+        self.queues.iter().any(|(d, q)| !q.is_empty() && self.sendable(*d, now))
     }
 
     /// The earliest push-back embargo expiry among destinations with queued

@@ -6,12 +6,11 @@
 //! [`HostId`] identifies a server below a ToR; [`PortId`] an uplink port of
 //! a node facing the optical fabric.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An electrical endpoint node attached to the optical fabric (a ToR or pod
 /// switch, or a NIC in host-centric designs).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -35,7 +34,7 @@ impl fmt::Display for NodeId {
 
 /// A host (server) in the data center. Hosts are numbered globally;
 /// the mapping host → ToR lives in the topology configuration.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct HostId(pub u32);
 
 impl HostId {
@@ -58,7 +57,7 @@ impl fmt::Display for HostId {
 }
 
 /// An optical-facing uplink port of an endpoint node (0-based).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PortId(pub u16);
 
 impl PortId {

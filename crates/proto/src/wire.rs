@@ -201,8 +201,11 @@ mod proptests {
 
     fn arb_msg() -> impl Strategy<Value = ControlMsg> {
         prop_oneof![
-            (any::<u32>(), any::<u32>(), any::<u64>())
-                .prop_map(|(d, s, c)| ControlMsg::PushBack { dst: NodeId(d), slice: s, cycle: c }),
+            (any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(d, s, c)| ControlMsg::PushBack {
+                dst: NodeId(d),
+                slice: s,
+                cycle: c
+            }),
             (any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(d, t, s)| {
                 ControlMsg::CircuitNotify {
                     dst: NodeId(d),

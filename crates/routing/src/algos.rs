@@ -59,12 +59,7 @@ fn shortest_paths(
             break;
         }
         if v == dst {
-            out.push(Path {
-                src,
-                dst,
-                arr_slice: if wildcard { None } else { Some(ts) },
-                hops,
-            });
+            out.push(Path { src, dst, arr_slice: if wildcard { None } else { Some(ts) }, hops });
             continue;
         }
         for (port, peer) in schedule.neighbors(v, ts) {
@@ -315,9 +310,7 @@ impl RoutingAlgorithm for Ksp {
             let hops = if wildcard {
                 hops
             } else {
-                hops.into_iter()
-                    .map(|h| PathHop { dep_slice: Some(ts), ..h })
-                    .collect()
+                hops.into_iter().map(|h| PathHop { dep_slice: Some(ts), ..h }).collect()
             };
             Path { src, dst, arr_slice: arr, hops }
         };
@@ -583,10 +576,7 @@ impl RoutingAlgorithm for Hoho {
         arr: Option<SliceIndex>,
     ) -> Vec<Path> {
         let ts = arr.expect("HOHO is a TO scheme; arrival slice required");
-        earliest_arrival(schedule, src, ts, self.max_hops)
-            .path_to(dst)
-            .into_iter()
-            .collect()
+        earliest_arrival(schedule, src, ts, self.max_hops).path_to(dst).into_iter().collect()
     }
 }
 
@@ -677,8 +667,7 @@ mod tests {
     fn opera_routes_within_slice() {
         use openoptics_topo::expander::opera_schedule;
         let (cs, slices) = opera_schedule(8, 2);
-        let s =
-            OpticalSchedule::build(SliceConfig::new(1_000, slices, 100), 8, 2, &cs).unwrap();
+        let s = OpticalSchedule::build(SliceConfig::new(1_000, slices, 100), 8, 2, &cs).unwrap();
         for arr in 0..slices {
             for dst in 1..8u32 {
                 let paths = OperaRouting::default().paths(&s, NodeId(0), NodeId(dst), Some(arr));

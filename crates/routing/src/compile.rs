@@ -111,14 +111,21 @@ pub fn compile(paths: &[Path], lookup: LookupMode, multipath: MultipathMode) -> 
                     bump(
                         h.node,
                         RouteMatch { arr_slice: arr, dst: p.dst },
-                        RouteAction { port: h.port, dep_slice: h.dep_slice, push_source_route: None },
+                        RouteAction {
+                            port: h.port,
+                            dep_slice: h.dep_slice,
+                            push_source_route: None,
+                        },
                     );
                     arr = h.dep_slice;
                 }
             }
             LookupMode::SourceRouting => {
-                let stack: Vec<SourceHop> =
-                    p.hops.iter().map(|h| SourceHop { port: h.port, dep_slice: h.dep_slice }).collect();
+                let stack: Vec<SourceHop> = p
+                    .hops
+                    .iter()
+                    .map(|h| SourceHop { port: h.port, dep_slice: h.dep_slice })
+                    .collect();
                 let first = &p.hops[0];
                 bump(
                     p.src,

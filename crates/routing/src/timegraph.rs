@@ -196,8 +196,7 @@ mod tests {
             Circuit::in_slice(NodeId(0), PortId(0), NodeId(1), PortId(0), 0),
             Circuit::in_slice(NodeId(1), PortId(1), NodeId(2), PortId(1), 0),
         ];
-        let s =
-            OpticalSchedule::build(SliceConfig::new(1_000, 1, 100), 3, 2, &cs).unwrap();
+        let s = OpticalSchedule::build(SliceConfig::new(1_000, 1, 100), 3, 2, &cs).unwrap();
         let info = earliest_arrival(&s, NodeId(0), 0, 4);
         assert_eq!(info.best[2], Some((0, 2)));
         let p = info.path_to(NodeId(2)).unwrap();
@@ -210,8 +209,7 @@ mod tests {
     fn unreachable_is_none() {
         // Node 3 is isolated (no circuits touch it).
         let cs = vec![Circuit::in_slice(NodeId(0), PortId(0), NodeId(1), PortId(0), 0)];
-        let s =
-            OpticalSchedule::build(SliceConfig::new(1_000, 2, 100), 4, 1, &cs).unwrap();
+        let s = OpticalSchedule::build(SliceConfig::new(1_000, 2, 100), 4, 1, &cs).unwrap();
         assert!(earliest_path(&s, NodeId(0), NodeId(3), 0, 8).is_none());
     }
 

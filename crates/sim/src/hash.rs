@@ -49,9 +49,94 @@ pub fn bucket(h: u64, n: usize) -> usize {
     ((h as u128 * n as u128) >> 64) as usize
 }
 
+/// Multiplier from the Firefox (rustc) "Fx" hash: the fractional part of
+/// the golden ratio scaled to 64 bits, which diffuses low-entropy integer
+/// keys well under a single multiply.
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic [`Hasher`] for trusted integer-like keys
+/// (flow ids, node ids, sequence numbers).
+///
+/// The standard library's default SipHash-1-3 pays for HashDoS resistance
+/// on every lookup; simulation-internal maps are keyed by ids the simulator
+/// itself allocates, so that defense buys nothing. This is the rustc /
+/// Firefox "Fx" scheme: rotate-xor-multiply per word, one multiply per
+/// 8 bytes. Like [`fnv1a`] it is fully deterministic (no per-process random
+/// state), so iteration-order-independent uses stay reproducible across
+/// runs and platforms.
+///
+/// [`Hasher`]: std::hash::Hasher
+#[derive(Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// [`BuildHasher`](std::hash::BuildHasher) producing [`FxHasher`]s.
+pub type FxBuildHasher = std::hash::BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`]; construct with `FxHashMap::default()`.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`]; construct with `FxHashSet::default()`.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::hash::{Hash, Hasher};
 
     #[test]
     fn fnv_known_vectors() {
@@ -88,5 +173,47 @@ mod tests {
     fn bucket_single() {
         assert_eq!(bucket(u64::MAX, 1), 0);
         assert_eq!(bucket(0, 1), 0);
+    }
+
+    fn fx_of(v: impl Hash) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn fx_is_deterministic_and_sensitive() {
+        assert_eq!(fx_of(42u64), fx_of(42u64));
+        assert_ne!(fx_of(42u64), fx_of(43u64));
+        assert_ne!(fx_of((1u32, 2u32)), fx_of((2u32, 1u32)));
+        // Byte-slice tail must be length-disambiguated.
+        assert_ne!(fx_of(&b"ab\0"[..]), fx_of(&b"ab"[..]));
+    }
+
+    #[test]
+    fn fx_map_works() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, "v");
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&999), Some(&"v"));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+    }
+
+    #[test]
+    fn fx_spreads_sequential_keys() {
+        // Sequential ids are the common key pattern; make sure low bits
+        // (what HashMap indexes by) are well mixed.
+        let n = 64;
+        let mut counts = vec![0usize; n];
+        for i in 0..6400u64 {
+            counts[(fx_of(i) as usize) % n] += 1;
+        }
+        for &c in &counts {
+            assert!((50..200).contains(&c), "skewed fx bucket count {c}");
+        }
     }
 }

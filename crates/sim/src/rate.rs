@@ -1,6 +1,5 @@
 //! Link bandwidth and serialization-time arithmetic.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A link bandwidth, stored in bits per second.
@@ -9,7 +8,7 @@ use std::fmt;
 /// arithmetic: e.g. the 725 B queue-occupancy estimation error "translates
 /// to 58 ns delay under 100 Gbps bandwidth" (§7) — that is
 /// `Bandwidth::gbps(100).tx_time_ns(725) == 58`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Bandwidth(pub u64);
 
 impl Bandwidth {

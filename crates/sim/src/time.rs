@@ -7,7 +7,6 @@
 //! calendar-queue ranks, guardbands) reduces to the arithmetic in
 //! [`SliceConfig`].
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -26,7 +25,7 @@ pub const SEC: u64 = 1_000_000_000;
 /// `SimTime` is a transparent `u64` newtype: cheap to copy, totally ordered,
 /// and impossible to confuse with a duration or a slice index at the type
 /// level of call sites that name it.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 impl SimTime {
@@ -149,7 +148,7 @@ pub type SliceIndex = u32;
 /// during which circuits are being reconfigured and in-flight optical data
 /// would be lost (§5.3, §7). The paper's headline configuration is a 2 µs
 /// slice with a 200 ns guardband (duty cycle 90%).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SliceConfig {
     /// Duration of one time slice, ns.
     pub slice_ns: u64,
@@ -382,7 +381,11 @@ mod proptests {
 
     fn arb_cfg() -> impl Strategy<Value = SliceConfig> {
         (1u64..1_000_000, 1u32..256).prop_flat_map(|(slice, n)| {
-            (0..slice).prop_map(move |guard| SliceConfig { slice_ns: slice, num_slices: n, guard_ns: guard })
+            (0..slice).prop_map(move |guard| SliceConfig {
+                slice_ns: slice,
+                num_slices: n,
+                guard_ns: guard,
+            })
         })
     }
 

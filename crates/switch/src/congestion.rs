@@ -14,10 +14,9 @@
 
 use openoptics_sim::rate::Bandwidth;
 use openoptics_sim::time::{SimTime, SliceConfig};
-use serde::{Deserialize, Serialize};
 
 /// The architecture's response to a full calendar queue.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CongestionPolicy {
     /// Drop the packet (tail drop).
     Drop,
@@ -39,7 +38,7 @@ pub enum CongestionPolicy {
 }
 
 /// Configuration of the congestion-detection service.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CongestionConfig {
     /// Master switch: with detection off, packets are enqueued blindly and
     /// overflow manifests as slice misses and queue-capacity drops
@@ -76,12 +75,7 @@ pub enum CongestionOutcome {
 /// For a future slice (`rank > 0`) the admissible amount is the full data
 /// window of a slice: `bandwidth × (slice − guard)`. For the *active* slice
 /// (`rank == 0`) only the remaining time counts: `bandwidth × remaining`.
-pub fn admissible_bytes(
-    cfg: &SliceConfig,
-    bandwidth: Bandwidth,
-    rank: u32,
-    now: SimTime,
-) -> u64 {
+pub fn admissible_bytes(cfg: &SliceConfig, bandwidth: Bandwidth, rank: u32, now: SimTime) -> u64 {
     if cfg.num_slices <= 1 {
         // Static (TA / flow-table) mode: there is no slice deadline; only
         // the classical threshold (condition 2) applies.

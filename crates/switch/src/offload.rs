@@ -88,15 +88,17 @@ impl OffloadBook {
 
     /// The earliest pending recall deadline, if any batch is parked.
     pub fn next_recall(&self, cfg: &SliceConfig, lead_ns: u64) -> Option<(u64, SimTime)> {
-        self.parked
-            .keys()
-            .next()
-            .map(|&s| (s, Self::recall_time(s, cfg, lead_ns)))
+        self.parked.keys().next().map(|&s| (s, Self::recall_time(s, cfg, lead_ns)))
     }
 
     /// Pull every batch whose recall deadline is at or before `now`.
     /// Returns `(target absolute slice, port, packet)` triples.
-    pub fn due(&mut self, now: SimTime, cfg: &SliceConfig, lead_ns: u64) -> Vec<(u64, PortId, Packet)> {
+    pub fn due(
+        &mut self,
+        now: SimTime,
+        cfg: &SliceConfig,
+        lead_ns: u64,
+    ) -> Vec<(u64, PortId, Packet)> {
         let due_slices: Vec<u64> = self
             .parked
             .keys()

@@ -8,14 +8,14 @@
 //! this module deduplicates so the broadcast doesn't storm.
 
 use openoptics_proto::{ControlMsg, NodeId};
+use openoptics_sim::hash::FxHashSet;
 use openoptics_sim::time::SliceIndex;
-use std::collections::HashSet;
 
 /// Push-back message generator for one switch.
 #[derive(Debug, Clone, Default)]
 pub struct PushbackGen {
     enabled: bool,
-    sent: HashSet<(NodeId, SliceIndex, u64)>,
+    sent: FxHashSet<(NodeId, SliceIndex, u64)>,
     /// Messages emitted (post-deduplication).
     pub emitted: u64,
     /// Full-queue events observed (pre-deduplication).

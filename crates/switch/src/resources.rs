@@ -13,10 +13,8 @@
 //! predicts how usage scales to other configurations — the question the
 //! paper's "sufficient room to scale up" claim raises.
 
-use serde::{Deserialize, Serialize};
-
 /// Percentage usage of each Tofino2 resource class.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ResourceUsage {
     /// SRAM (exact-match tables, register arrays), %.
     pub sram: f64,
@@ -35,9 +33,16 @@ pub struct ResourceUsage {
 impl ResourceUsage {
     /// The largest single-resource usage.
     pub fn max_pct(&self) -> f64 {
-        [self.sram, self.tcam, self.stateful_alu, self.ternary_xbar, self.vliw_actions, self.exact_xbar]
-            .into_iter()
-            .fold(0.0, f64::max)
+        [
+            self.sram,
+            self.tcam,
+            self.stateful_alu,
+            self.ternary_xbar,
+            self.vliw_actions,
+            self.exact_xbar,
+        ]
+        .into_iter()
+        .fold(0.0, f64::max)
     }
 }
 
@@ -129,13 +134,9 @@ mod tests {
 
     #[test]
     fn usage_scales_monotonically() {
-        let small = SwitchResourceModel {
-            num_nodes: 16,
-            num_slices: 15,
-            uplinks: 2,
-            queues_per_port: 16,
-        }
-        .usage();
+        let small =
+            SwitchResourceModel { num_nodes: 16, num_slices: 15, uplinks: 2, queues_per_port: 16 }
+                .usage();
         let big = SwitchResourceModel {
             num_nodes: 256,
             num_slices: 255,

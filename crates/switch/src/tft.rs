@@ -8,12 +8,12 @@
 //! higher-priority TO entries — exactly how the paper layers routes during
 //! reconfiguration (§2.2).
 
+use openoptics_proto::NodeId;
 use openoptics_proto::Packet;
 use openoptics_routing::{MultipathMode, RouteAction, RouteEntry};
-use openoptics_proto::NodeId;
+use openoptics_sim::hash::FxHashMap;
 use openoptics_sim::hash::{bucket, flow_hash, packet_hash};
 use openoptics_sim::time::SliceIndex;
-use std::collections::HashMap;
 
 /// The per-node time-flow table.
 #[derive(Clone, Debug, Default)]
@@ -40,9 +40,9 @@ use std::collections::HashMap;
 /// ```
 pub struct TimeFlowTable {
     /// Exact entries keyed by (arrival slice, destination).
-    exact: HashMap<(SliceIndex, NodeId), TableGroup>,
+    exact: FxHashMap<(SliceIndex, NodeId), TableGroup>,
     /// Wildcard-arrival entries keyed by destination.
-    wildcard: HashMap<NodeId, TableGroup>,
+    wildcard: FxHashMap<NodeId, TableGroup>,
     /// Lookup statistics: hits and misses.
     pub hits: u64,
     /// Lookup misses (no entry matched).
@@ -126,10 +126,7 @@ impl TimeFlowTable {
     /// packet id (the "on-chip random number generator" alternative in §3
     /// maps to the same selection semantics).
     pub fn lookup(&mut self, packet: &Packet, arr: SliceIndex) -> Option<&RouteAction> {
-        let group = self
-            .exact
-            .get(&(arr, packet.dst))
-            .or_else(|| self.wildcard.get(&packet.dst));
+        let group = self.exact.get(&(arr, packet.dst)).or_else(|| self.wildcard.get(&packet.dst));
         let Some(group) = group else {
             self.misses += 1;
             return None;

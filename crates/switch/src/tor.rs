@@ -10,7 +10,9 @@
 //! transmit.
 
 use crate::calendar::{CalendarPort, EnqueueError};
-use crate::congestion::{admissible_bytes, evaluate, CongestionConfig, CongestionOutcome, CongestionPolicy};
+use crate::congestion::{
+    admissible_bytes, evaluate, CongestionConfig, CongestionOutcome, CongestionPolicy,
+};
 use crate::eqo::Eqo;
 use crate::offload::{OffloadBook, OffloadPolicy};
 use crate::pushback::PushbackGen;
@@ -277,10 +279,7 @@ impl ToRSwitch {
 
         if pkt.dst == self.cfg.id {
             self.counters.delivered_local += 1;
-            return IngressResult {
-                decision: IngressDecision::DeliverLocal(pkt),
-                pushback: None,
-            };
+            return IngressResult { decision: IngressDecision::DeliverLocal(pkt), pushback: None };
         }
         pkt.hops = pkt.hops.saturating_add(1);
 
@@ -385,7 +384,10 @@ impl ToRSwitch {
                                     self.offload_book.park(abs, port, pkt);
                                     self.counters.deferred += 1;
                                     return IngressResult {
-                                        decision: IngressDecision::Offloaded { abs_slice: abs, port },
+                                        decision: IngressDecision::Offloaded {
+                                            abs_slice: abs,
+                                            port,
+                                        },
                                         pushback,
                                     };
                                 }
@@ -521,7 +523,13 @@ impl ToRSwitch {
 
     /// Re-admit a returned offloaded packet: it flows through the normal
     /// admission path, now with a near rank.
-    pub fn reinject_offloaded(&mut self, pkt: Packet, port: PortId, rank: u32, now: SimTime) -> IngressResult {
+    pub fn reinject_offloaded(
+        &mut self,
+        pkt: Packet,
+        port: PortId,
+        rank: u32,
+        now: SimTime,
+    ) -> IngressResult {
         // Bypass the offload check for near ranks by construction: the
         // caller recalls with lead < keep_ranks slices.
         self.admit(pkt, port, rank, now)
@@ -617,10 +625,8 @@ mod tests {
         // Table says port 0; the packet carries a source route via port 1.
         t.install_routes([entry(Some(0), NodeId(3), PortId(0), Some(0))]);
         let mut p = pkt(1, NodeId(3));
-        p.source_route = Some(SourceRoute::new(vec![SourceHop {
-            port: PortId(1),
-            dep_slice: Some(2),
-        }]));
+        p.source_route =
+            Some(SourceRoute::new(vec![SourceHop { port: PortId(1), dep_slice: Some(2) }]));
         let r = t.ingress(p, SimTime::from_ns(300));
         match r.decision {
             IngressDecision::Enqueued { port, rank } => {

@@ -134,8 +134,7 @@ pub fn decompose_into_pairings(tm: &TrafficMatrix, max_terms: usize) -> Vec<Pair
         if pairs.is_empty() {
             break;
         }
-        let weight =
-            pairs.iter().map(|&(a, b)| residual.get(a, b)).fold(f64::INFINITY, f64::min);
+        let weight = pairs.iter().map(|&(a, b)| residual.get(a, b)).fold(f64::INFINITY, f64::min);
         if weight <= 0.0 {
             break;
         }
@@ -211,7 +210,8 @@ mod tests {
 
     #[test]
     fn bvn_terms_are_permutations() {
-        for terms in [bvn_decompose(&skewed_tm(5), 64, 1e-9), bvn_decompose(&skewed_tm(8), 64, 1e-9)]
+        for terms in
+            [bvn_decompose(&skewed_tm(5), 64, 1e-9), bvn_decompose(&skewed_tm(8), 64, 1e-9)]
         {
             assert!(!terms.is_empty());
             for t in &terms {

@@ -66,13 +66,7 @@ pub fn opera_schedule(n: u32, uplinks: u16) -> (Vec<Circuit>, u32) {
     (circuits, num_slices)
 }
 
-fn slice_connected(
-    circuits: &[Circuit],
-    n: u32,
-    uplinks: u16,
-    ts: u32,
-    num_slices: u32,
-) -> bool {
+fn slice_connected(circuits: &[Circuit], n: u32, uplinks: u16, ts: u32, num_slices: u32) -> bool {
     if n <= 1 {
         return true;
     }

@@ -52,10 +52,8 @@ pub fn evolve(prev: &[Circuit], tm: &TrafficMatrix, n: u32, uplinks: u16) -> Vec
     // stripe so several stripes don't all chase the same hot pair.
     let mut residual = tm.clone();
     for j in 0..uplinks {
-        let stripe: Vec<Circuit> =
-            prev.iter().copied().filter(|c| c.a_port == PortId(j)).collect();
-        let mut demands: Vec<f64> =
-            stripe.iter().map(|c| residual.pair_demand(c.a, c.b)).collect();
+        let stripe: Vec<Circuit> = prev.iter().copied().filter(|c| c.a_port == PortId(j)).collect();
+        let mut demands: Vec<f64> = stripe.iter().map(|c| residual.pair_demand(c.a, c.b)).collect();
         demands.sort_by(f64::total_cmp);
         let median = if demands.is_empty() { 0.0 } else { demands[demands.len() / 2] };
 
@@ -70,19 +68,14 @@ pub fn evolve(prev: &[Circuit], tm: &TrafficMatrix, n: u32, uplinks: u16) -> Vec
             }
         }
         // Re-pair the freed nodes by residual demand.
-        let free: Vec<NodeId> =
-            (0..n).map(NodeId).filter(|nd| !matched[nd.index()]).collect();
+        let free: Vec<NodeId> = (0..n).map(NodeId).filter(|nd| !matched[nd.index()]).collect();
         if free.len() >= 2 {
             // Build a sub-matrix over the free nodes.
             let mut sub = TrafficMatrix::zeros(free.len());
             for (ai, &a) in free.iter().enumerate() {
                 for (bi, &b) in free.iter().enumerate() {
                     if ai != bi {
-                        sub.set(
-                            NodeId(ai as u32),
-                            NodeId(bi as u32),
-                            residual.get(a, b).max(1e-9),
-                        );
+                        sub.set(NodeId(ai as u32), NodeId(bi as u32), residual.get(a, b).max(1e-9));
                     }
                 }
             }

@@ -102,19 +102,20 @@ pub fn max_weight_assignment(tm: &TrafficMatrix) -> Vec<usize> {
     // Self-assignment gets a cost so large it is never chosen when any
     // derangement exists (one always does for n >= 2).
     let forbid = (hi + 1.0) * n as f64 * 4.0;
-    let cost: Vec<Vec<f64>> = (0..n)
-        .map(|i| {
-            (0..n)
-                .map(|j| {
-                    if i == j {
-                        forbid
-                    } else {
-                        hi - tm.get(NodeId(i as u32), NodeId(j as u32))
-                    }
-                })
-                .collect()
-        })
-        .collect();
+    let cost: Vec<Vec<f64>> =
+        (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| {
+                        if i == j {
+                            forbid
+                        } else {
+                            hi - tm.get(NodeId(i as u32), NodeId(j as u32))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
     min_cost_assignment(&cost)
 }
 
@@ -281,11 +282,8 @@ mod tests {
         }
         // Should pick the best derangement: 0->1,1->2,2->0 (1+2+2=5) vs
         // 0->2,1->0,2->1 (1+1+1=3).
-        let total: f64 = a
-            .iter()
-            .enumerate()
-            .map(|(i, &j)| tm.get(NodeId(i as u32), NodeId(j as u32)))
-            .sum();
+        let total: f64 =
+            a.iter().enumerate().map(|(i, &j)| tm.get(NodeId(i as u32), NodeId(j as u32))).sum();
         assert_eq!(total, 5.0);
     }
 

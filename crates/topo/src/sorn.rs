@@ -20,12 +20,7 @@ use openoptics_proto::PortId;
 /// Build a SORN schedule: the `round_robin(n, uplinks)` base cycle plus
 /// `extra_slices` demand-dedicated slices derived from the traffic matrix.
 /// Returns circuits and the total slice count.
-pub fn sorn(
-    tm: &TrafficMatrix,
-    n: u32,
-    uplinks: u16,
-    extra_slices: u32,
-) -> (Vec<Circuit>, u32) {
+pub fn sorn(tm: &TrafficMatrix, n: u32, uplinks: u16, extra_slices: u32) -> (Vec<Circuit>, u32) {
     let (mut circuits, base_slices) = round_robin(n, uplinks);
     if extra_slices == 0 {
         return (circuits, base_slices);

@@ -54,13 +54,7 @@ impl PoissonArrivals {
         let flows_per_sec_per_host = per_host_bps / (8.0 * mean_size);
         let total_rate = flows_per_sec_per_host * hosts.len() as f64;
         let mean_gap_ns = 1e9 / total_rate;
-        PoissonArrivals {
-            hosts,
-            dist,
-            mean_gap_ns,
-            next_at: SimTime::ZERO,
-            rng: SimRng::new(seed),
-        }
+        PoissonArrivals { hosts, dist, mean_gap_ns, next_at: SimTime::ZERO, rng: SimRng::new(seed) }
     }
 
     /// Mean inter-arrival gap across the population, ns.

@@ -5,8 +5,8 @@
 //! customary DCN thresholds (mice < 100 KB, elephants ≥ 1 MB).
 
 use openoptics_proto::FlowId;
+use openoptics_sim::hash::FxHashMap;
 use openoptics_sim::time::SimTime;
-use std::collections::HashMap;
 
 /// Mice/elephant size split, bytes.
 pub const MICE_MAX_BYTES: u64 = 100_000;
@@ -36,7 +36,7 @@ impl FlowRecord {
 /// FCT collector.
 #[derive(Debug, Default)]
 pub struct FctStats {
-    started: HashMap<FlowId, (u64, SimTime)>,
+    started: FxHashMap<FlowId, (u64, SimTime)>,
     completed: Vec<FlowRecord>,
 }
 

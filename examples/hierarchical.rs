@@ -20,7 +20,7 @@ use openoptics::workload::FctStats;
 fn rack_conf() -> NetConfig {
     NetConfig {
         node: "host".into(),
-        node_num: 8,  // 8 GPUs per rack
+        node_num: 8, // 8 GPUs per rack
         uplink: 2,
         slice_ns: 5_000, // fast scale-up slices
         guard_ns: 200,

@@ -26,8 +26,20 @@ fn attach_workload(net: &mut openoptics::core::OpenOpticsNet, stop_ms: u64) {
     let mut t = 100;
     while t < stop_ms * 1_000_000 {
         net.add_flow(SimTime::from_ns(t), HostId(0), HostId(1), 500_000, TransportKind::Paced);
-        net.add_flow(SimTime::from_ns(t + 50_000), HostId(1), HostId(0), 500_000, TransportKind::Paced);
-        net.add_flow(SimTime::from_ns(t + 10_000), HostId(3), HostId(6), 20_000, TransportKind::Paced);
+        net.add_flow(
+            SimTime::from_ns(t + 50_000),
+            HostId(1),
+            HostId(0),
+            500_000,
+            TransportKind::Paced,
+        );
+        net.add_flow(
+            SimTime::from_ns(t + 10_000),
+            HostId(3),
+            HostId(6),
+            20_000,
+            TransportKind::Paced,
+        );
         t += 400_000;
     }
 }
@@ -55,18 +67,10 @@ fn main() {
     // How much of the cycle each schedule dedicates to the hot pair.
     let plain_sched = plain.engine.schedule();
     let skewed_sched = skewed.engine.schedule();
-    let plain_share = pair_time_share(
-        plain_sched.circuits(),
-        plain_sched.slice_config().num_slices,
-        0,
-        1,
-    );
-    let skewed_share = pair_time_share(
-        skewed_sched.circuits(),
-        skewed_sched.slice_config().num_slices,
-        0,
-        1,
-    );
+    let plain_share =
+        pair_time_share(plain_sched.circuits(), plain_sched.slice_config().num_slices, 0, 1);
+    let skewed_share =
+        pair_time_share(skewed_sched.circuits(), skewed_sched.slice_config().num_slices, 0, 1);
 
     println!("\nhot-pair (0<->1) share of cycle time:");
     println!("  plain round robin : {:.0}%", plain_share * 100.0);

@@ -47,9 +47,17 @@ fn main() {
     net.run_for(SimTime::from_ms(50));
 
     let rec = net.fct().completed().first().expect("flow completed");
-    println!("RotorNet quickstart ({} nodes, {} slices of {} us)", cfg.node_num, num_slices, cfg.slice_ns / 1000);
+    println!(
+        "RotorNet quickstart ({} nodes, {} slices of {} us)",
+        cfg.node_num,
+        num_slices,
+        cfg.slice_ns / 1000
+    );
     println!("  flow: {} bytes in {:.1} us", rec.bytes, rec.fct_ns() as f64 / 1e3);
     let (delivered, lost) = net.engine.fabric_stats();
     println!("  optical fabric: {delivered} packets delivered, {lost} lost");
-    println!("  ToR0 port0 transmitted {} bytes", net.bw_usage(openoptics::proto::NodeId(0), openoptics::proto::PortId(0)));
+    println!(
+        "  ToR0 port0 transmitted {} bytes",
+        net.bw_usage(openoptics::proto::NodeId(0), openoptics::proto::PortId(0))
+    );
 }

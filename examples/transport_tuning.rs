@@ -29,7 +29,13 @@ fn cfg() -> NetConfig {
 
 fn run(name: &str, mut net: openoptics::core::OpenOpticsNet, dupack: u32) {
     let tcp = TcpConfig { dupack_threshold: dupack, ..Default::default() };
-    net.add_flow(SimTime::from_ns(100), HostId(0), HostId(4), u64::MAX / 4, TransportKind::Tcp(tcp));
+    net.add_flow(
+        SimTime::from_ns(100),
+        HostId(0),
+        HostId(4),
+        u64::MAX / 4,
+        TransportKind::Tcp(tcp),
+    );
     let ms = 30;
     net.run_for(SimTime::from_ms(ms));
     let gbps = net.engine.flow_delivered(1) as f64 * 8.0 / (ms as f64 / 1e3) / 1e9;
@@ -42,7 +48,13 @@ fn run(name: &str, mut net: openoptics::core::OpenOpticsNet, dupack: u32) {
 
 fn run_tdtcp(name: &str, mut net: openoptics::core::OpenOpticsNet) {
     let tcp = TcpConfig::default(); // dupack threshold left at 3 on purpose
-    net.add_flow(SimTime::from_ns(100), HostId(0), HostId(4), u64::MAX / 4, TransportKind::TdTcp(tcp));
+    net.add_flow(
+        SimTime::from_ns(100),
+        HostId(0),
+        HostId(4),
+        u64::MAX / 4,
+        TransportKind::TdTcp(tcp),
+    );
     let ms = 30;
     net.run_for(SimTime::from_ms(ms));
     let gbps = net.engine.flow_delivered(1) as f64 * 8.0 / (ms as f64 / 1e3) / 1e9;
@@ -64,11 +76,7 @@ fn main() {
         direct.engine.pause_mode = PauseMode::DirectCircuit;
         run("rotornet-direct", direct, dupack);
 
-        run(
-            "rotornet-vlb",
-            archs::rotornet_with(cfg(), Vlb, MultipathMode::PerPacket),
-            dupack,
-        );
+        run("rotornet-vlb", archs::rotornet_with(cfg(), Vlb, MultipathMode::PerPacket), dupack);
 
         let mut hybrid_cfg = cfg();
         hybrid_cfg.electrical_gbps = 10;

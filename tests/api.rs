@@ -134,8 +134,8 @@ fn ta_reconfiguration_honors_ocs_delay() {
     net.deploy_routing(Direct, LookupMode::PerHop, MultipathMode::None);
     net.run_for(SimTime::from_ms(1)); // primes the engine
     net.deploy_topo(&b, 1).unwrap(); // reconfiguration begins at t=1ms
-    // Immediately after: still the old schedule's circuits resolve (the
-    // fabric is dark during the move; the new one lands at 6 ms).
+                                     // Immediately after: still the old schedule's circuits resolve (the
+                                     // fabric is dark during the move; the new one lands at 6 ms).
     net.run_for(SimTime::from_ms(1));
     net.add_flow(net.now() + 1, HostId(0), HostId(2), 10_000, TransportKind::Paced);
     net.run_for(SimTime::from_ms(30));

@@ -117,10 +117,7 @@ fn tcp_over_rotornet_completes_and_reorders_under_vlb() {
     );
     net.run_for(SimTime::from_ms(200));
     assert_eq!(net.fct().completed().len(), 1, "TCP flow must finish");
-    assert!(
-        net.engine.flow_reorder_events(1) > 0,
-        "VLB spraying must reorder TCP segments"
-    );
+    assert!(net.engine.flow_reorder_events(1) > 0, "VLB spraying must reorder TCP segments");
 }
 
 #[test]
@@ -135,7 +132,13 @@ fn pushback_protects_against_overload() {
         let mut net = archs::rotornet_with(c, Direct, MultipathMode::None);
         net.engine.watchdog_retransmit = false;
         for s in [1u32, 2, 3] {
-            net.add_flow(SimTime::from_ns(100), HostId(s), HostId(0), 3_000_000, TransportKind::Paced);
+            net.add_flow(
+                SimTime::from_ns(100),
+                HostId(s),
+                HostId(0),
+                3_000_000,
+                TransportKind::Paced,
+            );
         }
         net.run_for(SimTime::from_ms(30));
         let c = net.engine.counters;
@@ -145,10 +148,7 @@ fn pushback_protects_against_overload() {
     let (drops_on, pb_on) = mk(true);
     assert_eq!(pb_off, 0);
     assert!(pb_on > 0, "push-back messages must reach hosts");
-    assert!(
-        drops_on < drops_off,
-        "push-back should reduce drops: {drops_on} vs {drops_off}"
-    );
+    assert!(drops_on < drops_off, "push-back should reduce drops: {drops_on} vs {drops_off}");
 }
 
 #[test]

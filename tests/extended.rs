@@ -121,9 +121,7 @@ fn buffer_usage_monitoring_tracks_load() {
     net.add_flow(SimTime::from_ns(100), HostId(0), HostId(5), 500_000, TransportKind::Paced);
     // Run just past the burst injection: relays still hold packets.
     net.run_for(SimTime::from_us(120));
-    let held: u64 = (0..8)
-        .map(|n| net.buffer_usage(NodeId(n), PortId(0)))
-        .sum();
+    let held: u64 = (0..8).map(|n| net.buffer_usage(NodeId(n), PortId(0))).sum();
     assert!(held > 0, "mid-flight VLB burst must occupy calendar queues");
     net.run_for(SimTime::from_ms(30));
     let after: u64 = (0..8).map(|n| net.buffer_usage(NodeId(n), PortId(0))).sum();

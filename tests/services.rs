@@ -29,10 +29,7 @@ fn circuit_notifications_drive_flow_pausing() {
     net.add_flow(SimTime::from_ns(100), HostId(0), HostId(5), 150_000, TransportKind::Paced);
     net.run_for(SimTime::from_ms(30));
     assert_eq!(net.fct().completed().len(), 1);
-    assert!(
-        net.engine.counters.circuit_notifications > 0,
-        "notification broadcasts must fire"
-    );
+    assert!(net.engine.counters.circuit_notifications > 0, "notification broadcasts must fire");
     assert!(net.engine.tor(NodeId(0)).peak_buffer_bytes <= 64 * 1500);
 }
 
@@ -48,11 +45,7 @@ fn trim_nack_recovers_without_watchdog() {
     net.add_flow(SimTime::from_ns(100), HostId(0), HostId(5), 2_000_000, TransportKind::Paced);
     net.run_for(SimTime::from_ms(60));
     assert!(net.engine.counters.trimmed_received > 0, "test must exercise trimming");
-    assert_eq!(
-        net.fct().completed().len(),
-        1,
-        "NACK retransmission alone must complete the flow"
-    );
+    assert_eq!(net.fct().completed().len(), 1, "NACK retransmission alone must complete the flow");
 }
 
 #[test]
