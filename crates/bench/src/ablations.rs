@@ -56,7 +56,7 @@ pub fn guardband_sweep() -> Vec<GuardRow> {
             }
             net.run_for(SimTime::from_ms(40));
             let (delivered, lost) = net.engine.fabric_stats();
-            par::note_events(net.events_scheduled());
+            par::note_net(&net);
             GuardRow {
                 guard_ns: guard,
                 fabric_loss: lost as f64 / (delivered + lost).max(1) as f64,
@@ -99,7 +99,7 @@ pub fn defer_sweep(ms: u64) -> Vec<DeferRow> {
             let c = net.engine.counters;
             let lost = c.switch_drops + c.fabric_drops + c.no_route_drops + c.link_drops;
             let delays = &net.engine.delay_samples;
-            par::note_events(net.events_scheduled());
+            par::note_net(&net);
             DeferRow {
                 window,
                 loss: lost as f64 / c.host_tx_packets.max(1) as f64,
@@ -151,7 +151,7 @@ pub fn eqo_sweep(ms: u64) -> Vec<EqoRow> {
                 deferred += net.engine.tor(NodeId(n)).counters.deferred;
                 cap += net.engine.tor(NodeId(n)).counters.dropped_capacity;
             }
-            par::note_events(net.events_scheduled());
+            par::note_net(&net);
             EqoRow {
                 mode,
                 loss: lost as f64 / c.host_tx_packets.max(1) as f64,
@@ -201,7 +201,7 @@ pub fn offload_lead_sweep() -> Vec<LeadRow> {
             let resident: u64 =
                 (0..12).map(|n| net.engine.tor(NodeId(n)).peak_buffer_bytes).max().unwrap_or(0);
             let fcts: Vec<u64> = net.fct().completed().iter().map(|r| r.fct_ns()).collect();
-            par::note_events(net.events_scheduled());
+            par::note_net(&net);
             LeadRow {
                 lead_ns: lead,
                 resident_mb: resident as f64 / 1e6,

@@ -51,7 +51,7 @@ pub fn run(duration_ms: u64) -> Vec<Fig10Row> {
         let stop = SimTime::from_ms(duration_ms);
         util::attach_memcached(&mut net, stop);
         net.run_for(SimTime::from_ms(duration_ms + 10));
-        par::note_events(net.events_scheduled());
+        par::note_net(&net);
         let (p50, _, p99, samples) = util::mice_percentiles(net.fct());
         Fig10Row {
             device: dev.name,

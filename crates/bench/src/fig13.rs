@@ -35,7 +35,7 @@ fn measure(emulated: bool, probes: u64) -> Fig13Row {
     let mut net = archs::rotornet(cfg);
     let train = net.add_probe_train(HostId(0), HostId(5), 50_000, probes, 100);
     net.run_for(SimTime::from_ms(probes / 20 * 2 + 50));
-    par::note_events(net.events_scheduled());
+    par::note_net(&net);
     let stats = net.engine.probe_stats(train);
     let p = |q: f64| stats.percentile_ns(q).map(|x| x as f64 / 1e3).unwrap_or(f64::NAN);
     Fig13Row {

@@ -70,7 +70,7 @@ pub fn run_mice(duration_ms: u64) -> Vec<MiceRow> {
         let stop = SimTime::from_ms(duration_ms);
         util::attach_memcached(&mut net, stop);
         net.run_for(SimTime::from_ms(duration_ms + 5));
-        par::note_events(net.events_scheduled());
+        par::note_net(&net);
         let (p50, p90, p99, samples) = util::mice_percentiles(net.fct());
         MiceRow {
             arch: name,
@@ -116,7 +116,7 @@ pub fn run_allreduce(data_bytes: u64) -> Vec<AllreduceRow> {
         let hosts: Vec<HostId> = (0..8).map(HostId).collect();
         let idx = net.add_allreduce(hosts, data_bytes);
         net.run_for(SimTime::from_ms(400));
-        par::note_events(net.events_scheduled());
+        par::note_net(&net);
         let done = net.engine.collective_done[idx];
         AllreduceRow { arch: name, completion_ms: done.map(|t| t.as_ms_f64()).unwrap_or(f64::NAN) }
     })

@@ -73,7 +73,7 @@ fn measure_with(
         transport,
     );
     net.run_for(SimTime::from_ms(ms));
-    par::note_events(net.events_scheduled());
+    par::note_net(&net);
     // The flow id is 1 (first flow started).
     let delivered = net.engine.flow_delivered(1);
     let goodput = delivered as f64 * 8.0 / (ms as f64 / 1e3) / 1e9;

@@ -23,6 +23,7 @@ pub mod fig14;
 pub mod fig8;
 pub mod fig9;
 pub mod minslice;
+pub mod overhead;
 pub mod par;
 pub mod table2;
 pub mod table3;

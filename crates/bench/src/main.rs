@@ -65,8 +65,11 @@ fn main() {
     let section = |title: &str| println!("\n=== {title} ===");
 
     // Run one experiment body with wall-clock + events/sec instrumentation.
+    // Telemetry totals merged across the experiment's networks (identical
+    // at any --jobs count) land on stderr next to the timing line.
     let instrument = |stats: &mut Vec<ExpStat>, id: &'static str, body: &mut dyn FnMut()| {
         x::par::take_events(); // drop any counts from a previous section
+        x::par::take_metrics();
         let t = Instant::now();
         body();
         let wall_s = t.elapsed().as_secs_f64();
@@ -78,6 +81,23 @@ fn main() {
             );
         } else {
             eprintln!("[{id} took {wall_s:.2}s]");
+        }
+        let metrics = x::par::take_metrics();
+        if !metrics.is_empty() {
+            let g = |k: &str| metrics.get(k).copied().unwrap_or(0);
+            let retx = g("engine.watchdog_retransmits")
+                + g("engine.rto_retransmits")
+                + g("engine.fast_retransmits")
+                + g("engine.nack_retransmits");
+            eprintln!(
+                "[{id} telemetry: {} delivered, {} fabric drops, {} switch drops, \
+                 {} pushbacks, {} retx]",
+                g("engine.delivered_packets"),
+                g("engine.fabric_drops"),
+                g("engine.switch_drops"),
+                g("tor.pushback_emitted"),
+                retx,
+            );
         }
         stats.push(ExpStat { id, wall_s, events });
     };
@@ -200,11 +220,15 @@ fn main() {
         std::process::exit(2);
     }
 
-    write_bench_json(&stats);
+    // Zero-cost-when-disabled check: the churn micro-bench with detached
+    // instruments vs. bare, reported alongside the throughput numbers.
+    let overhead_pct = x::overhead::run();
+    eprintln!("[telemetry disabled-mode overhead: {overhead_pct:.2}% on churn micro-bench]");
+    write_bench_json(&stats, overhead_pct);
 }
 
 /// Write the machine-readable run summary next to the working directory.
-fn write_bench_json(stats: &[ExpStat]) {
+fn write_bench_json(stats: &[ExpStat], overhead_pct: f64) {
     let total_wall: f64 = stats.iter().map(|s| s.wall_s).sum();
     let total_events: u64 = stats.iter().map(|s| s.events).sum();
     let mut out = String::from("{\n");
@@ -215,6 +239,7 @@ fn write_bench_json(stats: &[ExpStat]) {
         "  \"events_per_sec\": {:.0},\n",
         if total_wall > 0.0 { total_events as f64 / total_wall } else { 0.0 }
     ));
+    out.push_str(&format!("  \"telemetry_disabled_overhead_pct\": {overhead_pct:.2},\n"));
     out.push_str("  \"experiments\": [\n");
     for (i, s) in stats.iter().enumerate() {
         out.push_str(&format!(

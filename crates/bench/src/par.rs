@@ -12,6 +12,7 @@
 //! network's `events_scheduled()` here, and the binary drains the counter
 //! per experiment to print events/second and write `BENCH_engine.json`.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -35,6 +36,10 @@ pub fn jobs() -> usize {
     }
 }
 
+/// Telemetry counter totals merged across all networks since the last
+/// [`take_metrics`], keyed by base metric name (labels folded).
+static METRICS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+
 /// Record simulation work done (a network's `events_scheduled()` total).
 pub fn note_events(n: u64) {
     EVENTS.fetch_add(n, Ordering::Relaxed);
@@ -43,6 +48,27 @@ pub fn note_events(n: u64) {
 /// Drain the event counter (called by the binary between experiments).
 pub fn take_events() -> u64 {
     EVENTS.swap(0, Ordering::Relaxed)
+}
+
+/// Report a finished network: its scheduled-event total plus its telemetry
+/// counters, merged (by saturating sum) into the experiment-wide totals.
+/// Summing is commutative, so the merged result is identical at any
+/// `--jobs` count regardless of completion order.
+pub fn note_net(net: &openoptics_core::OpenOpticsNet) {
+    note_events(net.events_scheduled());
+    if net.telemetry().is_enabled() {
+        let totals = net.telemetry_snapshot().counter_totals();
+        let mut m = METRICS.lock().expect("metrics lock poisoned");
+        for (name, v) in totals {
+            let t = m.entry(name).or_insert(0);
+            *t = t.saturating_add(v);
+        }
+    }
+}
+
+/// Drain the merged telemetry totals (called between experiments).
+pub fn take_metrics() -> BTreeMap<String, u64> {
+    std::mem::take(&mut *METRICS.lock().expect("metrics lock poisoned"))
 }
 
 /// Map `f` over `0..n`, fanning out across [`jobs`] scoped workers, and

@@ -90,7 +90,7 @@ fn measure(routing: &'static str, offload: bool, trace: Trace, ms: u64) -> Table
         .map(|n| net.engine.tor(NodeId(n)).offload_book.peak_parked_bytes)
         .max()
         .unwrap_or(0);
-    par::note_events(net.events_scheduled());
+    par::note_net(&net);
     Table3Row {
         routing,
         trace: trace.name(),

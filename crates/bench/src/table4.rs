@@ -79,7 +79,7 @@ fn measure(
         net.add_flow(f.at, f.src, f.dst, f.bytes.min(2_000_000), TransportKind::Paced);
     }
     net.run_for(SimTime::from_ms(ms));
-    par::note_events(net.events_scheduled());
+    par::note_net(&net);
     let c = net.engine.counters;
     let lost = c.switch_drops + c.fabric_drops + c.link_drops + c.no_route_drops;
     let loss_rate =

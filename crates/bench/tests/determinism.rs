@@ -12,14 +12,17 @@ use openoptics_bench as x;
 #[test]
 fn fig8a_quick_output_identical_across_worker_counts() {
     x::par::set_jobs(1);
+    x::par::take_metrics();
     let serial_rows = x::fig8::run_mice(8);
     let serial = x::fig8::render_mice(&serial_rows);
     let serial_events = x::par::take_events();
+    let serial_metrics = x::par::take_metrics();
 
     x::par::set_jobs(4);
     let parallel_rows = x::fig8::run_mice(8);
     let parallel = x::fig8::render_mice(&parallel_rows);
     let parallel_events = x::par::take_events();
+    let parallel_metrics = x::par::take_metrics();
 
     assert_eq!(serial, parallel, "rendered fig8a output differs between --jobs 1 and --jobs 4");
     assert_eq!(
@@ -27,4 +30,19 @@ fn fig8a_quick_output_identical_across_worker_counts() {
         "event counts differ between worker counts: the simulations themselves diverged"
     );
     assert!(serial_events > 0, "instrumentation recorded no events");
+
+    // Merged telemetry totals are commutative sums, so they must also come
+    // out byte-for-byte identical (BTreeMap iteration order is key order).
+    let render = |m: &std::collections::BTreeMap<String, u64>| {
+        m.iter().map(|(k, v)| format!("{k}={v}\n")).collect::<String>()
+    };
+    assert_eq!(
+        render(&serial_metrics),
+        render(&parallel_metrics),
+        "merged telemetry totals differ between --jobs 1 and --jobs 4"
+    );
+    assert!(
+        serial_metrics.get("engine.delivered_packets").copied().unwrap_or(0) > 0,
+        "telemetry recorded no delivered packets"
+    );
 }

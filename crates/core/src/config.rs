@@ -85,6 +85,14 @@ pub struct NetConfig {
     pub segment_queue_bytes: u64,
     /// PIAS-style elephant threshold for flow aging, bytes.
     pub elephant_threshold: u64,
+    /// Telemetry registry armed: counters/gauges/histograms and the trace
+    /// stream record. `false` leaves every instrument detached (zero-cost
+    /// disabled mode: hot paths see a single `Option` branch).
+    pub telemetry: bool,
+    /// Trace-event buffer capacity (records kept; later events are counted
+    /// but dropped so exports stay deterministic). 0 disables tracing while
+    /// keeping metrics on.
+    pub trace_capacity: u64,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -122,6 +130,8 @@ impl Default for NetConfig {
             eqo_ground_truth: false,
             segment_queue_bytes: 4 * 1024 * 1024,
             elephant_threshold: 1_000_000,
+            telemetry: true,
+            trace_capacity: 4_096,
             seed: 1,
         }
     }
@@ -162,11 +172,132 @@ macro_rules! for_each_config_field {
         $m!(bool eqo_ground_truth);
         $m!(u64 segment_queue_bytes);
         $m!(u64 elephant_threshold);
+        $m!(bool telemetry);
+        $m!(u64 trace_capacity);
         $m!(u64 seed);
     };
 }
 
+/// A configuration field that failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The offending field.
+    pub field: &'static str,
+    /// Why the value was rejected.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid `{}`: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(field: &'static str, reason: impl Into<String>) -> ConfigError {
+    ConfigError { field, reason: reason.into() }
+}
+
+/// Checked, fluent construction of a [`NetConfig`] (starts from defaults).
+///
+/// ```
+/// use openoptics_core::NetConfig;
+/// let cfg = NetConfig::builder().node_num(8).slice_ns(100_000).build().unwrap();
+/// assert!(NetConfig::builder().guard_ns(99).slice_ns(50).build().is_err());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct NetConfigBuilder {
+    cfg: NetConfig,
+}
+
+/// One fluent setter per configuration field, generated from the same field
+/// list as JSON parse/serialize so the builder can never fall behind.
+macro_rules! builder_setter {
+    (str $name:ident) => {
+        #[doc = concat!("Set [`NetConfig::", stringify!($name), "`].")]
+        pub fn $name(mut self, v: impl Into<String>) -> Self {
+            self.cfg.$name = v.into();
+            self
+        }
+    };
+    ($kind:ident $name:ident) => {
+        #[doc = concat!("Set [`NetConfig::", stringify!($name), "`].")]
+        pub fn $name(mut self, v: $kind) -> Self {
+            self.cfg.$name = v;
+            self
+        }
+    };
+}
+
+impl NetConfigBuilder {
+    for_each_config_field!(builder_setter);
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<NetConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 impl NetConfig {
+    /// Start building a configuration from the defaults.
+    pub fn builder() -> NetConfigBuilder {
+        NetConfigBuilder::default()
+    }
+
+    /// Range-check the configuration ([`NetConfig::builder`] calls this;
+    /// hand-built or JSON-loaded configurations may call it directly).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match self.node.as_str() {
+            "rack" | "host" => {}
+            other => return Err(err("node", format!("{other:?} is not \"rack\" or \"host\""))),
+        }
+        if self.node_num == 0 {
+            return Err(err("node_num", "a network needs at least one node"));
+        }
+        if self.uplink == 0 {
+            return Err(err("uplink", "each node needs at least one optical uplink"));
+        }
+        if self.hosts_per_node == 0 {
+            return Err(err("hosts_per_node", "each node needs at least one host"));
+        }
+        if self.slice_ns == 0 {
+            return Err(err("slice_ns", "the time slice must be positive"));
+        }
+        if self.guard_ns >= self.slice_ns {
+            return Err(err(
+                "guard_ns",
+                format!(
+                    "guardband ({} ns) must be shorter than the slice ({} ns)",
+                    self.guard_ns, self.slice_ns
+                ),
+            ));
+        }
+        if self.uplink_gbps == 0 {
+            return Err(err("uplink_gbps", "optical uplinks need a positive rate"));
+        }
+        if self.host_link_gbps == 0 {
+            return Err(err("host_link_gbps", "host links need a positive rate"));
+        }
+        if self.num_queues == 0 {
+            return Err(err("num_queues", "ports need at least one calendar queue"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(err("queue_capacity", "calendar queues need a positive byte capacity"));
+        }
+        match self.congestion_policy.as_str() {
+            "drop" | "trim" | "wait" | "defer" => {}
+            other => {
+                return Err(err(
+                    "congestion_policy",
+                    format!("{other:?} is not one of \"drop\", \"trim\", \"wait\", \"defer\""),
+                ))
+            }
+        }
+        Ok(())
+    }
+
     /// Parse from the JSON configuration file format. Missing fields take
     /// their defaults; unknown fields are ignored; wrongly-typed fields are
     /// an error.

@@ -31,6 +31,7 @@ use openoptics_sim::{EventQueue, SimRng, World};
 use openoptics_switch::congestion::{CongestionConfig, CongestionPolicy};
 use openoptics_switch::offload::OffloadPolicy;
 use openoptics_switch::{IngressDecision, PipelineModel, ToRSwitch, TorConfig};
+use openoptics_telemetry::{Counter, Labels, Registry, RetxKind, Trace, TraceKind};
 use openoptics_topo::TrafficMatrix;
 use openoptics_workload::FctStats;
 
@@ -265,6 +266,24 @@ pub struct EngineCounters {
     pub circuit_notifications: u64,
     /// Trimmed packets received (each triggers a NACK retransmission).
     pub trimmed_received: u64,
+    /// Packets held at a port because the slice guardband was open.
+    pub guardband_holds: u64,
+    /// Paced-flow watchdog retransmissions.
+    pub watchdog_retransmits: u64,
+    /// TCP retransmission timeouts that fired.
+    pub rto_retransmits: u64,
+    /// TCP fast retransmits (triple-duplicate ACK).
+    pub fast_retransmits: u64,
+    /// NACK-driven retransmissions of trimmed segments.
+    pub nack_retransmits: u64,
+}
+
+/// Live engine-side instruments: bound once at construction, `detached`
+/// (inert) when telemetry is off so hot paths pay one branch.
+#[derive(Default)]
+struct EngineTele {
+    guardband_holds: Counter,
+    trace: Trace,
 }
 
 /// The engine: all network state plus the event interpreter.
@@ -314,6 +333,10 @@ pub struct Engine {
     pub watchdog_retransmit: bool,
     /// One-way delays (ns) of delivered data packets, when recording.
     pub delay_samples: Vec<u64>,
+    /// Metrics registry + trace stream (disabled = every handle detached).
+    telemetry: Registry,
+    /// Engine-side live instruments.
+    tele: EngineTele,
 }
 
 struct RouterSpec {
@@ -356,9 +379,14 @@ impl Engine {
             keep_ranks: cfg.offload_keep_ranks,
             return_lead_ns: cfg.offload_return_lead_ns,
         });
+        let telemetry = Registry::new(cfg.telemetry, cfg.trace_capacity as usize);
+        let tele = EngineTele {
+            guardband_holds: telemetry.counter("engine.guardband_holds", Labels::None),
+            trace: telemetry.trace(),
+        };
         let tors: Vec<ToRSwitch> = (0..n)
             .map(|i| {
-                ToRSwitch::new(TorConfig {
+                let mut tor = ToRSwitch::new(TorConfig {
                     id: NodeId(i),
                     slice_cfg,
                     uplinks: cfg.uplink,
@@ -370,7 +398,9 @@ impl Engine {
                     offload,
                     eqo_interval_ns: cfg.eqo_interval_ns,
                     use_true_occupancy: cfg.eqo_ground_truth,
-                })
+                });
+                tor.attach_telemetry(&telemetry);
+                tor
             })
             .collect();
         let hosts: Vec<HostState> = (0..cfg.total_hosts())
@@ -416,8 +446,105 @@ impl Engine {
             record_delays: false,
             watchdog_retransmit: true,
             delay_samples: vec![],
+            telemetry,
+            tele,
             cfg,
         }
+    }
+
+    /// The metrics registry this engine reports into. Disabled when the
+    /// configuration said `telemetry: false`.
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
+    }
+
+    /// Mirror engine-side plain counters into the registry so a snapshot
+    /// sees them. Cheap relative to a snapshot; call before snapshotting.
+    /// `queue_stats` carries the event-queue statistics, which live outside
+    /// the engine (the sim crate does not depend on telemetry).
+    pub fn sync_telemetry(&self, queue_stats: Option<openoptics_sim::QueueStats>) {
+        let reg = &self.telemetry;
+        if !reg.is_enabled() {
+            return;
+        }
+        let c = &self.counters;
+        for (name, v) in [
+            ("engine.host_tx_packets", c.host_tx_packets),
+            ("engine.delivered_packets", c.delivered_packets),
+            ("engine.delivered_payload_bytes", c.delivered_payload_bytes),
+            ("engine.fabric_drops", c.fabric_drops),
+            ("engine.switch_drops", c.switch_drops),
+            ("engine.no_route_drops", c.no_route_drops),
+            ("engine.link_drops", c.link_drops),
+            ("engine.pushback_deliveries", c.pushback_deliveries),
+            ("engine.circuit_notifications", c.circuit_notifications),
+            ("engine.trimmed_received", c.trimmed_received),
+            ("engine.watchdog_retransmits", c.watchdog_retransmits),
+            ("engine.rto_retransmits", c.rto_retransmits),
+            ("engine.fast_retransmits", c.fast_retransmits),
+            ("engine.nack_retransmits", c.nack_retransmits),
+        ] {
+            reg.counter(name, Labels::None).set(v);
+        }
+        if let Some(qs) = queue_stats {
+            reg.counter("sim.events_scheduled", Labels::None).set(qs.scheduled_total);
+            reg.counter("sim.events_popped", Labels::None).set(qs.popped_total);
+            reg.counter("sim.events_far_scheduled", Labels::None).set(qs.far_scheduled);
+            reg.counter("sim.events_overlay_scheduled", Labels::None).set(qs.overlay_scheduled);
+            reg.gauge("sim.queue_len", Labels::None).set(qs.len as i64);
+            reg.gauge("sim.queue_peak_len", Labels::None).set(qs.peak_len as i64);
+        }
+        for (name, v) in self.fabric.counter_pairs() {
+            reg.counter(name, Labels::None).set(v);
+        }
+        for t in &self.tors {
+            let node = Labels::Node(t.cfg.id);
+            let tc = t.counters;
+            for (name, v) in [
+                ("tor.enqueued", tc.enqueued),
+                ("tor.delivered_local", tc.delivered_local),
+                ("tor.deferred", tc.deferred),
+                ("tor.defer_exhausted", tc.defer_exhausted),
+                ("tor.trimmed", tc.trimmed),
+                ("tor.dropped_congestion", tc.dropped_congestion),
+                ("tor.dropped_capacity", tc.dropped_capacity),
+                ("tor.dropped_rank", tc.dropped_rank),
+                ("tor.tx_bytes", tc.tx_bytes),
+                ("tor.tx_packets", tc.tx_packets),
+            ] {
+                reg.counter(name, node).set(v);
+            }
+            let (pb_events, pb_emitted) = t.pushback_stats();
+            reg.counter("tor.pushback_events", node).set(pb_events);
+            reg.counter("tor.pushback_emitted", node).set(pb_emitted);
+            reg.counter("tor.rank_overflows", node).set(t.rank_overflows());
+            reg.counter("tor.offloaded_packets", node).set(t.offload_book.offloaded_packets);
+            reg.gauge("tor.buffer_bytes", node).set(t.buffer_bytes().min(i64::MAX as u64) as i64);
+            reg.gauge("tor.peak_buffer_bytes", node)
+                .set(t.peak_buffer_bytes.min(i64::MAX as u64) as i64);
+        }
+        let mut pauses = 0u64;
+        let mut resumes = 0u64;
+        let mut blocks = 0u64;
+        let mut app_pushbacks = 0u64;
+        let mut queued = 0u64;
+        for h in &self.hosts {
+            for v in [&h.vma, &h.vma_mice] {
+                pauses += v.pause_events;
+                resumes += v.resume_events;
+                blocks += v.block_events;
+                app_pushbacks += v.app_pushback_events;
+                queued += v.total_queued();
+            }
+        }
+        reg.counter("host.vma_pause_transitions", Labels::None).set(pauses);
+        reg.counter("host.vma_resume_transitions", Labels::None).set(resumes);
+        reg.counter("host.vma_block_extensions", Labels::None).set(blocks);
+        reg.counter("host.vma_app_pushbacks", Labels::None).set(app_pushbacks);
+        reg.gauge("host.vma_queued_bytes", Labels::None).set(queued.min(i64::MAX as u64) as i64);
+        reg.gauge("fabric.sync_max_err_ns", Labels::None)
+            .set(self.sync.max_err_ns().min(i64::MAX as u64) as i64);
+        reg.counter("fct.completed_flows", Labels::None).set(self.fct.completed().len() as u64);
     }
 
     /// Set the routing scheme (`deploy_routing`). `ta` selects
@@ -611,7 +738,7 @@ impl Engine {
         // Initial pause state (slice 0 is "notified" at t=0).
         if self.pause_mode == PauseMode::DirectCircuit {
             for node in 0..self.cfg.node_num {
-                self.refresh_pause_state(NodeId(node), 0);
+                self.refresh_pause_state(NodeId(node), 0, SimTime::ZERO);
                 if self.slice_cfg.num_slices > 1 {
                     let lead = 200;
                     q.schedule(
@@ -1004,22 +1131,31 @@ impl Engine {
     /// Update vma pause state of a ToR's hosts for the active slice
     /// (DirectCircuit pause mode — the flow-pausing service fed by circuit
     /// notifications).
-    fn refresh_pause_state(&mut self, node: NodeId, slice: u32) {
+    fn refresh_pause_state(&mut self, node: NodeId, slice: u32, now: SimTime) {
         let hosts: Vec<HostId> = (0..self.cfg.total_hosts())
             .map(HostId)
             .filter(|h| self.hosts[h.index()].tor == node)
             .collect();
         let dsts: Vec<NodeId> = (0..self.cfg.node_num).map(NodeId).collect();
+        let tracing = self.tele.trace.is_on();
         for h in hosts {
             for &d in &dsts {
                 if d == node {
                     continue;
                 }
                 let open = self.fabric.schedule().port_to(node, d, slice).is_some();
-                if open {
-                    self.hosts[h.index()].vma.resume(d);
+                let transition = if open {
+                    self.hosts[h.index()].vma.resume(d)
                 } else {
-                    self.hosts[h.index()].vma.pause(d);
+                    self.hosts[h.index()].vma.pause(d)
+                };
+                if tracing && transition {
+                    let kind = if open {
+                        TraceKind::FlowResume { host: h, dst: d }
+                    } else {
+                        TraceKind::FlowPause { host: h, dst: d }
+                    };
+                    self.tele.trace.emit(now, kind);
                 }
             }
         }
@@ -1183,6 +1319,9 @@ impl Engine {
             let resume_local = self.slice_cfg.slice_start(local) + self.slice_cfg.guard_ns;
             let resume = self.sync.global_fire_time(node.index(), resume_local);
             self.port_pending[node.index()][port.index()] = true;
+            self.counters.guardband_holds += 1;
+            self.tele.guardband_holds.inc();
+            self.tele.trace.emit(now, TraceKind::GuardbandHold { node, port });
             q.schedule(resume.max(now + 1), Event::PortFree(node, port));
             return;
         }
@@ -1197,8 +1336,17 @@ impl Engine {
                         let delay = self.pipeline.delay_ns(pkt.size, &mut self.rng) + latency_ns;
                         q.schedule_after(now, delay.max(tx), Event::TorIngress(peer, pkt));
                     }
-                    _ => {
+                    lost => {
                         self.counters.fabric_drops += 1;
+                        if self.tele.trace.is_on() {
+                            let kind = match lost {
+                                openoptics_fabric::Transit::Guardband => {
+                                    TraceKind::GuardbandDrop { node, port }
+                                }
+                                _ => TraceKind::NoCircuitDrop { node, port },
+                            };
+                            self.tele.trace.emit(now, kind);
+                        }
                     }
                 }
             }
@@ -1240,7 +1388,7 @@ impl Engine {
             return;
         }
         let upcoming = self.slice_cfg.advance(self.tors[node.index()].current_slice(), 1);
-        self.refresh_pause_state(node, upcoming);
+        self.refresh_pause_state(node, upcoming, now);
         let hosts: Vec<HostId> = (0..self.cfg.total_hosts())
             .map(HostId)
             .filter(|h| self.hosts[h.index()].tor == node)
@@ -1367,23 +1515,34 @@ impl Engine {
                         self.topology_id(src_tor, dst_tor)
                     })
                     .unwrap_or(0);
+                let mut fast_retx = false;
                 if let Some(f) = self.flows.get_mut(&fid) {
                     match &mut f.transport {
                         Transport::Tcp { sender, .. } => {
+                            let before = sender.fast_retransmits;
                             sender.on_ack(cum_ack, now);
+                            fast_retx = sender.fast_retransmits > before;
                             if sender.done() && !f.done {
                                 finished = true;
                             }
                         }
                         Transport::TdTcp { sender, .. } => {
                             sender.set_topology(topo, now);
+                            let before = sender.fast_retransmits;
                             sender.on_ack(cum_ack, now);
+                            fast_retx = sender.fast_retransmits > before;
                             if sender.done() && !f.done {
                                 finished = true;
                             }
                         }
                         Transport::Paced => {}
                     }
+                }
+                if fast_retx {
+                    self.counters.fast_retransmits += 1;
+                    self.tele
+                        .trace
+                        .emit(now, TraceKind::Retransmit { flow: fid, kind: RetxKind::FastRetx });
                 }
                 if finished {
                     self.finish_flow(fid, now, q);
@@ -1441,7 +1600,9 @@ impl Engine {
                 self.hosts[host.index()].vma.block_until(dst, SimTime::from_ns(end));
             }
             ControlMsg::CircuitNotify { dst, .. } => {
-                self.hosts[host.index()].vma.resume(dst);
+                if self.hosts[host.index()].vma.resume(dst) {
+                    self.tele.trace.emit(now, TraceKind::FlowResume { host, dst });
+                }
                 self.pump_host(host, now, q);
             }
             _ => {}
@@ -1528,6 +1689,10 @@ impl Engine {
                     f.queued = f.bytes - missing;
                     let src = f.src_host;
                     self.hosts[src.index()].backlog.push(fid);
+                    self.counters.watchdog_retransmits += 1;
+                    self.tele
+                        .trace
+                        .emit(now, TraceKind::Retransmit { flow: fid, kind: RetxKind::Watchdog });
                     self.pump_host(src, now, q);
                 }
                 if let Some(f) = self.flows.get_mut(&fid) {
@@ -1558,6 +1723,10 @@ impl Engine {
                     }
                 }
                 if fired {
+                    self.counters.rto_retransmits += 1;
+                    self.tele
+                        .trace
+                        .emit(now, TraceKind::Retransmit { flow: fid, kind: RetxKind::Rto });
                     self.pump_tcp(fid, now);
                     if let Some(s) = src {
                         self.pump_host(s, now, q);
@@ -1583,6 +1752,8 @@ impl Engine {
                     .vma
                     .send(dst_tor, Segment { flow, dst_host, bytes: len, seq })
                     .ok();
+                self.counters.nack_retransmits += 1;
+                self.tele.trace.emit(now, TraceKind::Retransmit { flow, kind: RetxKind::Nack });
                 self.pump_host(src, now, q);
             }
             Timer::ProbeSend(t) => {

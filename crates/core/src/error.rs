@@ -1,0 +1,100 @@
+//! The unified error type of the public API.
+//!
+//! Every fallible `OpenOpticsNet` call returns `Result<_, Error>`: one enum
+//! wrapping deployment rejections, configuration validation, JSON parsing,
+//! and telemetry-export failures, so user programs compose calls with `?`
+//! instead of inspecting booleans.
+
+use crate::config::ConfigError;
+use crate::json::JsonError;
+use crate::net::DeployError;
+use openoptics_fabric::{Circuit, LayoutError, ScheduleError};
+use openoptics_proto::NodeId;
+use openoptics_telemetry::TelemetryError;
+
+/// Any failure the public API can report.
+#[derive(Debug)]
+pub enum Error {
+    /// Topology deployment rejected (schedule validation or OCS layout).
+    Deploy(DeployError),
+    /// Configuration validation failed ([`crate::NetConfig::builder`]).
+    Config(ConfigError),
+    /// JSON configuration file malformed.
+    Json(JsonError),
+    /// Telemetry subsystem refused the request (disabled, unknown format).
+    Telemetry(TelemetryError),
+    /// `connect()` was given a circuit from a node to itself.
+    LoopbackCircuit(Circuit),
+    /// `add()` named a node outside the configured network.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Nodes configured (`valid ids are 0..node_num`).
+        node_num: u32,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Deploy(e) => write!(f, "deploy: {e}"),
+            Error::Config(e) => write!(f, "config: {e}"),
+            Error::Json(e) => write!(f, "json: {e}"),
+            Error::Telemetry(e) => write!(f, "telemetry: {e}"),
+            Error::LoopbackCircuit(c) => {
+                write!(f, "loopback circuit: {:?} connects a node to itself", c)
+            }
+            Error::NodeOutOfRange { node, node_num } => {
+                write!(f, "node {} out of range (network has {} nodes)", node.0, node_num)
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Deploy(e) => Some(e),
+            Error::Config(e) => Some(e),
+            Error::Json(e) => Some(e),
+            Error::Telemetry(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeployError> for Error {
+    fn from(e: DeployError) -> Self {
+        Error::Deploy(e)
+    }
+}
+
+impl From<ScheduleError> for Error {
+    fn from(e: ScheduleError) -> Self {
+        Error::Deploy(DeployError::Schedule(e))
+    }
+}
+
+impl From<LayoutError> for Error {
+    fn from(e: LayoutError) -> Self {
+        Error::Deploy(DeployError::Layout(e))
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Error::Config(e)
+    }
+}
+
+impl From<JsonError> for Error {
+    fn from(e: JsonError) -> Self {
+        Error::Json(e)
+    }
+}
+
+impl From<TelemetryError> for Error {
+    fn from(e: TelemetryError) -> Self {
+        Error::Telemetry(e)
+    }
+}

@@ -21,11 +21,13 @@
 pub mod archs;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod json;
 pub mod net;
 pub mod workflow;
 
-pub use config::NetConfig;
+pub use config::{ConfigError, NetConfig, NetConfigBuilder};
 pub use engine::{DispatchPolicy, Engine, PauseMode, TransportKind};
-pub use net::OpenOpticsNet;
+pub use error::Error;
+pub use net::{DeployError, OpenOpticsNet};
 pub use workflow::run_ta_loop;

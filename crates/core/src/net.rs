@@ -10,7 +10,7 @@
 //! use openoptics_routing::{LookupMode, MultipathMode};
 //! use openoptics_topo::round_robin;
 //!
-//! let cfg = NetConfig { node_num: 8, uplink: 1, slice_ns: 100_000, ..Default::default() };
+//! let cfg = NetConfig::builder().node_num(8).uplink(1).slice_ns(100_000).build().unwrap();
 //! let mut net = OpenOpticsNet::new(cfg.clone());
 //! let (circuits, slices) = round_robin(cfg.node_num, cfg.uplink);
 //! net.deploy_topo(&circuits, slices).unwrap();
@@ -19,6 +19,7 @@
 
 use crate::config::NetConfig;
 use crate::engine::{Engine, Event, TransportKind};
+use crate::error::Error;
 use openoptics_fabric::{Circuit, LayoutError, OcsLayout, OpticalSchedule, ScheduleError};
 use openoptics_host::apps::MemcachedParams;
 use openoptics_proto::{FlowId, HostId, NodeId, PortId};
@@ -109,14 +110,14 @@ impl OpenOpticsNet {
         self.now
     }
 
-    /// The primitive `connect()` call: stage one circuit. Returns `false`
-    /// if the circuit is a loopback (immediately invalid).
-    pub fn connect(&mut self, circuit: Circuit) -> bool {
+    /// The primitive `connect()` call: stage one circuit. Loopback circuits
+    /// (a node to itself) are immediately invalid.
+    pub fn connect(&mut self, circuit: Circuit) -> Result<(), Error> {
         if circuit.is_loopback() {
-            return false;
+            return Err(Error::LoopbackCircuit(circuit));
         }
         self.staged.push(circuit);
-        true
+        Ok(())
     }
 
     /// Circuits staged via [`OpenOpticsNet::connect`].
@@ -193,13 +194,13 @@ impl OpenOpticsNet {
     }
 
     /// `add()`: install one time-flow table entry directly (debugging).
-    pub fn add(&mut self, entry: RouteEntry) -> bool {
+    pub fn add(&mut self, entry: RouteEntry) -> Result<(), Error> {
         let node = entry.node;
         if node.0 >= self.engine.cfg.node_num {
-            return false;
+            return Err(Error::NodeOutOfRange { node, node_num: self.engine.cfg.node_num });
         }
         self.engine.tor_mut(node).install_routes([entry]);
-        true
+        Ok(())
     }
 
     /// `collect(interval)`: run the network for `interval` and return the
@@ -276,6 +277,68 @@ impl OpenOpticsNet {
     ) -> usize {
         assert!(!self.primed, "attach apps before the first run");
         self.engine.add_probe_train(src, dst, interval_ns, count, payload)
+    }
+
+    // -- telemetry ---------------------------------------------------------
+
+    /// The metrics registry the network reports into. Disabled (every
+    /// handle detached, zero hot-path cost) when the configuration said
+    /// `telemetry: false`.
+    pub fn telemetry(&self) -> &openoptics_telemetry::Registry {
+        self.engine.telemetry()
+    }
+
+    /// A deterministic snapshot of every metric at the current simulation
+    /// time: engine-side plain counters are mirrored into the registry
+    /// first, so the snapshot is complete. Stamped in sim time only —
+    /// byte-identical across runs and worker counts.
+    pub fn telemetry_snapshot(&self) -> openoptics_telemetry::Snapshot {
+        self.engine.sync_telemetry(Some(self.queue.stats()));
+        self.engine.telemetry().snapshot(self.now)
+    }
+
+    /// Export the current telemetry snapshot as `"json"` or `"csv"`.
+    /// Errors if telemetry is disabled or the format is unknown.
+    pub fn export_telemetry(&self, format: &str) -> Result<String, Error> {
+        if !self.engine.telemetry().is_enabled() {
+            return Err(openoptics_telemetry::TelemetryError::Disabled.into());
+        }
+        let snap = self.telemetry_snapshot();
+        match format {
+            "json" => Ok(snap.to_json()),
+            "csv" => Ok(snap.to_csv()),
+            other => {
+                Err(openoptics_telemetry::TelemetryError::UnknownFormat(other.to_string()).into())
+            }
+        }
+    }
+
+    /// The trace-event stream captured so far, one JSON object per line
+    /// (first `trace_capacity` events; later ones are counted as dropped).
+    pub fn export_trace(&self) -> Result<String, Error> {
+        if !self.engine.telemetry().is_enabled() {
+            return Err(openoptics_telemetry::TelemetryError::Disabled.into());
+        }
+        Ok(self.engine.telemetry().trace().to_json_lines())
+    }
+
+    /// Run for `total` simulated time, taking a telemetry snapshot every
+    /// `every` (and a final one at the end). The periodic-snapshot loop of
+    /// a monitoring study: snapshots land at deterministic sim times.
+    pub fn run_with_snapshots(
+        &mut self,
+        total: SimTime,
+        every: SimTime,
+    ) -> Vec<openoptics_telemetry::Snapshot> {
+        let step = every.as_ns().max(1);
+        let mut snaps = vec![];
+        let end = self.now + total.as_ns();
+        while self.now < end {
+            let chunk = step.min(end.as_ns() - self.now.as_ns());
+            self.run_for(SimTime::from_ns(chunk));
+            snaps.push(self.telemetry_snapshot());
+        }
+        snaps
     }
 
     /// Run the simulation for `dur` more simulated time.
@@ -359,8 +422,9 @@ mod tests {
     fn connect_rejects_loopback() {
         let cfg = small_cfg();
         let mut net = OpenOpticsNet::new(cfg);
-        assert!(!net.connect(Circuit::held(NodeId(1), PortId(0), NodeId(1), PortId(0))));
-        assert!(net.connect(Circuit::held(NodeId(0), PortId(0), NodeId(1), PortId(0))));
+        let e = net.connect(Circuit::held(NodeId(1), PortId(0), NodeId(1), PortId(0)));
+        assert!(matches!(e, Err(Error::LoopbackCircuit(_))));
+        assert!(net.connect(Circuit::held(NodeId(0), PortId(0), NodeId(1), PortId(0))).is_ok());
         assert_eq!(net.staged_circuits().len(), 1);
     }
 

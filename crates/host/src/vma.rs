@@ -52,6 +52,12 @@ pub struct VmaStack {
     /// Segments rejected because the segment queue was full (application
     /// push-back events).
     pub app_pushback_events: u64,
+    /// Flow-pause transitions (running → paused), for churn telemetry.
+    pub pause_events: u64,
+    /// Flow-resume transitions (paused → running).
+    pub resume_events: u64,
+    /// Push-back embargoes that extended a destination's deadline.
+    pub block_events: u64,
 }
 
 impl VmaStack {
@@ -64,6 +70,9 @@ impl VmaStack {
             queue_capacity,
             rr_cursor: 0,
             app_pushback_events: 0,
+            pause_events: 0,
+            resume_events: 0,
+            block_events: 0,
         }
     }
 
@@ -88,13 +97,23 @@ impl VmaStack {
     }
 
     /// Flow pausing: hold all traffic toward `dst` (until [`Self::resume`]).
-    pub fn pause(&mut self, dst: NodeId) {
-        self.state.entry(dst).or_default().paused = true;
+    /// Returns whether this was a running → paused transition.
+    pub fn pause(&mut self, dst: NodeId) -> bool {
+        let s = self.state.entry(dst).or_default();
+        let transition = !s.paused;
+        s.paused = true;
+        self.pause_events += transition as u64;
+        transition
     }
 
-    /// Release a flow-pausing hold.
-    pub fn resume(&mut self, dst: NodeId) {
-        self.state.entry(dst).or_default().paused = false;
+    /// Release a flow-pausing hold. Returns whether this was a
+    /// paused → running transition.
+    pub fn resume(&mut self, dst: NodeId) -> bool {
+        let s = self.state.entry(dst).or_default();
+        let transition = s.paused;
+        s.paused = false;
+        self.resume_events += transition as u64;
+        transition
     }
 
     /// Push-back: embargo `dst` until `deadline`.
@@ -102,6 +121,7 @@ impl VmaStack {
         let s = self.state.entry(dst).or_default();
         if deadline > s.blocked_until {
             s.blocked_until = deadline;
+            self.block_events += 1;
         }
     }
 
@@ -221,6 +241,20 @@ mod tests {
         assert_eq!(v.queued_bytes(NodeId(1)), 100);
         v.resume(NodeId(1));
         assert!(v.pop_next(SimTime::ZERO).is_some());
+    }
+
+    #[test]
+    fn pause_resume_churn_counts_transitions_only() {
+        let mut v = VmaStack::new(1_000_000);
+        assert!(v.pause(NodeId(1)));
+        assert!(!v.pause(NodeId(1)), "already paused: not a transition");
+        assert!(v.resume(NodeId(1)));
+        assert!(!v.resume(NodeId(1)));
+        assert_eq!((v.pause_events, v.resume_events), (1, 1));
+        v.block_until(NodeId(2), SimTime::from_us(10));
+        v.block_until(NodeId(2), SimTime::from_us(5)); // not an extension
+        v.block_until(NodeId(2), SimTime::from_us(20));
+        assert_eq!(v.block_events, 2);
     }
 
     #[test]

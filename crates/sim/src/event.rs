@@ -9,8 +9,8 @@
 //!
 //! # Structure
 //!
-//! Time is divided into fixed buckets of 2^[`BUCKET_BITS`] ns. A ring of
-//! [`NUM_BUCKETS`] buckets covers the *near window* (~4 ms) starting at the
+//! Time is divided into fixed buckets of 2^`BUCKET_BITS` ns. A ring of
+//! `NUM_BUCKETS` buckets covers the *near window* (~4 ms) starting at the
 //! queue's current position; each ring slot is an unsorted `Vec` that is
 //! sorted once, lazily, when the cursor reaches it. Three auxiliary
 //! structures keep arbitrary schedules correct:
@@ -106,6 +106,28 @@ pub struct EventQueue<E> {
     len: usize,
     next_seq: u64,
     scheduled_total: u64,
+    popped_total: u64,
+    far_scheduled: u64,
+    overlay_scheduled: u64,
+    peak_len: usize,
+}
+
+/// Point-in-time statistics of an [`EventQueue`], for telemetry mirroring.
+/// Plain data so the sim crate stays dependency-free.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events currently pending.
+    pub len: usize,
+    /// Largest number of simultaneously pending events seen.
+    pub peak_len: usize,
+    /// Events ever scheduled.
+    pub scheduled_total: u64,
+    /// Events ever popped.
+    pub popped_total: u64,
+    /// Events that landed in the far heap (beyond the near window).
+    pub far_scheduled: u64,
+    /// Events that landed in the overlay heap (at/behind the drain point).
+    pub overlay_scheduled: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -133,6 +155,10 @@ impl<E> EventQueue<E> {
             len: 0,
             next_seq: 0,
             scheduled_total: 0,
+            popped_total: 0,
+            far_scheduled: 0,
+            overlay_scheduled: 0,
+            peak_len: 0,
         }
     }
 
@@ -142,13 +168,18 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.scheduled_total += 1;
         self.len += 1;
+        if self.len > self.peak_len {
+            self.peak_len = self.len;
+        }
         let entry = Entry { time, seq, event };
         let b = bucket_of(time);
         if b >= self.base + NUM_BUCKETS as u64 {
+            self.far_scheduled += 1;
             self.far.push(entry);
         } else if b < self.cur || (b == self.cur && self.cur_sorted) {
             // At or before the sorted drain point: merge via the overlay so
             // the sorted bucket is never perturbed.
+            self.overlay_scheduled += 1;
             self.overlay.push(entry);
         } else {
             if b == self.cur {
@@ -225,6 +256,7 @@ impl<E> EventQueue<E> {
         }
         self.ensure_current();
         self.len -= 1;
+        self.popped_total += 1;
         let slot = (self.cur % NUM_BUCKETS as u64) as usize;
         let take_bucket = match (self.buckets[slot].last(), self.overlay.peek()) {
             (Some(b), Some(o)) => b.key() < o.key(),
@@ -271,6 +303,18 @@ impl<E> EventQueue<E> {
     /// Total number of events ever scheduled on this queue.
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
+    }
+
+    /// Statistics for telemetry mirroring.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            len: self.len,
+            peak_len: self.peak_len,
+            scheduled_total: self.scheduled_total,
+            popped_total: self.popped_total,
+            far_scheduled: self.far_scheduled,
+            overlay_scheduled: self.overlay_scheduled,
+        }
     }
 }
 
@@ -327,6 +371,22 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn stats_track_structure_usage() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(1_000), 0); // near
+        q.schedule(SimTime::from_secs(1), 1); // far
+        assert_eq!(q.pop(), Some((SimTime::from_ns(1_000), 0)));
+        q.schedule(SimTime::from_ns(500), 2); // behind the drain point -> overlay
+        let s = q.stats();
+        assert_eq!(s.scheduled_total, 3);
+        assert_eq!(s.popped_total, 1);
+        assert_eq!(s.far_scheduled, 1);
+        assert_eq!(s.overlay_scheduled, 1);
+        assert_eq!(s.len, 2);
+        assert_eq!(s.peak_len, 2);
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod time;
 
 pub use bytequeue::ByteQueue;
 pub use engine::{run, run_while, World};
-pub use event::EventQueue;
+pub use event::{EventQueue, QueueStats};
 pub use rate::Bandwidth;
 pub use rng::SimRng;
 pub use time::{SimTime, SliceConfig, MS, NS, SEC, US};

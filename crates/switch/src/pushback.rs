@@ -57,6 +57,19 @@ impl PushbackGen {
     pub fn gc(&mut self, min_cycle: u64) {
         self.sent.retain(|&(_, _, c)| c >= min_cycle);
     }
+
+    /// [`PushbackGen::gc`], returning the expired keys in sorted order —
+    /// each is a push-back whose embargoed cycle has passed (deassert).
+    /// Sorted so trace emission is independent of hash iteration order.
+    pub fn gc_collect(&mut self, min_cycle: u64) -> Vec<(NodeId, SliceIndex, u64)> {
+        let mut expired: Vec<_> =
+            self.sent.iter().copied().filter(|&(_, _, c)| c < min_cycle).collect();
+        expired.sort_unstable();
+        for k in &expired {
+            self.sent.remove(k);
+        }
+        expired
+    }
 }
 
 #[cfg(test)]
@@ -83,6 +96,18 @@ mod tests {
         assert_eq!(g.on_queue_full(NodeId(1), 0, 0), None);
         assert_eq!(g.events, 1);
         assert_eq!(g.emitted, 0);
+    }
+
+    #[test]
+    fn gc_collect_names_expired_pushbacks() {
+        let mut g = PushbackGen::new(true);
+        g.on_queue_full(NodeId(2), 1, 5);
+        g.on_queue_full(NodeId(1), 0, 3);
+        g.on_queue_full(NodeId(1), 0, 9);
+        let expired = g.gc_collect(8);
+        assert_eq!(expired, vec![(NodeId(1), 0, 3), (NodeId(2), 1, 5)]);
+        assert!(g.gc_collect(8).is_empty(), "second pass finds nothing");
+        assert!(g.on_queue_full(NodeId(1), 0, 9).is_none(), "recent state retained");
     }
 
     #[test]

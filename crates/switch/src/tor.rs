@@ -22,6 +22,7 @@ use openoptics_proto::{ControlMsg, NodeId, Packet, PortId};
 use openoptics_routing::RouteEntry;
 use openoptics_sim::rate::Bandwidth;
 use openoptics_sim::time::{SimTime, SliceConfig, SliceIndex};
+use openoptics_telemetry::{Counter, Histogram, Labels, Registry, Trace, TraceKind};
 
 /// Static configuration of one ToR switch.
 #[derive(Clone, Debug)]
@@ -150,6 +151,19 @@ pub struct TorCounters {
     pub tx_packets: u64,
 }
 
+/// Live registry instruments of one switch. Detached (free) by default;
+/// [`ToRSwitch::attach_telemetry`] binds them to a registry.
+#[derive(Clone, Debug, Default)]
+struct TorTele {
+    /// Head-of-line packets that missed the tail of their slice.
+    slice_miss: Counter,
+    /// Calendar rotations performed.
+    rotations: Counter,
+    /// |EQO estimate − true occupancy| at each admission, bytes.
+    eqo_abs_err: Histogram,
+    trace: Trace,
+}
+
 /// The switch model.
 pub struct ToRSwitch {
     /// Static configuration.
@@ -166,6 +180,7 @@ pub struct ToRSwitch {
     pub counters: TorCounters,
     /// Peak total calendar occupancy observed, bytes (Table 3).
     pub peak_buffer_bytes: u64,
+    tele: TorTele,
 }
 
 impl ToRSwitch {
@@ -192,7 +207,21 @@ impl ToRSwitch {
             abs_slice: 0,
             counters: TorCounters::default(),
             peak_buffer_bytes: 0,
+            tele: TorTele::default(),
         }
+    }
+
+    /// Bind this switch's live instruments (slice-miss counter, EQO error
+    /// histogram, trace stream) to `registry`. A disabled registry hands
+    /// out detached handles, so hot paths stay branch-only.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        let node = Labels::Node(self.cfg.id);
+        self.tele = TorTele {
+            slice_miss: registry.counter("tor.slice_miss", node),
+            rotations: registry.counter("tor.rotations", node),
+            eqo_abs_err: registry.histogram("tor.eqo_abs_err_bytes", node),
+            trace: registry.trace(),
+        };
     }
 
     /// Install compiled route entries (the `deploy_routing` endpoint).
@@ -268,7 +297,21 @@ impl ToRSwitch {
         }
         self.current_slice = self.cfg.slice_cfg.advance(self.current_slice, 1);
         self.abs_slice += 1;
-        self.pushback.gc(self.abs_slice / self.cfg.slice_cfg.num_slices as u64);
+        self.tele.rotations.inc();
+        let min_cycle = self.abs_slice / self.cfg.slice_cfg.num_slices as u64;
+        if self.tele.trace.is_on() {
+            self.tele
+                .trace
+                .emit(now, TraceKind::SliceRotate { node: self.cfg.id, slice: self.current_slice });
+            for (dst, slice, cycle) in self.pushback.gc_collect(min_cycle) {
+                self.tele.trace.emit(
+                    now,
+                    TraceKind::PushbackDeassert { node: self.cfg.id, dst, slice, cycle },
+                );
+            }
+        } else {
+            self.pushback.gc(min_cycle);
+        }
     }
 
     /// Ingress pipeline for one packet.
@@ -332,7 +375,7 @@ impl ToRSwitch {
             self.counters.dropped_rank += 1;
             // A rank the ring cannot express is also a queue-full condition
             // for push-back purposes.
-            let pb = self.queue_full_pushback(&pkt, rank);
+            let pb = self.queue_full_pushback(&pkt, rank, now);
             return IngressResult {
                 decision: IngressDecision::Dropped(DropReason::RankOverflow),
                 pushback: pb,
@@ -345,7 +388,23 @@ impl ToRSwitch {
         let est = if self.cfg.use_true_occupancy {
             self.ports[pidx].queue_bytes(qidx)
         } else {
-            self.eqo.estimate(pidx, qidx)
+            let est = self.eqo.estimate(pidx, qidx);
+            // One EQO error sample per admission: |estimate − ground truth|.
+            if self.tele.eqo_abs_err.is_attached() {
+                let actual = self.ports[pidx].queue_bytes(qidx);
+                self.tele.eqo_abs_err.record(est.abs_diff(actual));
+                self.tele.trace.emit(
+                    now,
+                    TraceKind::EqoSample {
+                        node: self.cfg.id,
+                        port,
+                        queue: qidx as u32,
+                        estimate_bytes: est,
+                        actual_bytes: actual,
+                    },
+                );
+            }
+            est
         };
         let admissible =
             admissible_bytes(&self.cfg.slice_cfg, self.cfg.uplink_bandwidth, rank, now);
@@ -353,7 +412,7 @@ impl ToRSwitch {
         let mut pushback = None;
         if evaluate(&self.cfg.congestion, est, pkt.size, admissible) == CongestionOutcome::Congested
         {
-            pushback = self.queue_full_pushback(&pkt, rank);
+            pushback = self.queue_full_pushback(&pkt, rank, now);
             match self.cfg.congestion.policy {
                 CongestionPolicy::Drop => {
                     self.counters.dropped_congestion += 1;
@@ -464,10 +523,17 @@ impl ToRSwitch {
         }
     }
 
-    fn queue_full_pushback(&mut self, pkt: &Packet, rank: u32) -> Option<ControlMsg> {
+    fn queue_full_pushback(&mut self, pkt: &Packet, rank: u32, now: SimTime) -> Option<ControlMsg> {
         let slice = self.cfg.slice_cfg.advance(self.current_slice, rank);
         let cycle = (self.abs_slice + rank as u64) / self.cfg.slice_cfg.num_slices as u64;
-        self.pushback.on_queue_full(pkt.dst, slice, cycle)
+        let msg = self.pushback.on_queue_full(pkt.dst, slice, cycle);
+        if msg.is_some() {
+            self.tele.trace.emit(
+                now,
+                TraceKind::PushbackAssert { node: self.cfg.id, dst: pkt.dst, slice, cycle },
+            );
+        }
+        msg
     }
 
     /// Pop the next packet from `port`'s active queue if its serialization
@@ -490,6 +556,10 @@ impl ToRSwitch {
             u64::MAX // static fabric: no slice boundary to respect
         };
         if tx + end_margin_ns > remaining {
+            // Distinct from an empty queue: the head exists but cannot make
+            // the tail of this slice and waits a full cycle.
+            self.tele.slice_miss.inc();
+            self.tele.trace.emit(now, TraceKind::SliceMiss { node: self.cfg.id, port });
             return None;
         }
         let (len, pkt) = cp.pop_active().expect("peeked head vanished");
@@ -754,6 +824,31 @@ mod tests {
         assert_eq!(t.peak_buffer_bytes, 5 * 1064);
         assert_eq!(t.port_buffer_bytes(PortId(0)), 5 * 1064);
         assert_eq!(t.port_buffer_bytes(PortId(1)), 0);
+    }
+
+    #[test]
+    fn attached_telemetry_observes_mechanics() {
+        use openoptics_telemetry::Registry;
+        let reg = Registry::enabled(1024);
+        let mut t = ToRSwitch::new(cfg(8));
+        t.attach_telemetry(&reg);
+        t.install_routes([entry(Some(0), NodeId(3), PortId(0), Some(0))]);
+        t.ingress(pkt(1, NodeId(3)), SimTime::from_ns(200));
+        // Head misses the slice tail at 1_950 ns (needs ~85 ns, 50 left).
+        assert!(t.pop_if_fits(PortId(0), SimTime::from_ns(1_950), 0).is_none());
+        t.rotate(SimTime::from_ns(2_000));
+        let snap = reg.snapshot(SimTime::from_ns(2_000));
+        assert_eq!(snap.counter("tor.slice_miss{node=N0}"), 1);
+        assert_eq!(snap.counter("tor.rotations{node=N0}"), 1);
+        let (_, eqo) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "tor.eqo_abs_err_bytes{node=N0}")
+            .expect("eqo histogram registered");
+        assert_eq!(eqo.count, 1, "one admission, one EQO sample");
+        let events: Vec<&'static str> =
+            reg.trace().records().iter().map(|r| r.kind.name()).collect();
+        assert_eq!(events, vec!["eqo_sample", "slice_miss", "slice_rotate"]);
     }
 
     #[test]

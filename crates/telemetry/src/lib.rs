@@ -1,0 +1,37 @@
+//! # openoptics-telemetry
+//!
+//! Deterministic observability for the OpenOptics simulation: a metrics
+//! registry (counters, gauges, log₂-bucketed histograms of sim-time values)
+//! and a structured trace-event stream covering the paper's optical
+//! mechanics — slice rotation, guardband holds and drops, slice misses,
+//! EQO estimation error, push-back assert/deassert, and retransmissions.
+//!
+//! ## Design rules
+//!
+//! * **Zero cost when disabled.** Every instrument handle is an
+//!   `Option<Rc<…>>`. A disabled [`Registry`] hands out detached handles
+//!   whose hot-path operations compile to a single `None` branch — no
+//!   allocation, no hashing, no atomics. The measured overhead on the
+//!   event-queue churn micro-bench is recorded in `BENCH_engine.json`.
+//! * **Sim time only.** Snapshots and trace records are stamped with
+//!   [`SimTime`](openoptics_sim::time::SimTime), never the wall clock, so a
+//!   seeded run exports byte-identical telemetry at any `--jobs` count.
+//! * **Deterministic export.** The registry stores series in a `BTreeMap`
+//!   keyed by `(static name, typed labels)`; JSON/CSV renderings iterate in
+//!   that order and contain no floats, pointers, or wall-clock residue.
+//!
+//! Instruments are single-threaded by construction (`Rc`/`Cell`), matching
+//! the one-engine-per-worker execution model of the deterministic parallel
+//! runner.
+
+pub mod error;
+pub mod instruments;
+pub mod labels;
+pub mod registry;
+pub mod trace;
+
+pub use error::TelemetryError;
+pub use instruments::{Counter, Gauge, Histogram, HistogramSummary};
+pub use labels::Labels;
+pub use registry::{Registry, Snapshot};
+pub use trace::{RetxKind, Trace, TraceKind, TraceRecord};

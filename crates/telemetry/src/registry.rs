@@ -1,0 +1,324 @@
+//! The metrics registry and its deterministic snapshots.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use openoptics_sim::time::SimTime;
+
+use crate::instruments::{Counter, Gauge, HistData, Histogram, HistogramSummary};
+use crate::labels::Labels;
+use crate::trace::Trace;
+
+/// A metric series key: a static name plus a typed label set. `BTreeMap`
+/// ordering over this key is what makes snapshots deterministic.
+type Key = (&'static str, Labels);
+
+#[derive(Debug)]
+struct Inner {
+    counters: RefCell<BTreeMap<Key, Rc<Cell<u64>>>>,
+    gauges: RefCell<BTreeMap<Key, Rc<Cell<i64>>>>,
+    histograms: RefCell<BTreeMap<Key, Rc<HistData>>>,
+    trace: Trace,
+}
+
+/// The registry: hands out instrument handles and renders snapshots.
+///
+/// Cloning is cheap (an `Rc` bump) and clones share all series. A registry
+/// built with [`Registry::disabled`] holds no storage at all and hands out
+/// detached handles — see the crate docs for the zero-cost contract.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Option<Rc<Inner>>,
+}
+
+impl Registry {
+    /// A disabled registry: no storage, detached handles, empty snapshots.
+    pub fn disabled() -> Self {
+        Registry { inner: None }
+    }
+
+    /// An enabled registry whose trace stream keeps at most
+    /// `trace_capacity` records (0 disables tracing but keeps metrics).
+    pub fn enabled(trace_capacity: usize) -> Self {
+        let trace =
+            if trace_capacity > 0 { Trace::bounded(trace_capacity) } else { Trace::detached() };
+        Registry {
+            inner: Some(Rc::new(Inner {
+                counters: RefCell::new(BTreeMap::new()),
+                gauges: RefCell::new(BTreeMap::new()),
+                histograms: RefCell::new(BTreeMap::new()),
+                trace,
+            })),
+        }
+    }
+
+    /// [`Registry::enabled`] or [`Registry::disabled`] by flag.
+    pub fn new(on: bool, trace_capacity: usize) -> Self {
+        if on {
+            Registry::enabled(trace_capacity)
+        } else {
+            Registry::disabled()
+        }
+    }
+
+    /// Whether instruments are attached and snapshots carry data.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Get or create the counter series `(name, labels)`.
+    pub fn counter(&self, name: &'static str, labels: Labels) -> Counter {
+        match &self.inner {
+            None => Counter::detached(),
+            Some(inner) => Counter(Some(Rc::clone(
+                inner.counters.borrow_mut().entry((name, labels)).or_default(),
+            ))),
+        }
+    }
+
+    /// Get or create the gauge series `(name, labels)`.
+    pub fn gauge(&self, name: &'static str, labels: Labels) -> Gauge {
+        match &self.inner {
+            None => Gauge::detached(),
+            Some(inner) => {
+                Gauge(Some(Rc::clone(inner.gauges.borrow_mut().entry((name, labels)).or_default())))
+            }
+        }
+    }
+
+    /// Get or create the histogram series `(name, labels)`.
+    pub fn histogram(&self, name: &'static str, labels: Labels) -> Histogram {
+        match &self.inner {
+            None => Histogram::detached(),
+            Some(inner) => Histogram(Some(Rc::clone(
+                inner
+                    .histograms
+                    .borrow_mut()
+                    .entry((name, labels))
+                    .or_insert_with(|| Rc::new(HistData::new())),
+            ))),
+        }
+    }
+
+    /// Handle to the trace stream (detached when the registry is disabled
+    /// or was built with `trace_capacity == 0`).
+    pub fn trace(&self) -> Trace {
+        self.inner.as_ref().map_or_else(Trace::detached, |i| i.trace.clone())
+    }
+
+    /// Render every series at sim-time `at`. Series appear sorted by
+    /// `(name, labels)`; the result is byte-identical for identical runs.
+    pub fn snapshot(&self, at: SimTime) -> Snapshot {
+        let mut snap = Snapshot { at, ..Snapshot::default() };
+        let Some(inner) = &self.inner else { return snap };
+        for ((name, labels), v) in inner.counters.borrow().iter() {
+            snap.counters.push((format!("{name}{labels}"), v.get()));
+        }
+        for ((name, labels), v) in inner.gauges.borrow().iter() {
+            snap.gauges.push((format!("{name}{labels}"), v.get()));
+        }
+        for ((name, labels), h) in inner.histograms.borrow().iter() {
+            snap.histograms.push((format!("{name}{labels}"), h.summary()));
+        }
+        snap.trace_len = inner.trace.len() as u64;
+        snap.trace_dropped = inner.trace.dropped();
+        snap
+    }
+}
+
+/// A point-in-time rendering of every registered series, stamped in sim
+/// time only. Produced by [`Registry::snapshot`]; exportable as JSON or CSV.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Simulation instant the snapshot was taken.
+    pub at: SimTime,
+    /// `(rendered name, value)`, sorted by series key.
+    pub counters: Vec<(String, u64)>,
+    /// `(rendered name, value)`, sorted by series key.
+    pub gauges: Vec<(String, i64)>,
+    /// `(rendered name, summary)`, sorted by series key.
+    pub histograms: Vec<(String, HistogramSummary)>,
+    /// Records held in the trace stream.
+    pub trace_len: u64,
+    /// Trace records rejected for capacity.
+    pub trace_dropped: u64,
+}
+
+impl Snapshot {
+    /// Value of a counter series by exact rendered name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .map_or(0, |i| self.counters[i].1)
+    }
+
+    /// Sum counters by *base* name, folding labeled series together:
+    /// `tor.slice_miss{node=N0}` and `tor.slice_miss{node=N1}` both
+    /// contribute to `tor.slice_miss`. Returns sorted `(base name, total)`.
+    pub fn counter_totals(&self) -> Vec<(String, u64)> {
+        let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+        for (name, v) in &self.counters {
+            let base = name.split('{').next().unwrap_or(name);
+            let t = totals.entry(base).or_insert(0);
+            *t = t.saturating_add(*v);
+        }
+        totals.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
+    }
+
+    /// One JSON object. Integer-only (histogram means are left to the
+    /// consumer), fields in a fixed order: byte-identical across identical
+    /// runs and worker counts.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        let _ = write!(s, "{{\"at_ns\":{},\"counters\":{{", self.at.as_ns());
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{name}\":{v}");
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{name}\":{v}");
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\"{name}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                h.count, h.sum, h.min, h.max
+            );
+            for (j, (b, c)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "[{b},{c}]");
+            }
+            s.push_str("]}");
+        }
+        let _ = write!(
+            s,
+            "}},\"trace\":{{\"len\":{},\"dropped\":{}}}}}",
+            self.trace_len, self.trace_dropped
+        );
+        s
+    }
+
+    /// CSV with header `type,name,field,value`, one row per scalar.
+    /// Histograms flatten to `count`/`sum`/`min`/`max` plus one
+    /// `bucket_<i>` row per non-empty bucket.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        let _ = writeln!(s, "type,name,field,value");
+        let _ = writeln!(s, "meta,snapshot,at_ns,{}", self.at.as_ns());
+        for (name, v) in &self.counters {
+            let _ = writeln!(s, "counter,{name},value,{v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(s, "gauge,{name},value,{v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(s, "histogram,{name},count,{}", h.count);
+            let _ = writeln!(s, "histogram,{name},sum,{}", h.sum);
+            let _ = writeln!(s, "histogram,{name},min,{}", h.min);
+            let _ = writeln!(s, "histogram,{name},max,{}", h.max);
+            for (b, c) in &h.buckets {
+                let _ = writeln!(s, "histogram,{name},bucket_{b},{c}");
+            }
+        }
+        let _ = writeln!(s, "meta,trace,len,{}", self.trace_len);
+        let _ = writeln!(s, "meta,trace,dropped,{}", self.trace_dropped);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openoptics_proto::NodeId;
+
+    #[test]
+    fn disabled_registry_hands_out_detached_handles() {
+        let r = Registry::disabled();
+        assert!(!r.is_enabled());
+        let c = r.counter("x", Labels::None);
+        c.add(10);
+        assert!(!c.is_attached());
+        assert!(!r.trace().is_on());
+        let snap = r.snapshot(SimTime::from_us(1));
+        assert!(snap.counters.is_empty());
+        assert_eq!(snap.to_json(), snapshot_json_empty(1_000));
+    }
+
+    fn snapshot_json_empty(at_ns: u64) -> String {
+        format!(
+            "{{\"at_ns\":{at_ns},\"counters\":{{}},\"gauges\":{{}},\"histograms\":{{}},\
+             \"trace\":{{\"len\":0,\"dropped\":0}}}}"
+        )
+    }
+
+    #[test]
+    fn series_are_shared_and_sorted() {
+        let r = Registry::enabled(16);
+        // Registration order is scrambled; export order must not be.
+        let b = r.counter("b.second", Labels::None);
+        let a1 = r.counter("a.first", Labels::Node(NodeId(1)));
+        let a0 = r.counter("a.first", Labels::Node(NodeId(0)));
+        let a0_again = r.counter("a.first", Labels::Node(NodeId(0)));
+        a0.add(1);
+        a0_again.add(2);
+        a1.add(5);
+        b.inc();
+        let snap = r.snapshot(SimTime::ZERO);
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.first{node=N0}", "a.first{node=N1}", "b.second"]);
+        assert_eq!(snap.counter("a.first{node=N0}"), 3, "clones share storage");
+        assert_eq!(snap.counter("missing"), 0);
+    }
+
+    #[test]
+    fn counter_totals_fold_labels() {
+        let r = Registry::enabled(0);
+        r.counter("tor.slice_miss", Labels::Node(NodeId(0))).add(2);
+        r.counter("tor.slice_miss", Labels::Node(NodeId(1))).add(3);
+        r.counter("sim.events", Labels::None).add(7);
+        let totals = r.snapshot(SimTime::ZERO).counter_totals();
+        assert_eq!(totals, vec![("sim.events".to_string(), 7), ("tor.slice_miss".to_string(), 5)]);
+    }
+
+    #[test]
+    fn snapshot_exports_are_deterministic() {
+        let build = || {
+            let r = Registry::enabled(4);
+            r.counter("c", Labels::None).add(3);
+            r.gauge("g", Labels::Node(NodeId(2))).set(-4);
+            let h = r.histogram("h", Labels::None);
+            h.record(5);
+            h.record(900);
+            r.snapshot(SimTime::from_ms(2))
+        };
+        let (s1, s2) = (build(), build());
+        assert_eq!(s1.to_json(), s2.to_json());
+        assert_eq!(s1.to_csv(), s2.to_csv());
+        assert!(s1.to_json().contains("\"h\":{\"count\":2,\"sum\":905,\"min\":5,\"max\":900"));
+        assert!(s1.to_csv().contains("gauge,g{node=N2},value,-4\n"));
+        assert!(s1.to_csv().starts_with("type,name,field,value\nmeta,snapshot,at_ns,2000000\n"));
+    }
+
+    #[test]
+    fn zero_trace_capacity_disables_tracing_only() {
+        let r = Registry::enabled(0);
+        assert!(r.is_enabled());
+        assert!(!r.trace().is_on());
+        r.counter("c", Labels::None).inc();
+        assert_eq!(r.snapshot(SimTime::ZERO).counter("c"), 1);
+    }
+}

@@ -1,0 +1,286 @@
+//! Structured trace-event stream.
+//!
+//! Where metrics aggregate, traces narrate: each record is one occurrence of
+//! an optical-DCN mechanism, stamped in sim time. The buffer is bounded —
+//! the first `capacity` records are kept and later ones are counted in
+//! `dropped`, so a run's trace is deterministic regardless of length.
+
+use std::cell::{Cell, RefCell};
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use openoptics_proto::{FlowId, HostId, NodeId, PortId};
+use openoptics_sim::time::{SimTime, SliceIndex};
+
+/// Which retransmission mechanism fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetxKind {
+    /// Engine flow watchdog re-armed a stalled flow.
+    Watchdog,
+    /// TCP fast retransmit (triple duplicate ACK).
+    FastRetx,
+    /// TCP retransmission timeout.
+    Rto,
+    /// NACK-driven retransmit of a trimmed packet.
+    Nack,
+}
+
+impl RetxKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            RetxKind::Watchdog => "watchdog",
+            RetxKind::FastRetx => "fast_retx",
+            RetxKind::Rto => "rto",
+            RetxKind::Nack => "nack",
+        }
+    }
+}
+
+/// One traced occurrence of a modeled mechanism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A node rotated its calendar queues at a slice boundary.
+    SliceRotate { node: NodeId, slice: SliceIndex },
+    /// An uplink paused because its locally-perceived slice was inside the
+    /// reconfiguration guardband; transmission resumes after it.
+    GuardbandHold { node: NodeId, port: PortId },
+    /// The head packet of an active calendar queue did not fit in the
+    /// remainder of the slice and waits a full cycle.
+    SliceMiss { node: NodeId, port: PortId },
+    /// The fabric dropped a packet that crossed during the guardband.
+    GuardbandDrop { node: NodeId, port: PortId },
+    /// The fabric dropped a packet sent on a port with no circuit in the
+    /// active slice (or while the OCS was reconfiguring).
+    NoCircuitDrop { node: NodeId, port: PortId },
+    /// One EQO estimation sample: estimated vs. true queue occupancy at
+    /// admission (§5.2).
+    EqoSample { node: NodeId, port: PortId, queue: u32, estimate_bytes: u64, actual_bytes: u64 },
+    /// A switch broadcast a push-back message for `(dst, slice, cycle)`.
+    PushbackAssert { node: NodeId, dst: NodeId, slice: SliceIndex, cycle: u64 },
+    /// The dedup entry for a push-back expired (the embargoed cycle passed).
+    PushbackDeassert { node: NodeId, dst: NodeId, slice: SliceIndex, cycle: u64 },
+    /// A host's per-destination segment queue transitioned to paused.
+    FlowPause { host: HostId, dst: NodeId },
+    /// A host's per-destination segment queue resumed.
+    FlowResume { host: HostId, dst: NodeId },
+    /// A retransmission fired for a flow.
+    Retransmit { flow: FlowId, kind: RetxKind },
+}
+
+impl TraceKind {
+    /// Stable event name used in exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceKind::SliceRotate { .. } => "slice_rotate",
+            TraceKind::GuardbandHold { .. } => "guardband_hold",
+            TraceKind::SliceMiss { .. } => "slice_miss",
+            TraceKind::GuardbandDrop { .. } => "guardband_drop",
+            TraceKind::NoCircuitDrop { .. } => "no_circuit_drop",
+            TraceKind::EqoSample { .. } => "eqo_sample",
+            TraceKind::PushbackAssert { .. } => "pushback_assert",
+            TraceKind::PushbackDeassert { .. } => "pushback_deassert",
+            TraceKind::FlowPause { .. } => "flow_pause",
+            TraceKind::FlowResume { .. } => "flow_resume",
+            TraceKind::Retransmit { .. } => "retransmit",
+        }
+    }
+}
+
+/// One trace record: a sim-time stamp plus the event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the event occurred, on the simulation clock.
+    pub t: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl TraceRecord {
+    /// Render as one JSON object with a stable field order.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(s, "{{\"t_ns\":{},\"event\":\"{}\"", self.t.as_ns(), self.kind.name());
+        match self.kind {
+            TraceKind::SliceRotate { node, slice } => {
+                let _ = write!(s, ",\"node\":{},\"slice\":{}", node.0, slice);
+            }
+            TraceKind::GuardbandHold { node, port }
+            | TraceKind::SliceMiss { node, port }
+            | TraceKind::GuardbandDrop { node, port }
+            | TraceKind::NoCircuitDrop { node, port } => {
+                let _ = write!(s, ",\"node\":{},\"port\":{}", node.0, port.0);
+            }
+            TraceKind::EqoSample { node, port, queue, estimate_bytes, actual_bytes } => {
+                let _ = write!(
+                    s,
+                    ",\"node\":{},\"port\":{},\"queue\":{},\"estimate_bytes\":{},\
+                     \"actual_bytes\":{}",
+                    node.0, port.0, queue, estimate_bytes, actual_bytes
+                );
+            }
+            TraceKind::PushbackAssert { node, dst, slice, cycle }
+            | TraceKind::PushbackDeassert { node, dst, slice, cycle } => {
+                let _ = write!(
+                    s,
+                    ",\"node\":{},\"dst\":{},\"slice\":{},\"cycle\":{}",
+                    node.0, dst.0, slice, cycle
+                );
+            }
+            TraceKind::FlowPause { host, dst } | TraceKind::FlowResume { host, dst } => {
+                let _ = write!(s, ",\"host\":{},\"dst\":{}", host.0, dst.0);
+            }
+            TraceKind::Retransmit { flow, kind } => {
+                let _ = write!(s, ",\"flow\":{},\"kind\":\"{}\"", flow, kind.as_str());
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Shared storage of the trace stream.
+#[derive(Debug)]
+pub(crate) struct TraceBuf {
+    capacity: usize,
+    records: RefCell<Vec<TraceRecord>>,
+    dropped: Cell<u64>,
+}
+
+impl TraceBuf {
+    pub(crate) fn new(capacity: usize) -> Self {
+        TraceBuf { capacity, records: RefCell::new(Vec::new()), dropped: Cell::new(0) }
+    }
+
+    #[inline]
+    fn push(&self, rec: TraceRecord) {
+        let mut records = self.records.borrow_mut();
+        if records.len() < self.capacity {
+            records.push(rec);
+        } else {
+            self.dropped.set(self.dropped.get().saturating_add(1));
+        }
+    }
+}
+
+/// Handle to the trace stream. Detached handles (`Default`, or from a
+/// disabled registry) drop every record at the cost of one branch.
+#[derive(Clone, Debug, Default)]
+pub struct Trace(pub(crate) Option<Rc<TraceBuf>>);
+
+impl Trace {
+    /// A detached trace handle; `emit` is a no-op.
+    pub fn detached() -> Self {
+        Trace(None)
+    }
+
+    /// An attached, bounded trace stream. Mostly useful for tests; the
+    /// engine obtains its handle from the registry.
+    pub fn bounded(capacity: usize) -> Self {
+        Trace(Some(Rc::new(TraceBuf::new(capacity))))
+    }
+
+    /// Whether records are being kept. Callers may use this to skip
+    /// constructing an expensive [`TraceKind`].
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Append a record (no-op when detached; counted once full).
+    #[inline]
+    pub fn emit(&self, t: SimTime, kind: TraceKind) {
+        if let Some(b) = &self.0 {
+            b.push(TraceRecord { t, kind });
+        }
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.0.as_ref().map_or(0, |b| b.records.borrow().len())
+    }
+
+    /// Whether no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records rejected because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.0.as_ref().map_or(0, |b| b.dropped.get())
+    }
+
+    /// Copy of the records held so far, in emission order.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.0.as_ref().map_or_else(Vec::new, |b| b.records.borrow().clone())
+    }
+
+    /// The whole stream as JSON lines (one object per record).
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        if let Some(b) = &self.0 {
+            for rec in b.records.borrow().iter() {
+                out.push_str(&rec.to_json());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_buffer_keeps_head_and_counts_drops() {
+        let tr = Trace::bounded(2);
+        for i in 0..5u64 {
+            tr.emit(
+                SimTime::from_ns(i),
+                TraceKind::SliceRotate { node: NodeId(0), slice: i as u32 },
+            );
+        }
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.dropped(), 3);
+        let recs = tr.records();
+        assert_eq!(recs[0].t, SimTime::from_ns(0));
+        assert_eq!(recs[1].t, SimTime::from_ns(1));
+    }
+
+    #[test]
+    fn detached_trace_is_inert() {
+        let tr = Trace::detached();
+        assert!(!tr.is_on());
+        tr.emit(SimTime::ZERO, TraceKind::Retransmit { flow: 1, kind: RetxKind::Rto });
+        assert!(tr.is_empty());
+        assert_eq!(tr.dropped(), 0);
+        assert_eq!(tr.to_json_lines(), "");
+    }
+
+    #[test]
+    fn json_rendering_is_stable() {
+        let rec = TraceRecord {
+            t: SimTime::from_ns(42),
+            kind: TraceKind::EqoSample {
+                node: NodeId(1),
+                port: PortId(0),
+                queue: 3,
+                estimate_bytes: 100,
+                actual_bytes: 96,
+            },
+        };
+        assert_eq!(
+            rec.to_json(),
+            "{\"t_ns\":42,\"event\":\"eqo_sample\",\"node\":1,\"port\":0,\"queue\":3,\
+             \"estimate_bytes\":100,\"actual_bytes\":96}"
+        );
+        let rec = TraceRecord {
+            t: SimTime::from_us(1),
+            kind: TraceKind::Retransmit { flow: 7, kind: RetxKind::FastRetx },
+        };
+        assert_eq!(
+            rec.to_json(),
+            "{\"t_ns\":1000,\"event\":\"retransmit\",\"flow\":7,\"kind\":\"fast_retx\"}"
+        );
+    }
+}

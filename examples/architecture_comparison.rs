@@ -9,24 +9,17 @@
 //! cargo run --release --example architecture_comparison
 //! ```
 
-use openoptics::core::archs;
-use openoptics::core::NetConfig;
-use openoptics::proto::NodeId;
-use openoptics::sim::time::SimTime;
-use openoptics::topo::TrafficMatrix;
-use openoptics::workload::FctStats;
-use openoptics_host::apps::MemcachedParams;
-use openoptics_proto::HostId;
+use openoptics::prelude::*;
 
 fn cfg() -> NetConfig {
-    NetConfig {
-        node_num: 8,
-        uplink: 1,
-        hosts_per_node: 1,
-        slice_ns: 100_000,
-        guard_ns: 1_000,
-        ..Default::default()
-    }
+    NetConfig::builder()
+        .node_num(8)
+        .uplink(1)
+        .hosts_per_node(1)
+        .slice_ns(100_000)
+        .guard_ns(1_000)
+        .build()
+        .expect("valid config")
 }
 
 /// Demand matrix the TA controllers see: clients toward the server's ToR.
@@ -40,7 +33,7 @@ fn memcached_tm() -> TrafficMatrix {
 }
 
 fn main() {
-    let nets: Vec<(&str, openoptics::core::OpenOpticsNet)> = vec![
+    let nets: Vec<(&str, OpenOpticsNet)> = vec![
         ("clos", archs::clos(cfg())),
         ("c-through", archs::cthrough(cfg(), &memcached_tm())),
         ("rotornet", archs::rotornet(cfg())),

@@ -10,15 +10,8 @@
 //! cargo run --release --example hardware_selection
 //! ```
 
-use openoptics::core::archs;
-use openoptics::core::NetConfig;
 use openoptics::fabric::OCS_CATALOG;
-use openoptics::routing::algos::{Ucmp, Vlb};
-use openoptics::routing::MultipathMode;
-use openoptics::sim::time::SimTime;
-use openoptics::workload::FctStats;
-use openoptics_host::apps::MemcachedParams;
-use openoptics_proto::HostId;
+use openoptics::prelude::*;
 
 fn main() {
     println!(
@@ -27,13 +20,13 @@ fn main() {
     );
     for dev in &OCS_CATALOG {
         for routing in ["VLB", "UCMP"] {
-            let cfg = NetConfig {
-                node_num: 8,
-                uplink: 2,
-                slice_ns: dev.min_slice_ns,
-                guard_ns: dev.guardband_ns(),
-                ..Default::default()
-            };
+            let cfg = NetConfig::builder()
+                .node_num(8)
+                .uplink(2)
+                .slice_ns(dev.min_slice_ns)
+                .guard_ns(dev.guardband_ns())
+                .build()
+                .expect("catalog devices yield valid configs");
             let mut net = if routing == "VLB" {
                 archs::rotornet_with(cfg, Vlb, MultipathMode::PerPacket)
             } else {

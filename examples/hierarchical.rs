@@ -9,36 +9,32 @@
 //! are independent OpenOptics networks, exactly as the two-level config
 //! composition in Fig. 5(d).
 
-use openoptics::core::{archs, NetConfig, OpenOpticsNet, TransportKind};
-use openoptics::proto::HostId;
-use openoptics::sim::time::SimTime;
-use openoptics::topo::TrafficMatrix;
-use openoptics::workload::FctStats;
+use openoptics::prelude::*;
 
 /// Scale-up (intra-rack) config: GPU hosts as endpoint nodes on a fast TO
 /// rotor — `{"node":"host", ...}` in the paper's JSON.
 fn rack_conf() -> NetConfig {
-    NetConfig {
-        node: "host".into(),
-        node_num: 8, // 8 GPUs per rack
-        uplink: 2,
-        slice_ns: 5_000, // fast scale-up slices
-        guard_ns: 200,
-        uplink_gbps: 100,
-        ..Default::default()
-    }
+    NetConfig::builder()
+        .node("host")
+        .node_num(8) // 8 GPUs per rack
+        .uplink(2)
+        .slice_ns(5_000) // fast scale-up slices
+        .guard_ns(200)
+        .uplink_gbps(100)
+        .build()
+        .expect("valid config")
 }
 
 /// Scale-out (inter-rack) config: racks as endpoint nodes on a TA mesh.
 fn core_conf() -> NetConfig {
-    NetConfig {
-        node: "rack".into(),
-        node_num: 4, // 4 racks
-        uplink: 2,
-        slice_ns: 1_000_000,
-        ocs_reconfig_ns: 25_000_000,
-        ..Default::default()
-    }
+    NetConfig::builder()
+        .node("rack")
+        .node_num(4) // 4 racks
+        .uplink(2)
+        .slice_ns(1_000_000)
+        .ocs_reconfig_ns(25_000_000)
+        .build()
+        .expect("valid config")
 }
 
 fn main() {

@@ -9,20 +9,16 @@
 //! cargo run --release --example hybrid_designs
 //! ```
 
-use openoptics::core::{archs, NetConfig, TransportKind};
-use openoptics::proto::{HostId, NodeId};
-use openoptics::sim::time::SimTime;
+use openoptics::prelude::*;
 use openoptics::topo::sorn::pair_time_share;
-use openoptics::topo::TrafficMatrix;
-use openoptics::workload::FctStats;
 
 fn cfg() -> NetConfig {
-    NetConfig { node_num: 8, uplink: 1, slice_ns: 100_000, ..Default::default() }
+    NetConfig::builder().node_num(8).uplink(1).slice_ns(100_000).build().expect("valid config")
 }
 
 /// A hotspot workload: nodes 0 and 1 exchange heavy traffic; everyone else
 /// sends a background trickle.
-fn attach_workload(net: &mut openoptics::core::OpenOpticsNet, stop_ms: u64) {
+fn attach_workload(net: &mut OpenOpticsNet, stop_ms: u64) {
     let mut t = 100;
     while t < stop_ms * 1_000_000 {
         net.add_flow(SimTime::from_ns(t), HostId(0), HostId(1), 500_000, TransportKind::Paced);

@@ -8,12 +8,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use openoptics::core::{NetConfig, OpenOpticsNet, TransportKind};
-use openoptics::proto::HostId;
-use openoptics::routing::algos::Vlb;
-use openoptics::routing::{LookupMode, MultipathMode};
-use openoptics::sim::time::SimTime;
-use openoptics::topo::round_robin;
+use openoptics::prelude::*;
 
 fn main() {
     // The static configuration — the paper's JSON file. Every field has a
@@ -56,8 +51,15 @@ fn main() {
     println!("  flow: {} bytes in {:.1} us", rec.bytes, rec.fct_ns() as f64 / 1e3);
     let (delivered, lost) = net.engine.fabric_stats();
     println!("  optical fabric: {delivered} packets delivered, {lost} lost");
+    println!("  ToR0 port0 transmitted {} bytes", net.bw_usage(NodeId(0), PortId(0)));
+
+    // Deterministic telemetry: every counter the run produced, stamped in
+    // sim time only (`net.export_telemetry("json")` / `"csv"` dumps it all).
+    let snap = net.telemetry_snapshot();
     println!(
-        "  ToR0 port0 transmitted {} bytes",
-        net.bw_usage(openoptics::proto::NodeId(0), openoptics::proto::PortId(0))
+        "  telemetry: {} rotations at ToR0, {} guardband holds, {} trace events",
+        snap.counter("tor.rotations{node=N0}"),
+        snap.counter("engine.guardband_holds"),
+        snap.trace_len,
     );
 }

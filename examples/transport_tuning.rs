@@ -9,25 +9,20 @@
 //! cargo run --release --example transport_tuning
 //! ```
 
-use openoptics::core::{archs, DispatchPolicy, NetConfig, PauseMode, TransportKind};
-use openoptics::proto::HostId;
-use openoptics::routing::algos::{Direct, Vlb};
-use openoptics::routing::MultipathMode;
-use openoptics::sim::time::SimTime;
-use openoptics_host::tcp::TcpConfig;
+use openoptics::prelude::*;
 
 fn cfg() -> NetConfig {
-    NetConfig {
-        node_num: 8,
-        uplink: 4,          // direct circuits up ~4/7 of the time
-        host_link_gbps: 40, // the testbed's CPU bound
-        slice_ns: 100_000,
-        guard_ns: 1_000,
-        ..Default::default()
-    }
+    NetConfig::builder()
+        .node_num(8)
+        .uplink(4) // direct circuits up ~4/7 of the time
+        .host_link_gbps(40) // the testbed's CPU bound
+        .slice_ns(100_000)
+        .guard_ns(1_000)
+        .build()
+        .expect("valid config")
 }
 
-fn run(name: &str, mut net: openoptics::core::OpenOpticsNet, dupack: u32) {
+fn run(name: &str, mut net: OpenOpticsNet, dupack: u32) {
     let tcp = TcpConfig { dupack_threshold: dupack, ..Default::default() };
     net.add_flow(
         SimTime::from_ns(100),

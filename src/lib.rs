@@ -16,5 +16,37 @@ pub use openoptics_proto as proto;
 pub use openoptics_routing as routing;
 pub use openoptics_sim as sim;
 pub use openoptics_switch as switch;
+pub use openoptics_telemetry as telemetry;
 pub use openoptics_topo as topo;
 pub use openoptics_workload as workload;
+
+/// One-line import of the Table-1 API surface.
+///
+/// ```
+/// use openoptics::prelude::*;
+///
+/// let cfg = NetConfig::builder().node_num(4).build().unwrap();
+/// let mut net = OpenOpticsNet::new(cfg.clone());
+/// let (circuits, slices) = round_robin(cfg.node_num, cfg.uplink);
+/// net.deploy_topo(&circuits, slices).unwrap();
+/// net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+/// net.add_flow(SimTime::from_ns(100), HostId(0), HostId(3), 50_000, TransportKind::Paced);
+/// net.run_for(SimTime::from_ms(5));
+/// assert_eq!(net.fct().completed().len(), 1);
+/// ```
+pub mod prelude {
+    pub use openoptics_core::{
+        archs, ConfigError, DeployError, DispatchPolicy, Error, NetConfig, NetConfigBuilder,
+        OpenOpticsNet, PauseMode, TransportKind,
+    };
+    pub use openoptics_fabric::Circuit;
+    pub use openoptics_host::apps::MemcachedParams;
+    pub use openoptics_host::tcp::TcpConfig;
+    pub use openoptics_proto::{FlowId, HostId, NodeId, PortId};
+    pub use openoptics_routing::algos::{Direct, Ucmp, Vlb};
+    pub use openoptics_routing::{LookupMode, MultipathMode, RoutingAlgorithm};
+    pub use openoptics_sim::time::SimTime;
+    pub use openoptics_telemetry::{Labels, Registry, Snapshot, TraceKind};
+    pub use openoptics_topo::{round_robin, TrafficMatrix};
+    pub use openoptics_workload::FctStats;
+}

@@ -1,7 +1,7 @@
 //! Integration tests of the Table-1 user API surface: the topology,
 //! routing, and monitoring calls behave as the paper documents them.
 
-use openoptics::core::{NetConfig, OpenOpticsNet, TransportKind};
+use openoptics::core::{Error, NetConfig, OpenOpticsNet, TransportKind};
 use openoptics::fabric::Circuit;
 use openoptics::proto::{HostId, NodeId, PortId};
 use openoptics::routing::algos::{Direct, Vlb};
@@ -10,14 +10,14 @@ use openoptics::sim::time::SimTime;
 use openoptics::topo::round_robin;
 
 fn cfg() -> NetConfig {
-    NetConfig {
-        node_num: 4,
-        uplink: 1,
-        slice_ns: 20_000,
-        guard_ns: 200,
-        sync_err_ns: 0,
-        ..Default::default()
-    }
+    NetConfig::builder()
+        .node_num(4)
+        .uplink(1)
+        .slice_ns(20_000)
+        .guard_ns(200)
+        .sync_err_ns(0)
+        .build()
+        .expect("valid test config")
 }
 
 #[test]
@@ -39,11 +39,12 @@ fn json_config_drives_the_network() {
 #[test]
 fn connect_then_deploy_staged() {
     let mut net = OpenOpticsNet::new(cfg());
-    assert!(net.connect(Circuit::in_slice(NodeId(0), PortId(0), NodeId(1), PortId(0), 0)));
-    assert!(net.connect(Circuit::in_slice(NodeId(2), PortId(0), NodeId(3), PortId(0), 0)));
-    assert!(net.connect(Circuit::in_slice(NodeId(0), PortId(0), NodeId(2), PortId(0), 1)));
-    assert!(net.connect(Circuit::in_slice(NodeId(1), PortId(0), NodeId(3), PortId(0), 1)));
-    assert!(!net.connect(Circuit::held(NodeId(1), PortId(0), NodeId(1), PortId(0))), "loopback");
+    net.connect(Circuit::in_slice(NodeId(0), PortId(0), NodeId(1), PortId(0), 0)).unwrap();
+    net.connect(Circuit::in_slice(NodeId(2), PortId(0), NodeId(3), PortId(0), 0)).unwrap();
+    net.connect(Circuit::in_slice(NodeId(0), PortId(0), NodeId(2), PortId(0), 1)).unwrap();
+    net.connect(Circuit::in_slice(NodeId(1), PortId(0), NodeId(3), PortId(0), 1)).unwrap();
+    let loopback = net.connect(Circuit::held(NodeId(1), PortId(0), NodeId(1), PortId(0)));
+    assert!(matches!(loopback, Err(Error::LoopbackCircuit(_))), "loopback");
     net.deploy_staged(2).expect("staged circuits are feasible");
     assert!(net.staged_circuits().is_empty(), "staging area drained");
     // The deployed schedule answers queries.
@@ -59,22 +60,24 @@ fn add_installs_manual_entries() {
     let circuits = vec![Circuit::held(NodeId(0), PortId(0), NodeId(1), PortId(0))];
     net.deploy_topo(&circuits, 1).unwrap();
     // No routing algorithm deployed: install the entry manually.
-    assert!(net.add(RouteEntry {
+    net.add(RouteEntry {
         node: NodeId(0),
         m: RouteMatch { arr_slice: None, dst: NodeId(1) },
         actions: vec![(
             RouteAction { port: PortId(0), dep_slice: None, push_source_route: None },
-            1
+            1,
         )],
         multipath: MultipathMode::None,
-    }));
+    })
+    .unwrap();
     // Out-of-range node rejected.
-    assert!(!net.add(RouteEntry {
+    let out_of_range = net.add(RouteEntry {
         node: NodeId(99),
         m: RouteMatch { arr_slice: None, dst: NodeId(1) },
         actions: vec![],
         multipath: MultipathMode::None,
-    }));
+    });
+    assert!(matches!(out_of_range, Err(Error::NodeOutOfRange { node_num: 4, .. })));
     net.add_flow(SimTime::from_ns(50), HostId(0), HostId(1), 10_000, TransportKind::Paced);
     net.run_for(SimTime::from_ms(2));
     assert_eq!(net.fct().completed().len(), 1, "manual entry must carry traffic");

@@ -1,0 +1,40 @@
+//! Standalone smoke test: the prelude alone is enough to write the
+//! paper's quickstart — build, deploy, load, run, and read telemetry —
+//! with a single import line.
+
+use openoptics::prelude::*;
+
+#[test]
+fn prelude_covers_the_quickstart() {
+    let cfg = NetConfig::builder()
+        .node_num(4)
+        .uplink(1)
+        .slice_ns(20_000)
+        .guard_ns(200)
+        .build()
+        .expect("valid config");
+    let mut net = OpenOpticsNet::new(cfg.clone());
+    let (circuits, slices) = round_robin(cfg.node_num, cfg.uplink);
+    net.deploy_topo(&circuits, slices).unwrap();
+    net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+    net.add_flow(
+        SimTime::from_ns(50),
+        HostId(0),
+        HostId(3),
+        20_000,
+        TransportKind::Tcp(Default::default()),
+    );
+    net.run_for(SimTime::from_ms(5));
+    assert_eq!(net.fct().completed().len(), 1);
+
+    // Telemetry types come along too.
+    let snap: Snapshot = net.telemetry_snapshot();
+    assert!(snap.counter("engine.delivered_packets") > 0);
+
+    // Error and config types are nameable without extra imports.
+    let bad: Result<NetConfig, ConfigError> = NetConfig::builder().node_num(0).build();
+    assert!(bad.is_err());
+    let loopback: Result<(), Error> =
+        net.connect(Circuit::held(NodeId(1), PortId(0), NodeId(1), PortId(0)));
+    assert!(matches!(loopback, Err(Error::LoopbackCircuit(_))));
+}
