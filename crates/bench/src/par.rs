@@ -24,13 +24,13 @@ static EVENTS: AtomicU64 = AtomicU64::new(0);
 
 /// Set the worker count (the `--jobs` flag).
 pub fn set_jobs(n: usize) {
-    JOBS.store(n.max(1), Ordering::Relaxed);
+    JOBS.store(n.max(1), Ordering::Release);
 }
 
 /// The effective worker count: the configured value, or available
 /// parallelism when unset.
 pub fn jobs() -> usize {
-    match JOBS.load(Ordering::Relaxed) {
+    match JOBS.load(Ordering::Acquire) {
         0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         n => n,
     }
@@ -42,12 +42,12 @@ static METRICS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
 
 /// Record simulation work done (a network's `events_scheduled()` total).
 pub fn note_events(n: u64) {
-    EVENTS.fetch_add(n, Ordering::Relaxed);
+    EVENTS.fetch_add(n, Ordering::AcqRel);
 }
 
 /// Drain the event counter (called by the binary between experiments).
 pub fn take_events() -> u64 {
-    EVENTS.swap(0, Ordering::Relaxed)
+    EVENTS.swap(0, Ordering::AcqRel)
 }
 
 /// Report a finished network: its scheduled-event total plus its telemetry
@@ -90,7 +90,7 @@ where
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
+                let i = next.fetch_add(1, Ordering::AcqRel);
                 if i >= n {
                     break;
                 }

@@ -1327,6 +1327,23 @@ impl Engine {
         }
         match self.tors[node.index()].pop_if_fits(port, local, SLICE_END_MARGIN_NS) {
             Some((pkt, tx)) => {
+                if cfg!(feature = "strict-invariants") && self.slice_cfg.num_slices > 1 {
+                    // Guardband containment: the hold branch above already
+                    // deferred guardband instants, and pop_if_fits only
+                    // releases a packet whose serialization makes the slice
+                    // tail. A transmit start inside the guardband or a tail
+                    // past the slice end would be silently eaten by the
+                    // fabric instead.
+                    assert!(
+                        !self.slice_cfg.in_guardband(local),
+                        "transmit started inside the guardband at local {local}"
+                    );
+                    assert!(
+                        tx + SLICE_END_MARGIN_NS <= self.slice_cfg.remaining_in_slice(local),
+                        "transmit of {tx} ns overruns the slice: {} ns remain at local {local}",
+                        self.slice_cfg.remaining_in_slice(local),
+                    );
+                }
                 self.tx_bytes_per_port[node.index()][port.index()] += pkt.size as u64;
                 // Port is busy for the serialization time.
                 self.port_pending[node.index()][port.index()] = true;

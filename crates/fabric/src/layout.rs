@@ -254,7 +254,7 @@ mod tests {
     #[test]
     fn terminations_are_stable_and_unique_per_device() {
         let layout = OcsLayout::per_uplink_rails(6, 3, 16);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = openoptics_sim::hash::FxHashSet::default();
         for n in 0..6 {
             for p in 0..3 {
                 let t = layout.termination(NodeId(n), PortId(p)).unwrap();

@@ -589,14 +589,16 @@ mod tests {
 
     fn rr_schedule(n: u32, u: u16) -> OpticalSchedule {
         let (cs, slices) = round_robin(n, u);
-        OpticalSchedule::build(SliceConfig::new(1_000, slices, 100), n, u, &cs).unwrap()
+        OpticalSchedule::build(SliceConfig::new(1_000, slices, 100), n, u, &cs)
+            .expect("schedule deploys")
     }
 
     fn static_ring(n: u32) -> OpticalSchedule {
         let cs: Vec<Circuit> = (0..n)
             .map(|i| Circuit::held(NodeId(i), PortId(1), NodeId((i + 1) % n), PortId(0)))
             .collect();
-        OpticalSchedule::build(SliceConfig::new(1_000, 1, 100), n, 2, &cs).unwrap()
+        OpticalSchedule::build(SliceConfig::new(1_000, 1, 100), n, 2, &cs)
+            .expect("schedule deploys")
     }
 
     #[test]
@@ -604,7 +606,7 @@ mod tests {
         let s = rr_schedule(8, 1);
         let paths = Direct.paths(&s, NodeId(0), NodeId(5), Some(0));
         assert_eq!(paths.len(), 1);
-        paths[0].validate(&s).unwrap();
+        paths[0].validate(&s).expect("path validates against its schedule");
         assert_eq!(paths[0].hops.len(), 1);
     }
 
@@ -622,7 +624,7 @@ mod tests {
         let paths = Ecmp::default().paths(&s, NodeId(0), NodeId(2), None);
         assert_eq!(paths.len(), 2);
         for p in &paths {
-            p.validate(&s).unwrap();
+            p.validate(&s).expect("path validates against its schedule");
             assert_eq!(p.hops.len(), 2);
         }
     }
@@ -633,7 +635,7 @@ mod tests {
         let paths = Wcmp::default().paths(&s, NodeId(0), NodeId(1), None);
         assert!(!paths.is_empty());
         for p in &paths {
-            p.validate(&s).unwrap();
+            p.validate(&s).expect("path validates against its schedule");
         }
     }
 
@@ -643,7 +645,7 @@ mod tests {
         let paths = Ksp { k: 2 }.paths(&s, NodeId(0), NodeId(2), None);
         assert_eq!(paths.len(), 2);
         for p in &paths {
-            p.validate(&s).unwrap();
+            p.validate(&s).expect("path validates against its schedule");
         }
         // Ring of 5: shortest 2 hops, alternative 3 hops.
         assert_eq!(paths[0].hops.len(), 2);
@@ -667,13 +669,14 @@ mod tests {
     fn opera_routes_within_slice() {
         use openoptics_topo::expander::opera_schedule;
         let (cs, slices) = opera_schedule(8, 2);
-        let s = OpticalSchedule::build(SliceConfig::new(1_000, slices, 100), 8, 2, &cs).unwrap();
+        let s = OpticalSchedule::build(SliceConfig::new(1_000, slices, 100), 8, 2, &cs)
+            .expect("schedule deploys");
         for arr in 0..slices {
             for dst in 1..8u32 {
                 let paths = OperaRouting::default().paths(&s, NodeId(0), NodeId(dst), Some(arr));
                 assert!(!paths.is_empty(), "arr={arr} dst={dst}");
                 for p in &paths {
-                    p.validate(&s).unwrap();
+                    p.validate(&s).expect("path validates against its schedule");
                     // All hops within the arrival slice.
                     assert!(p.hops.iter().all(|h| h.dep_slice == Some(arr)));
                 }
@@ -689,14 +692,16 @@ mod tests {
                 let u = Ucmp::default().paths(&s, NodeId(0), NodeId(dst), Some(arr));
                 let v = Vlb.paths(&s, NodeId(0), NodeId(dst), Some(arr));
                 assert!(!u.is_empty());
-                let u_wait = u.iter().map(|p| p.slices_waited(&s)).max().unwrap();
-                let v_wait = v.iter().map(|p| p.slices_waited(&s)).max().unwrap();
+                let u_wait =
+                    u.iter().map(|p| p.slices_waited(&s)).max().expect("path set non-empty");
+                let v_wait =
+                    v.iter().map(|p| p.slices_waited(&s)).max().expect("path set non-empty");
                 assert!(
                     u_wait <= v_wait,
                     "arr={arr} dst={dst}: ucmp worst {u_wait} > vlb worst {v_wait}"
                 );
                 for p in &u {
-                    p.validate(&s).unwrap();
+                    p.validate(&s).expect("path validates against its schedule");
                 }
             }
         }
@@ -717,7 +722,7 @@ mod tests {
             for dst in 1..8u32 {
                 let h = Hoho::default().paths(&s, NodeId(0), NodeId(dst), Some(arr));
                 assert_eq!(h.len(), 1);
-                h[0].validate(&s).unwrap();
+                h[0].validate(&s).expect("path validates against its schedule");
                 // HOHO's wait must not exceed the direct wait.
                 let d = Direct.paths(&s, NodeId(0), NodeId(dst), Some(arr));
                 assert!(h[0].slices_waited(&s) <= d[0].slices_waited(&s));

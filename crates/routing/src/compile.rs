@@ -169,12 +169,14 @@ mod tests {
         let entries = compile(&[multi_hop()], LookupMode::PerHop, MultipathMode::None);
         assert_eq!(entries.len(), 2);
         // N0: arrival 0 -> depart 0 on port 1.
-        let e0 = entries.iter().find(|e| e.node == NodeId(0)).unwrap();
+        let e0 =
+            entries.iter().find(|e| e.node == NodeId(0)).expect("expected table entry present");
         assert_eq!(e0.m, RouteMatch { arr_slice: Some(0), dst: NodeId(3) });
         assert_eq!(e0.actions[0].0.port, PortId(1));
         assert_eq!(e0.actions[0].0.dep_slice, Some(0));
         // N1: arrival 0 (previous hop's departure) -> depart 1 on port 2.
-        let e1 = entries.iter().find(|e| e.node == NodeId(1)).unwrap();
+        let e1 =
+            entries.iter().find(|e| e.node == NodeId(1)).expect("expected table entry present");
         assert_eq!(e1.m, RouteMatch { arr_slice: Some(0), dst: NodeId(3) });
         assert_eq!(e1.actions[0].0.port, PortId(2));
         assert_eq!(e1.actions[0].0.dep_slice, Some(1));
@@ -186,7 +188,7 @@ mod tests {
         assert_eq!(entries.len(), 1);
         let e = &entries[0];
         assert_eq!(e.node, NodeId(0));
-        let stack = e.actions[0].0.push_source_route.as_ref().unwrap();
+        let stack = e.actions[0].0.push_source_route.as_ref().expect("source-route stack present");
         // Fig. 3(d): hops <1,0> then <2,1>.
         assert_eq!(
             stack,
@@ -202,7 +204,8 @@ mod tests {
         let p = multi_hop();
         let entries =
             compile(&[p.clone(), p.clone(), p], LookupMode::PerHop, MultipathMode::PerFlow);
-        let e0 = entries.iter().find(|e| e.node == NodeId(0)).unwrap();
+        let e0 =
+            entries.iter().find(|e| e.node == NodeId(0)).expect("expected table entry present");
         assert_eq!(e0.actions.len(), 1);
         assert_eq!(e0.actions[0].1, 3);
     }
@@ -214,7 +217,8 @@ mod tests {
         b.hops[0].port = PortId(0); // different first hop
         b.hops[1].node = NodeId(2);
         let entries = compile(&[a, b], LookupMode::PerHop, MultipathMode::PerPacket);
-        let e0 = entries.iter().find(|e| e.node == NodeId(0)).unwrap();
+        let e0 =
+            entries.iter().find(|e| e.node == NodeId(0)).expect("expected table entry present");
         assert_eq!(e0.actions.len(), 2);
         assert_eq!(e0.multipath, MultipathMode::PerPacket);
     }
@@ -235,9 +239,9 @@ mod tests {
     #[test]
     fn source_route_action_builds_packet_route() {
         let entries = compile(&[multi_hop()], LookupMode::SourceRouting, MultipathMode::None);
-        let sr = entries[0].actions[0].0.source_route().unwrap();
+        let sr = entries[0].actions[0].0.source_route().expect("source-route stack present");
         assert_eq!(sr.total(), 2);
-        assert_eq!(sr.current().unwrap().port, PortId(1));
+        assert_eq!(sr.current().expect("source-route stack non-empty").port, PortId(1));
     }
 
     #[test]

@@ -178,7 +178,8 @@ mod tests {
                 cs.push(Circuit::in_slice(NodeId(a), PortId(0), NodeId(b), PortId(0), ts as u32));
             }
         }
-        OpticalSchedule::build(SliceConfig::new(1_000, 3, 100), 4, 1, &cs).unwrap()
+        OpticalSchedule::build(SliceConfig::new(1_000, 3, 100), 4, 1, &cs)
+            .expect("schedule deploys")
     }
 
     /// Path (1) of Fig. 2: wait at N0 until ts2 for the direct circuit to N3.
@@ -207,8 +208,8 @@ mod tests {
     #[test]
     fn fig2_paths_validate() {
         let s = fig2();
-        direct_path().validate(&s).unwrap();
-        multi_hop_path().validate(&s).unwrap();
+        direct_path().validate(&s).expect("path validates against its schedule");
+        multi_hop_path().validate(&s).expect("path validates against its schedule");
     }
 
     #[test]
@@ -278,14 +279,15 @@ mod tests {
     fn wildcard_path_on_static_topology() {
         // Held circuits: a 2-node static link.
         let cs = vec![Circuit::held(NodeId(0), PortId(0), NodeId(1), PortId(0))];
-        let s = OpticalSchedule::build(SliceConfig::new(1_000, 1, 100), 2, 1, &cs).unwrap();
+        let s = OpticalSchedule::build(SliceConfig::new(1_000, 1, 100), 2, 1, &cs)
+            .expect("schedule deploys");
         let p = Path {
             src: NodeId(0),
             dst: NodeId(1),
             arr_slice: None,
             hops: vec![PathHop { node: NodeId(0), port: PortId(0), dep_slice: None }],
         };
-        p.validate(&s).unwrap();
+        p.validate(&s).expect("path validates against its schedule");
         assert_eq!(p.slices_waited(&s), 0);
     }
 
@@ -299,7 +301,7 @@ mod tests {
             arr_slice: Some(2),
             hops: vec![PathHop { node: NodeId(0), port: PortId(0), dep_slice: Some(1) }],
         };
-        p.validate(&s).unwrap();
+        p.validate(&s).expect("path validates against its schedule");
         assert_eq!(p.slices_waited(&s), 2);
     }
 }

@@ -148,14 +148,16 @@ mod tests {
                 cs.push(Circuit::in_slice(NodeId(a), PortId(0), NodeId(b), PortId(0), ts as u32));
             }
         }
-        OpticalSchedule::build(SliceConfig::new(1_000, 3, 100), 4, 1, &cs).unwrap()
+        OpticalSchedule::build(SliceConfig::new(1_000, 3, 100), 4, 1, &cs)
+            .expect("schedule deploys")
     }
 
     #[test]
     fn fig2_prefers_multi_hop_over_waiting() {
         // From N0 at ts0 to N3: direct needs delta 2; via N1 arrives delta 1.
-        let p = earliest_path(&fig2(), NodeId(0), NodeId(3), 0, 4).unwrap();
-        p.validate(&fig2()).unwrap();
+        let p = earliest_path(&fig2(), NodeId(0), NodeId(3), 0, 4)
+            .expect("a path exists within the horizon");
+        p.validate(&fig2()).expect("path validates against its schedule");
         assert_eq!(p.hops.len(), 2);
         assert_eq!(p.hops[0].dep_slice, Some(0));
         assert_eq!(p.hops[1].node, NodeId(1));
@@ -166,8 +168,9 @@ mod tests {
     fn hop_cap_forces_direct() {
         // With max_hops = 1, the only option is waiting for ts2.
         let s = fig2();
-        let p = earliest_path(&s, NodeId(0), NodeId(3), 0, 1).unwrap();
-        p.validate(&s).unwrap();
+        let p = earliest_path(&s, NodeId(0), NodeId(3), 0, 1)
+            .expect("a path exists within the horizon");
+        p.validate(&s).expect("path validates against its schedule");
         assert_eq!(p.hops.len(), 1);
         assert_eq!(p.hops[0].dep_slice, Some(2));
         assert_eq!(p.slices_waited(&s), 2);
@@ -196,11 +199,12 @@ mod tests {
             Circuit::in_slice(NodeId(0), PortId(0), NodeId(1), PortId(0), 0),
             Circuit::in_slice(NodeId(1), PortId(1), NodeId(2), PortId(1), 0),
         ];
-        let s = OpticalSchedule::build(SliceConfig::new(1_000, 1, 100), 3, 2, &cs).unwrap();
+        let s = OpticalSchedule::build(SliceConfig::new(1_000, 1, 100), 3, 2, &cs)
+            .expect("schedule deploys");
         let info = earliest_arrival(&s, NodeId(0), 0, 4);
         assert_eq!(info.best[2], Some((0, 2)));
-        let p = info.path_to(NodeId(2)).unwrap();
-        p.validate(&s).unwrap();
+        let p = info.path_to(NodeId(2)).expect("destination reachable");
+        p.validate(&s).expect("path validates against its schedule");
         assert_eq!(p.hops.len(), 2);
         assert_eq!(p.hops[1].dep_slice, Some(0));
     }
@@ -209,7 +213,8 @@ mod tests {
     fn unreachable_is_none() {
         // Node 3 is isolated (no circuits touch it).
         let cs = vec![Circuit::in_slice(NodeId(0), PortId(0), NodeId(1), PortId(0), 0)];
-        let s = OpticalSchedule::build(SliceConfig::new(1_000, 2, 100), 4, 1, &cs).unwrap();
+        let s = OpticalSchedule::build(SliceConfig::new(1_000, 2, 100), 4, 1, &cs)
+            .expect("schedule deploys");
         assert!(earliest_path(&s, NodeId(0), NodeId(3), 0, 8).is_none());
     }
 

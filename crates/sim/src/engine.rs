@@ -46,6 +46,9 @@ pub fn run_while<W: World>(
         }
         let (now, ev) = queue.pop().expect("peeked event vanished");
         debug_assert!(now >= last, "event queue delivered time travel: {now} < {last}");
+        if cfg!(feature = "strict-invariants") {
+            assert!(now >= last, "event queue delivered time travel: {now} < {last}");
+        }
         world.handle(now, ev, queue);
         executed += 1;
         last = now;

@@ -110,6 +110,9 @@ pub struct EventQueue<E> {
     far_scheduled: u64,
     overlay_scheduled: u64,
     peak_len: usize,
+    /// Key of the most recently popped event; only read by the
+    /// `strict-invariants` monotonicity check.
+    last_popped: Option<(SimTime, u64)>,
 }
 
 /// Point-in-time statistics of an [`EventQueue`], for telemetry mirroring.
@@ -159,6 +162,7 @@ impl<E> EventQueue<E> {
             far_scheduled: 0,
             overlay_scheduled: 0,
             peak_len: 0,
+            last_popped: None,
         }
     }
 
@@ -170,6 +174,17 @@ impl<E> EventQueue<E> {
         self.len += 1;
         if self.len > self.peak_len {
             self.peak_len = self.len;
+        }
+        if cfg!(feature = "strict-invariants") {
+            // The overlay deliberately admits entries at or behind the drain
+            // point (the kick-port pattern); rewind the monotonicity
+            // watermark past such entries so only genuine reordering of
+            // already-pending events trips the pop-side check.
+            if let Some(last) = self.last_popped {
+                if (time, seq) < last {
+                    self.last_popped = Some((time, seq.saturating_sub(1)));
+                }
+            }
         }
         let entry = Entry { time, seq, event };
         let b = bucket_of(time);
@@ -270,7 +285,36 @@ impl<E> EventQueue<E> {
         } else {
             self.overlay.pop().expect("checked non-empty")
         };
+        if cfg!(feature = "strict-invariants") {
+            assert_eq!(
+                self.near_len + self.overlay.len() + self.far.len(),
+                self.len,
+                "event queue occupancy leak: near + overlay + far != pending"
+            );
+            assert_eq!(
+                self.scheduled_total - self.popped_total,
+                self.len as u64,
+                "event queue conservation: scheduled - popped != pending"
+            );
+            if let Some(last) = self.last_popped {
+                assert!(
+                    e.key() > last,
+                    "event queue delivered (time, seq) keys out of order: \
+                     {:?} after {:?}",
+                    e.key(),
+                    last,
+                );
+            }
+            self.last_popped = Some(e.key());
+        }
         Some((e.time, e.event))
+    }
+
+    /// Test hook: pretend an event with the given `(time, seq)` key was
+    /// already delivered, so a test can prove the monotonicity check trips.
+    #[cfg(feature = "strict-invariants")]
+    pub fn force_last_popped_for_test(&mut self, time: SimTime, seq: u64) {
+        self.last_popped = Some((time, seq));
     }
 
     /// The firing time of the earliest pending event.

@@ -128,9 +128,11 @@ impl std::hash::Hasher for FxHasher {
 pub type FxBuildHasher = std::hash::BuildHasherDefault<FxHasher>;
 
 /// A `HashMap` using [`FxHasher`]; construct with `FxHashMap::default()`.
+// oolint: allow(nondet-map, this alias IS the sanctioned deterministic map)
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
 
 /// A `HashSet` using [`FxHasher`]; construct with `FxHashSet::default()`.
+// oolint: allow(nondet-map, this alias IS the sanctioned deterministic set)
 pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
 
 #[cfg(test)]

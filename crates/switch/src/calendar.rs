@@ -84,6 +84,19 @@ impl<T> CalendarPort<T> {
         self.active = (self.active + 1) % self.queues.len();
         self.queues[self.active].resume();
         self.rotations += 1;
+        if cfg!(feature = "strict-invariants") {
+            // Exactly the active queue may be unpaused; a second live queue
+            // would let packets leave out of slice order.
+            for (i, q) in self.queues.iter().enumerate() {
+                assert_eq!(
+                    q.is_paused(),
+                    i != self.active,
+                    "calendar ring pause state inconsistent at queue {i} \
+                     (active {})",
+                    self.active,
+                );
+            }
+        }
     }
 
     /// Pop the head of the active queue (respects pause — but the active
@@ -172,8 +185,8 @@ mod tests {
     #[test]
     fn only_active_queue_pops() {
         let mut cp: CalendarPort<&str> = CalendarPort::new(4, 10_000);
-        cp.enqueue(0, 100, "now").unwrap();
-        cp.enqueue(1, 100, "next").unwrap();
+        cp.enqueue(0, 100, "now").expect("rank fits the ring with capacity to spare");
+        cp.enqueue(1, 100, "next").expect("rank fits the ring with capacity to spare");
         assert_eq!(cp.pop_active(), Some((100, "now")));
         assert_eq!(cp.pop_active(), None); // "next" is paused
         cp.rotate();
@@ -202,7 +215,7 @@ mod tests {
     #[test]
     fn queue_capacity_enforced() {
         let mut cp: CalendarPort<u32> = CalendarPort::new(2, 250);
-        cp.enqueue(0, 200, 1).unwrap();
+        cp.enqueue(0, 200, 1).expect("rank fits the ring with capacity to spare");
         assert!(matches!(cp.enqueue(0, 100, 2), Err(EnqueueError::QueueFull(2))));
         assert!(cp.would_fit(0, 50));
         assert!(!cp.would_fit(0, 51));
@@ -213,7 +226,7 @@ mod tests {
     #[test]
     fn missed_slice_waits_full_cycle() {
         let mut cp: CalendarPort<&str> = CalendarPort::new(3, 10_000);
-        cp.enqueue(0, 100, "missed").unwrap();
+        cp.enqueue(0, 100, "missed").expect("rank fits the ring with capacity to spare");
         // Slice ends without the packet being sent.
         cp.rotate();
         assert_eq!(cp.pop_active(), None);
@@ -228,9 +241,9 @@ mod tests {
     #[test]
     fn totals_and_peaks() {
         let mut cp: CalendarPort<u32> = CalendarPort::new(4, 10_000);
-        cp.enqueue(0, 100, 1).unwrap();
-        cp.enqueue(1, 200, 2).unwrap();
-        cp.enqueue(1, 300, 3).unwrap();
+        cp.enqueue(0, 100, 1).expect("rank fits the ring with capacity to spare");
+        cp.enqueue(1, 200, 2).expect("rank fits the ring with capacity to spare");
+        cp.enqueue(1, 300, 3).expect("rank fits the ring with capacity to spare");
         assert_eq!(cp.total_bytes(), 600);
         assert_eq!(cp.total_len(), 3);
         assert_eq!(cp.active_bytes(), 100);
@@ -243,9 +256,9 @@ mod tests {
     #[test]
     fn drain_ignores_pause() {
         let mut cp: CalendarPort<u32> = CalendarPort::new(4, 10_000);
-        cp.enqueue(2, 100, 1).unwrap();
-        cp.enqueue(2, 100, 2).unwrap();
-        cp.enqueue(2, 100, 3).unwrap();
+        cp.enqueue(2, 100, 1).expect("rank fits the ring with capacity to spare");
+        cp.enqueue(2, 100, 2).expect("rank fits the ring with capacity to spare");
+        cp.enqueue(2, 100, 3).expect("rank fits the ring with capacity to spare");
         let idx = cp.index_for_rank(2);
         let drained = cp.drain_queue(idx, 2);
         assert_eq!(drained.len(), 2);
@@ -294,7 +307,7 @@ mod proptests {
                     Op::Enqueue { rank } => {
                         let id = next_id;
                         next_id += 1;
-                        cp.enqueue(rank as u32, 100, id).unwrap();
+                        cp.enqueue(rank as u32, 100, id).expect("rank fits the ring with capacity to spare");
                         model.entry(abs + rank as u64).or_default().push(id);
                     }
                     Op::Rotate => {

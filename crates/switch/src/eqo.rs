@@ -72,16 +72,39 @@ impl Eqo {
         if ticks == 0 {
             return;
         }
-        let drain = self.drain_per_interval() * ticks;
+        let drain = if cfg!(feature = "strict-invariants") {
+            self.drain_per_interval()
+                .checked_mul(ticks)
+                .expect("EQO drain overflowed u64: interval * ticks")
+        } else {
+            self.drain_per_interval() * ticks
+        };
         for (p, &a) in active.iter().enumerate() {
             self.regs[p][a] = self.regs[p][a].saturating_sub(drain);
         }
         self.applied_until += ticks * self.interval_ns;
+        if cfg!(feature = "strict-invariants") {
+            // The drain point is quantized to whole intervals, so it may lag
+            // `now` by up to one interval but must never pass it or move
+            // backwards (refresh with a stale `now` is a caller bug).
+            assert!(
+                self.applied_until <= now,
+                "EQO applied_until {} overtook now {}",
+                self.applied_until,
+                now,
+            );
+        }
     }
 
     /// Record an enqueue of `bytes` into `(port, queue)`.
     pub fn on_enqueue(&mut self, port: usize, queue: usize, bytes: u32) {
-        self.regs[port][queue] += bytes as u64;
+        if cfg!(feature = "strict-invariants") {
+            self.regs[port][queue] = self.regs[port][queue]
+                .checked_add(bytes as u64)
+                .expect("EQO register overflowed u64 on enqueue");
+        } else {
+            self.regs[port][queue] += bytes as u64;
+        }
     }
 
     /// Current estimate for `(port, queue)`, bytes. Call [`Eqo::refresh`]

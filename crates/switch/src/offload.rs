@@ -161,7 +161,7 @@ mod tests {
         assert_eq!(b.parked_packets(), 3);
         let c = cfg();
         // Recall deadline for slice 40 = 40*100us - 10us = 3.99 ms.
-        let (s, t) = b.next_recall(&c, 10_000).unwrap();
+        let (s, t) = b.next_recall(&c, 10_000).expect("a recall is pending");
         assert_eq!(s, 40);
         assert_eq!(t, SimTime::from_ns(40 * 100_000 - 10_000));
         // At 4.0 ms, slice 40's batch is due, 50/60 are not.

@@ -210,8 +210,8 @@ mod tests {
         t.install(entry(None, NodeId(3), vec![(PortId(9), None, 1)], MultipathMode::None));
         t.install(entry(Some(2), NodeId(3), vec![(PortId(1), Some(2), 1)], MultipathMode::None));
         let p = pkt(1, 1, NodeId(3), 0);
-        assert_eq!(t.lookup(&p, 2).unwrap().port, PortId(1));
-        assert_eq!(t.lookup(&p, 0).unwrap().port, PortId(9));
+        assert_eq!(t.lookup(&p, 2).expect("flow matches an installed entry").port, PortId(1));
+        assert_eq!(t.lookup(&p, 0).expect("flow matches an installed entry").port, PortId(9));
         assert_eq!(t.hits, 2);
     }
 
@@ -231,7 +231,7 @@ mod tests {
         t.install(entry(None, NodeId(3), vec![(PortId(2), None, 1)], MultipathMode::None));
         let p = pkt(1, 1, NodeId(3), 0);
         for arr in 0..16 {
-            let a = t.lookup(&p, arr).unwrap();
+            let a = t.lookup(&p, arr).expect("flow matches an installed entry");
             assert_eq!(a.port, PortId(2));
             assert_eq!(a.dep_slice, None);
         }
@@ -247,14 +247,24 @@ mod tests {
             MultipathMode::PerFlow,
         ));
         // One flow always takes one port.
-        let first = t.lookup(&pkt(1, 42, NodeId(3), 0), 0).unwrap().port;
+        let first =
+            t.lookup(&pkt(1, 42, NodeId(3), 0), 0).expect("flow matches an installed entry").port;
         for i in 2..50 {
-            assert_eq!(t.lookup(&pkt(i, 42, NodeId(3), i * 100), 0).unwrap().port, first);
+            assert_eq!(
+                t.lookup(&pkt(i, 42, NodeId(3), i * 100), 0)
+                    .expect("flow matches an installed entry")
+                    .port,
+                first
+            );
         }
         // Different flows spread across both ports.
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = openoptics_sim::hash::FxHashSet::default();
         for f in 0..50 {
-            seen.insert(t.lookup(&pkt(100 + f, f, NodeId(3), 0), 0).unwrap().port);
+            seen.insert(
+                t.lookup(&pkt(100 + f, f, NodeId(3), 0), 0)
+                    .expect("flow matches an installed entry")
+                    .port,
+            );
         }
         assert_eq!(seen.len(), 2);
     }
@@ -270,7 +280,10 @@ mod tests {
         ));
         let mut counts = [0u32; 2];
         for i in 0..400 {
-            let port = t.lookup(&pkt(i, 42, NodeId(3), i * 120), 0).unwrap().port;
+            let port = t
+                .lookup(&pkt(i, 42, NodeId(3), i * 120), 0)
+                .expect("flow matches an installed entry")
+                .port;
             counts[port.index()] += 1;
         }
         assert!(counts[0] > 100 && counts[1] > 100, "skewed spray: {counts:?}");
@@ -288,7 +301,10 @@ mod tests {
         ));
         let mut counts = [0u32; 2];
         for i in 0..2000 {
-            let port = t.lookup(&pkt(i, i, NodeId(3), i * 97), 0).unwrap().port;
+            let port = t
+                .lookup(&pkt(i, i, NodeId(3), i * 97), 0)
+                .expect("flow matches an installed entry")
+                .port;
             counts[port.index()] += 1;
         }
         let ratio = counts[0] as f64 / counts[1] as f64;
@@ -302,7 +318,7 @@ mod tests {
         t.install(entry(Some(0), NodeId(3), vec![(PortId(5), Some(1), 1)], MultipathMode::None));
         assert_eq!(t.len(), 1);
         let p = pkt(1, 1, NodeId(3), 0);
-        assert_eq!(t.lookup(&p, 0).unwrap().port, PortId(5));
+        assert_eq!(t.lookup(&p, 0).expect("flow matches an installed entry").port, PortId(5));
     }
 
     #[test]

@@ -672,7 +672,8 @@ mod tests {
             t.rotate(SimTime::from_ns(2_000 * i));
         }
         assert!(t.has_active_traffic(PortId(1)));
-        let (p, tx) = t.pop_if_fits(PortId(1), SimTime::from_ns(6_300), 0).unwrap();
+        let (p, tx) =
+            t.pop_if_fits(PortId(1), SimTime::from_ns(6_300), 0).expect("head fits the slice");
         assert_eq!(p.id, 1);
         assert!(tx > 0);
     }
@@ -806,7 +807,7 @@ mod tests {
         }
         assert_eq!(t.offload_book.parked_packets(), 1);
         // Recall due at slice 40 start (80_000 ns) minus 3_000 ns lead.
-        let recall = t.next_offload_recall().unwrap();
+        let recall = t.next_offload_recall().expect("a recall is pending");
         assert_eq!(recall, SimTime::from_ns(77_000));
         let due = t.offload_due(recall);
         assert_eq!(due.len(), 1);

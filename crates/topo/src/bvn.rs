@@ -254,7 +254,7 @@ mod tests {
         let terms = decompose_into_pairings(&skewed_tm(8), 32);
         assert!(!terms.is_empty());
         for t in &terms {
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = openoptics_sim::hash::FxHashSet::default();
             for &(a, b) in &t.pairs {
                 assert!(seen.insert(a), "{a} in two pairs");
                 assert!(seen.insert(b), "{b} in two pairs");

@@ -135,16 +135,16 @@ pub fn round_robin_multidim(n: u32, dim: u32) -> (Vec<Circuit>, u32) {
 mod tests {
     use super::*;
     use openoptics_fabric::OpticalSchedule;
+    use openoptics_sim::hash::FxHashSet;
     use openoptics_sim::time::SliceConfig;
-    use std::collections::HashSet;
 
     fn check_factorization(n: u32) {
         let rounds = one_factorization(n);
         let expected_rounds = if n.is_multiple_of(2) { n - 1 } else { n };
         assert_eq!(rounds.len() as u32, expected_rounds, "n={n}");
-        let mut seen = HashSet::new();
+        let mut seen = FxHashSet::default();
         for round in &rounds {
-            let mut in_round = HashSet::new();
+            let mut in_round = FxHashSet::default();
             for &(a, b) in round {
                 assert!(a < b && b < n, "n={n} bad pair ({a},{b})");
                 assert!(in_round.insert(a), "n={n}: {a} matched twice in a round");

@@ -122,7 +122,7 @@ mod tests {
     fn no_self_flows_and_all_hosts_used() {
         let mut gen =
             PoissonArrivals::new(hosts(4), Trace::Rpc.dist(), Bandwidth::gbps(100), 0.4, 2);
-        let mut srcs = std::collections::HashSet::new();
+        let mut srcs = openoptics_sim::hash::FxHashSet::default();
         for _ in 0..2000 {
             let f = gen.next();
             assert_ne!(f.src, f.dst);

@@ -1,0 +1,75 @@
+//! Workspace task runner. The only task today is `lint` (alias `oolint`),
+//! the determinism & robustness pass described in [`xtask`]'s crate docs.
+//!
+//! ```text
+//! cargo run -p xtask -- lint            # check (CI hard gate)
+//! cargo run -p xtask -- lint --update   # rewrite lint-ratchet.toml
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask/ -> crates/ -> workspace root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(|p| p.parent()).map(PathBuf::from).unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut update = false;
+    let mut root = workspace_root();
+    let mut task = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "lint" | "oolint" => task = Some("lint"),
+            "--update" => update = true,
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: cargo run -p xtask -- lint [--update] [--root PATH]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if task != Some("lint") {
+        eprintln!("usage: cargo run -p xtask -- lint [--update] [--root PATH]");
+        return ExitCode::FAILURE;
+    }
+
+    let outcome = match xtask::run_lint(&root, update) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("oolint: i/o error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for f in &outcome.findings {
+        eprintln!("{f}");
+    }
+    let (mut u, mut e, mut p) = (0, 0, 0);
+    for b in outcome.counts.values() {
+        u += b.unwraps;
+        e += b.expects;
+        p += b.panics;
+    }
+    eprintln!(
+        "oolint: {} finding(s); ratchet counts: {u} unwraps, {e} expects, {p} panics \
+         across {} crates{}",
+        outcome.findings.len(),
+        outcome.counts.len(),
+        if update { " (lint-ratchet.toml rewritten)" } else { "" },
+    );
+    if outcome.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

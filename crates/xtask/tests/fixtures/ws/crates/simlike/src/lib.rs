@@ -1,0 +1,21 @@
+//! Fixture: a sim-path crate committing one of every violation class.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// oolint: allow(nondet-map, fixture: alias over a deterministic hasher)
+pub type Allowed = std::collections::HashSet<u8>;
+
+pub fn wall() -> u64 {
+    let _t = std::time::Instant::now();
+    0
+}
+
+pub fn relax(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}
+
+pub fn two_unwraps(v: Option<u8>, w: Option<u8>) -> u8 {
+    let _m: HashMap<u8, u8> = HashMap::new();
+    v.unwrap() + w.unwrap()
+}

@@ -1,0 +1,8 @@
+//! Fixture root package: not a sim-path crate, so std maps are fine here.
+
+use std::collections::HashMap;
+
+pub fn one(v: Option<u8>) -> u8 {
+    let _m: HashMap<u8, u8> = HashMap::new();
+    v.unwrap()
+}

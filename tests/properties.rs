@@ -129,6 +129,41 @@ proptest! {
         prop_assert_eq!(at, NodeId(dst));
     }
 
+    /// Randomized quick-mode end-to-end runs. The assertion payload lives
+    /// inside the engine: under `--features strict-invariants` every pop,
+    /// rotation, and transmit re-checks the queue-conservation, pause-ring,
+    /// and guardband-containment invariants, so merely completing the run
+    /// proves none fired across the sampled configurations.
+    #[test]
+    fn random_quick_configs_run_clean(
+        n in 4u32..9,
+        slice_us in 1u64..4,
+        guard_ns in 1u64..3,
+        seed in 0u64..1_000,
+        arch_pick in 0u8..3,
+    ) {
+        use openoptics::prelude::*;
+        let cfg = NetConfig::builder()
+            .node_num(n)
+            .uplink(1)
+            .hosts_per_node(1)
+            .slice_ns(slice_us * 50_000)
+            .guard_ns(guard_ns * 500)
+            .seed(seed)
+            .build()
+            .expect("sampled config is valid");
+        let mut net = match arch_pick {
+            0 => archs::clos(cfg),
+            1 => archs::rotornet(cfg),
+            _ => archs::opera(cfg),
+        };
+        let stop = SimTime::from_ms(2);
+        let clients = (1..n).map(HostId).collect();
+        net.add_memcached(MemcachedParams::paper(), HostId(0), clients, stop);
+        net.run_for(SimTime::from_ms(3));
+        prop_assert!(net.events_scheduled() > 0);
+    }
+
     /// The wildcard reduction: a schedule of held circuits routes
     /// identically from every arrival slice.
     #[test]
