@@ -15,6 +15,7 @@
 //! reproduction target (see EXPERIMENTS.md).
 
 pub mod ablations;
+pub mod faults;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

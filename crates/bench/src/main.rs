@@ -4,7 +4,7 @@
 //! ```text
 //! experiments <id> [--quick] [--jobs N]
 //!   ids: fig8a fig8b fig9 fig10 fig11 fig12 fig13 fig14
-//!        table2 table3 table4 ablations minslice all
+//!        table2 table3 table4 ablations minslice faults all
 //! ```
 //!
 //! `--quick` shrinks measurement windows for smoke runs (used by CI and the
@@ -54,7 +54,7 @@ fn main() {
         .map(|(_, a)| a.clone())
         .next()
         .unwrap_or_else(|| {
-            eprintln!("usage: experiments <fig8a|fig8b|fig9|fig10|fig11|fig12|fig13|fig14|table2|table3|table4|ablations|minslice|all> [--quick] [--jobs N]");
+            eprintln!("usage: experiments <fig8a|fig8b|fig9|fig10|fig11|fig12|fig13|fig14|table2|table3|table4|ablations|minslice|faults|all> [--quick] [--jobs N]");
             std::process::exit(2);
         });
     let all = which == "all";
@@ -212,6 +212,14 @@ fn main() {
         section("§7 — minimum time-slice derivation");
         instrument(&mut stats, "minslice", &mut || {
             print!("{}", x::minslice::render(&x::minslice::run()));
+        });
+    }
+    if run("faults") {
+        ran = true;
+        section("Faults — injected-failure degradation & recovery");
+        instrument(&mut stats, "faults", &mut || {
+            let rows = x::faults::run(if quick { 40 } else { 80 });
+            print!("{}", x::faults::render(&rows));
         });
     }
 

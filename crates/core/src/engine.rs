@@ -13,7 +13,8 @@
 //! offloading — happens as a consequence.
 
 use crate::config::NetConfig;
-use openoptics_fabric::{ClockSync, Fabric, FabricProfile, OpticalSchedule};
+use openoptics_fabric::{Circuit, ClockSync, Fabric, FabricProfile, OpticalSchedule};
+use openoptics_faults::{FaultCounters, FaultError, FaultKind, FaultPlan, FaultReport, FaultSpec};
 use openoptics_host::apps::{MemcachedParams, RingAllreduce};
 use openoptics_host::tcp::{TcpConfig, TcpReceiver, TcpSender};
 use openoptics_host::tdtcp::TdTcpSender;
@@ -227,6 +228,10 @@ pub enum Timer {
         /// Stream sequence of the trimmed segment.
         seq: u64,
     },
+    /// An injected fault window opens (index into the fault campaign).
+    FaultStart(usize),
+    /// An injected fault window closes.
+    FaultEnd(usize),
 }
 
 /// Pre-scheduled flow descriptor.
@@ -276,6 +281,36 @@ pub struct EngineCounters {
     pub fast_retransmits: u64,
     /// NACK-driven retransmissions of trimmed segments.
     pub nack_retransmits: u64,
+    /// Packets destroyed by injected faults (drain-and-drop at failed
+    /// ports plus transceiver-flap corruption).
+    pub fault_drops: u64,
+}
+
+/// Runtime state of an injected fault campaign. Masks are rebuilt from the
+/// active flags on every window edge — campaigns are tiny and transitions
+/// rare, so a full rebuild keeps overlapping windows on one target correct
+/// without reference counting.
+#[derive(Default)]
+struct FaultRuntime {
+    /// All injected fault windows, campaign order (stable indices).
+    specs: Vec<FaultSpec>,
+    active: Vec<bool>,
+    /// `(node, port)` → fault index whose window black-holes transmissions
+    /// (link down / stuck OCS port). First active fault in campaign order
+    /// owns the key.
+    drop_mask: FxHashMap<(NodeId, PortId), usize>,
+    /// `(node, port)` → fault index for transceiver-flap corruption.
+    flap_mask: FxHashMap<(NodeId, PortId), usize>,
+    /// node → fault index for slice-schedule corruption.
+    slice_mask: FxHashMap<NodeId, usize>,
+    /// node → fault index for NIC pause storms.
+    pause_mask: FxHashMap<NodeId, usize>,
+    /// Rotations each fault's node has missed and not yet replayed.
+    rotation_lag: Vec<u32>,
+    /// Schedule with link-down circuits removed — what routing compiles
+    /// against while a link-down window is open. `None` = no mask.
+    masked: Option<OpticalSchedule>,
+    per_fault: Vec<FaultCounters>,
 }
 
 /// Live engine-side instruments: bound once at construction, `detached`
@@ -337,6 +372,8 @@ pub struct Engine {
     telemetry: Registry,
     /// Engine-side live instruments.
     tele: EngineTele,
+    /// Injected fault campaign, if any (`None` = sunny-day run).
+    faults: Option<FaultRuntime>,
 }
 
 struct RouterSpec {
@@ -448,6 +485,7 @@ impl Engine {
             delay_samples: vec![],
             telemetry,
             tele,
+            faults: None,
             cfg,
         }
     }
@@ -483,6 +521,7 @@ impl Engine {
             ("engine.rto_retransmits", c.rto_retransmits),
             ("engine.fast_retransmits", c.fast_retransmits),
             ("engine.nack_retransmits", c.nack_retransmits),
+            ("engine.fault_drops", c.fault_drops),
         ] {
             reg.counter(name, Labels::None).set(v);
         }
@@ -545,6 +584,205 @@ impl Engine {
         reg.gauge("fabric.sync_max_err_ns", Labels::None)
             .set(self.sync.max_err_ns().min(i64::MAX as u64) as i64);
         reg.counter("fct.completed_flows", Labels::None).set(self.fct.completed().len() as u64);
+        if let Some(f) = &self.faults {
+            let mut sums = FaultCounters::default();
+            for c in &f.per_fault {
+                sums.activations += c.activations;
+                sums.dropped += c.dropped;
+                sums.corrupted += c.corrupted;
+                sums.missed_rotations += c.missed_rotations;
+                sums.paused_tx += c.paused_tx;
+                sums.reroutes += c.reroutes;
+            }
+            for (name, v) in [
+                ("faults.activations", sums.activations),
+                ("faults.dropped", sums.dropped),
+                ("faults.corrupted", sums.corrupted),
+                ("faults.missed_rotations", sums.missed_rotations),
+                ("faults.paused_tx", sums.paused_tx),
+                ("faults.reroutes", sums.reroutes),
+            ] {
+                reg.counter(name, Labels::None).set(v);
+            }
+        }
+    }
+
+    // -- fault injection -----------------------------------------------------
+
+    /// Install (or extend) the fault campaign. The plan is validated
+    /// against this engine's shape (`node_num`, `uplink`) and against
+    /// `not_before` — window starts must not lie in the simulated past.
+    /// Returns the campaign indices the new windows occupy so the caller
+    /// can schedule their edges as events.
+    pub fn set_fault_plan(
+        &mut self,
+        plan: &FaultPlan,
+        not_before: SimTime,
+    ) -> Result<std::ops::Range<usize>, FaultError> {
+        plan.validate_against(self.cfg.node_num, u32::from(self.cfg.uplink), not_before)?;
+        let f = self.faults.get_or_insert_with(FaultRuntime::default);
+        let lo = f.specs.len();
+        f.specs.extend_from_slice(plan.faults());
+        f.active.resize(f.specs.len(), false);
+        f.rotation_lag.resize(f.specs.len(), 0);
+        f.per_fault.resize(f.specs.len(), FaultCounters::default());
+        Ok(lo..f.specs.len())
+    }
+
+    /// The fault window at campaign index `idx`, if one is installed.
+    pub fn fault_spec(&self, idx: usize) -> Option<FaultSpec> {
+        self.faults.as_ref().and_then(|f| f.specs.get(idx).copied())
+    }
+
+    /// Results of the injected fault campaign. Campaign-wide totals come
+    /// from the engine counters; the per-fault breakdown is empty when no
+    /// plan was installed.
+    pub fn fault_report(&self) -> FaultReport {
+        let mut r = FaultReport {
+            delivered: self.counters.delivered_packets,
+            retransmitted: self.counters.rto_retransmits
+                + self.counters.watchdog_retransmits
+                + self.counters.fast_retransmits
+                + self.counters.nack_retransmits,
+            ..FaultReport::default()
+        };
+        if let Some(f) = &self.faults {
+            r.per_fault = f.per_fault.clone();
+            for c in &f.per_fault {
+                r.dropped += c.dropped;
+                r.corrupted += c.corrupted;
+                r.rerouted += c.reroutes;
+                r.missed_rotations += c.missed_rotations;
+                r.paused_tx += c.paused_tx;
+            }
+        }
+        r
+    }
+
+    /// Rebuild every fault mask from the campaign's active flags, including
+    /// the link-down-masked schedule routing compiles against. Called on
+    /// every window edge; for a key claimed by overlapping windows, the
+    /// first active fault in campaign order owns it.
+    fn rebuild_fault_masks(&mut self) {
+        let Some(f) = &mut self.faults else { return };
+        f.drop_mask.clear();
+        f.flap_mask.clear();
+        f.slice_mask.clear();
+        f.pause_mask.clear();
+        let mut down: Vec<(NodeId, PortId)> = vec![];
+        for (i, s) in f.specs.iter().enumerate() {
+            if !f.active[i] {
+                continue;
+            }
+            match s.kind {
+                FaultKind::LinkDown => {
+                    f.drop_mask.entry((s.node, s.port)).or_insert(i);
+                    down.push((s.node, s.port));
+                }
+                FaultKind::OcsPortStuck => {
+                    f.drop_mask.entry((s.node, s.port)).or_insert(i);
+                }
+                FaultKind::TransceiverFlap { .. } => {
+                    f.flap_mask.entry((s.node, s.port)).or_insert(i);
+                }
+                FaultKind::SliceCorruption => {
+                    f.slice_mask.entry(s.node).or_insert(i);
+                }
+                FaultKind::NicPauseStorm => {
+                    f.pause_mask.entry(s.node).or_insert(i);
+                }
+            }
+        }
+        f.masked = if down.is_empty() {
+            None
+        } else {
+            let sched = self.fabric.schedule();
+            let kept: Vec<Circuit> = sched
+                .circuits()
+                .iter()
+                .filter(|c| !down.iter().any(|&(n, p)| c.peer_of(n, p).is_some()))
+                .copied()
+                .collect();
+            // A subset of a valid circuit list stays valid (validation is
+            // per-circuit ranges plus pairwise conflicts); if the rebuild
+            // fails anyway, fall back to the unmasked schedule — the drop
+            // mask alone still degrades gracefully.
+            OpticalSchedule::build(sched.slice_config(), sched.num_nodes(), sched.uplinks(), &kept)
+                .ok()
+        };
+    }
+
+    /// One fault window edge: activate or clear campaign fault `idx`.
+    fn on_fault_transition(
+        &mut self,
+        idx: usize,
+        up: bool,
+        now: SimTime,
+        q: &mut EventQueue<Event>,
+    ) {
+        let Some(f) = &mut self.faults else { return };
+        let Some(spec) = f.specs.get(idx).copied() else { return };
+        if f.active[idx] == up {
+            return;
+        }
+        f.active[idx] = up;
+        if up {
+            f.per_fault[idx].activations += 1;
+        }
+        let lag = if !up && spec.kind == FaultKind::SliceCorruption {
+            std::mem::take(&mut f.rotation_lag[idx])
+        } else {
+            0
+        };
+        self.rebuild_fault_masks();
+        if spec.kind == FaultKind::LinkDown {
+            // Link-down edges are visible to the controller: stale route
+            // tables are dropped so the next lookup recompiles against the
+            // masked time-expanded graph (bounded by the router's hop
+            // horizon — the reroute cannot wander).
+            for t in &mut self.tors {
+                t.tft_mut().clear();
+            }
+            if let Some(f) = &mut self.faults {
+                f.per_fault[idx].reroutes += 1;
+            }
+        }
+        // A recovering slice-corrupted switch replays its missed rotations
+        // to resynchronize its calendar with the fabric.
+        for _ in 0..lag {
+            self.tors[spec.node.index()].rotate(now);
+        }
+        if !up {
+            // A cleared fault can unblock traffic already queued at the node.
+            self.kick_all_ports(spec.node, now, q);
+        }
+        let kind = if up {
+            TraceKind::FaultInject { node: spec.node, port: spec.port }
+        } else {
+            TraceKind::FaultClear { node: spec.node, port: spec.port }
+        };
+        self.tele.trace.emit(now, kind);
+    }
+
+    /// Whether a fault destroys the packet about to leave `(node, port)`:
+    /// `Some((fault, corrupted))` — drop-masked ports always lose it,
+    /// flapping transceivers lose it with the configured probability (drawn
+    /// from the engine's seeded RNG, so runs replay identically).
+    fn fault_tx_check(&mut self, node: NodeId, port: PortId) -> Option<(usize, bool)> {
+        let f = self.faults.as_ref()?;
+        if let Some(&i) = f.drop_mask.get(&(node, port)) {
+            return Some((i, false));
+        }
+        let &i = f.flap_mask.get(&(node, port))?;
+        let pct = match f.specs[i].kind {
+            FaultKind::TransceiverFlap { corrupt_pct } => u32::from(corrupt_pct),
+            _ => 0,
+        };
+        if self.rng.range(0..100u32) < pct {
+            Some((i, true))
+        } else {
+            None
+        }
     }
 
     /// Set the routing scheme (`deploy_routing`). `ta` selects
@@ -572,6 +810,9 @@ impl Engine {
         for t in &mut self.tors {
             t.tft_mut().clear();
         }
+        // Link-down masks derived from the old schedule are stale; rebuild
+        // (they refresh again at the next fault window edge).
+        self.rebuild_fault_masks();
         done
     }
 
@@ -780,6 +1021,14 @@ impl Engine {
         // Probe trains.
         for t in 0..self.probe_trains.len() {
             q.schedule(SimTime::from_ns(1), Event::Timer(Timer::ProbeSend(t)));
+        }
+        // Fault windows: each edge is an ordinary (time, seq) event, so
+        // campaigns replay byte-identically at any worker count.
+        if let Some(f) = &self.faults {
+            for (i, s) in f.specs.iter().enumerate() {
+                q.schedule(s.start, Event::Timer(Timer::FaultStart(i)));
+                q.schedule(s.end, Event::Timer(Timer::FaultEnd(i)));
+            }
         }
     }
 
@@ -1099,7 +1348,13 @@ impl Engine {
     fn install_routes_for(&mut self, node: NodeId, dst: NodeId) -> bool {
         let Some(spec) = &self.router else { return false };
         let arr = if spec.ta { None } else { Some(self.tors[node.index()].current_slice()) };
-        let paths: Vec<Path> = spec.algo.paths(self.fabric.schedule(), node, dst, arr);
+        // While a link-down fault is active, paths compile against the
+        // masked time-expanded graph so the reroute avoids the failed link.
+        let sched = match self.faults.as_ref().and_then(|f| f.masked.as_ref()) {
+            Some(masked) => masked,
+            None => self.fabric.schedule(),
+        };
+        let paths: Vec<Path> = spec.algo.paths(sched, node, dst, arr);
         if paths.is_empty() {
             return false;
         }
@@ -1165,6 +1420,18 @@ impl Engine {
 
     fn on_host_tx(&mut self, host: HostId, now: SimTime, q: &mut EventQueue<Event>) {
         self.hosts[host.index()].tx_scheduled = false;
+        let tor = self.hosts[host.index()].tor;
+        if let Some(&i) = self.faults.as_ref().and_then(|f| f.pause_mask.get(&tor)) {
+            // NIC pause storm: data transmission defers to the window end.
+            // (ACKs bypass the NIC data queue in this model and still flow.)
+            let resume = self.faults.as_ref().map_or(now, |f| f.specs[i].end);
+            if let Some(f) = &mut self.faults {
+                f.per_fault[i].paused_tx += 1;
+            }
+            self.hosts[host.index()].tx_scheduled = true;
+            q.schedule(resume.max(now + 1), Event::HostTx(host));
+            return;
+        }
         if now < self.hosts[host.index()].nic_free {
             self.pump_host(host, self.hosts[host.index()].nic_free, q);
             return;
@@ -1344,6 +1611,24 @@ impl Engine {
                         self.slice_cfg.remaining_in_slice(local),
                     );
                 }
+                if let Some((fi, corrupted)) = self.fault_tx_check(node, port) {
+                    // Drain-and-drop: the port still cycles at line rate so
+                    // the queue behind the fault drains, but the packet is
+                    // charged to the fault instead of reaching the fabric.
+                    self.port_pending[node.index()][port.index()] = true;
+                    q.schedule_after(now, tx, Event::PortFree(node, port));
+                    self.counters.fault_drops += 1;
+                    if let Some(f) = &mut self.faults {
+                        let c = &mut f.per_fault[fi];
+                        if corrupted {
+                            c.corrupted += 1;
+                        } else {
+                            c.dropped += 1;
+                        }
+                    }
+                    self.tele.trace.emit(now, TraceKind::FaultDrop { node, port });
+                    return;
+                }
                 self.tx_bytes_per_port[node.index()][port.index()] += pkt.size as u64;
                 // Port is busy for the serialization time.
                 self.port_pending[node.index()][port.index()] = true;
@@ -1384,7 +1669,20 @@ impl Engine {
     }
 
     fn on_rotate(&mut self, node: NodeId, now: SimTime, q: &mut EventQueue<Event>) {
-        self.tors[node.index()].rotate(now);
+        let corrupted = self.faults.as_ref().and_then(|f| f.slice_mask.get(&node).copied());
+        match corrupted {
+            Some(i) => {
+                // Schedule corruption: the switch misses the boundary and
+                // stays in its stale slice while the fabric moves on, so
+                // its transmissions meet dark circuits. The miss is
+                // replayed (resync) when the window closes.
+                if let Some(f) = &mut self.faults {
+                    f.per_fault[i].missed_rotations += 1;
+                    f.rotation_lag[i] += 1;
+                }
+            }
+            None => self.tors[node.index()].rotate(now),
+        }
         let fire = now + self.slice_cfg.slice_ns;
         q.schedule(fire, Event::Rotate(node));
         self.kick_all_ports(node, now, q);
@@ -1754,6 +2052,8 @@ impl Engine {
                 }
             }
             Timer::NotifyHosts(node) => self.on_notify_hosts(node, now, q),
+            Timer::FaultStart(i) => self.on_fault_transition(i, true, now, q),
+            Timer::FaultEnd(i) => self.on_fault_transition(i, false, now, q),
             Timer::NackRetx { flow, seq } => {
                 let Some(f) = self.flows.get_mut(&flow) else { return };
                 if f.done {

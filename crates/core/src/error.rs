@@ -9,6 +9,7 @@ use crate::config::ConfigError;
 use crate::json::JsonError;
 use crate::net::DeployError;
 use openoptics_fabric::{Circuit, LayoutError, ScheduleError};
+use openoptics_faults::FaultError;
 use openoptics_proto::NodeId;
 use openoptics_telemetry::TelemetryError;
 
@@ -23,6 +24,9 @@ pub enum Error {
     Json(JsonError),
     /// Telemetry subsystem refused the request (disabled, unknown format).
     Telemetry(TelemetryError),
+    /// Fault plan rejected ([`crate::OpenOpticsNet::inject_faults`]):
+    /// malformed window or a target outside the configured network.
+    Fault(FaultError),
     /// `connect()` was given a circuit from a node to itself.
     LoopbackCircuit(Circuit),
     /// `add()` named a node outside the configured network.
@@ -41,6 +45,7 @@ impl std::fmt::Display for Error {
             Error::Config(e) => write!(f, "config: {e}"),
             Error::Json(e) => write!(f, "json: {e}"),
             Error::Telemetry(e) => write!(f, "telemetry: {e}"),
+            Error::Fault(e) => write!(f, "faults: {e}"),
             Error::LoopbackCircuit(c) => {
                 write!(f, "loopback circuit: {:?} connects a node to itself", c)
             }
@@ -58,6 +63,7 @@ impl std::error::Error for Error {
             Error::Config(e) => Some(e),
             Error::Json(e) => Some(e),
             Error::Telemetry(e) => Some(e),
+            Error::Fault(e) => Some(e),
             _ => None,
         }
     }
@@ -96,5 +102,11 @@ impl From<JsonError> for Error {
 impl From<TelemetryError> for Error {
     fn from(e: TelemetryError) -> Self {
         Error::Telemetry(e)
+    }
+}
+
+impl From<FaultError> for Error {
+    fn from(e: FaultError) -> Self {
+        Error::Fault(e)
     }
 }

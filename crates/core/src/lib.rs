@@ -30,4 +30,7 @@ pub use config::{ConfigError, NetConfig, NetConfigBuilder};
 pub use engine::{DispatchPolicy, Engine, PauseMode, TransportKind};
 pub use error::Error;
 pub use net::{DeployError, OpenOpticsNet};
+pub use openoptics_faults::{
+    FaultCounters, FaultError, FaultKind, FaultPlan, FaultPlanBuilder, FaultReport, FaultSpec,
+};
 pub use workflow::run_ta_loop;

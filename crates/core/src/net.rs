@@ -248,6 +248,35 @@ impl OpenOpticsNet {
         }
     }
 
+    /// Inject a fault campaign (before or during the run). The plan is
+    /// validated against this network's shape first; window starts must not
+    /// lie in the simulated past. Each window edge becomes an ordinary
+    /// `(time, seq)` event on the calendar queue, so the same plan + seed
+    /// reproduces identical [`fault_report`](Self::fault_report) counters
+    /// on every run and at any worker count. May be called repeatedly; new
+    /// windows extend the campaign.
+    pub fn inject_faults(&mut self, plan: &openoptics_faults::FaultPlan) -> Result<(), Error> {
+        let not_before = if self.primed { self.now } else { SimTime::ZERO };
+        let range = self.engine.set_fault_plan(plan, not_before).map_err(Error::from)?;
+        if self.primed {
+            // Mirror add_flow: post-prime campaigns schedule their own
+            // window edges (prime() handles the pre-run case).
+            for i in range {
+                let Some(spec) = self.engine.fault_spec(i) else { continue };
+                self.queue.schedule(spec.start, Event::Timer(crate::engine::Timer::FaultStart(i)));
+                self.queue.schedule(spec.end, Event::Timer(crate::engine::Timer::FaultEnd(i)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Results of the injected fault campaign so far: campaign-wide
+    /// delivery/retransmission totals plus per-fault counters (empty when
+    /// no plan was injected). Deterministic for a given plan + seed.
+    pub fn fault_report(&self) -> openoptics_faults::FaultReport {
+        self.engine.fault_report()
+    }
+
     /// Attach a memcached app (see [`Engine::add_memcached`]).
     pub fn add_memcached(
         &mut self,

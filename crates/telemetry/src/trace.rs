@@ -65,6 +65,15 @@ pub enum TraceKind {
     FlowResume { host: HostId, dst: NodeId },
     /// A retransmission fired for a flow.
     Retransmit { flow: FlowId, kind: RetxKind },
+    /// An injected fault destroyed a packet at an optical port (link down,
+    /// stuck OCS port, or transceiver-flap corruption): the switch drained
+    /// the packet and charged it to the fault instead of transmitting.
+    FaultDrop { node: NodeId, port: PortId },
+    /// An injected fault window became active on `(node, port)` (`port` is
+    /// 0 for node-scoped faults).
+    FaultInject { node: NodeId, port: PortId },
+    /// An injected fault window cleared on `(node, port)`.
+    FaultClear { node: NodeId, port: PortId },
 }
 
 impl TraceKind {
@@ -82,6 +91,9 @@ impl TraceKind {
             TraceKind::FlowPause { .. } => "flow_pause",
             TraceKind::FlowResume { .. } => "flow_resume",
             TraceKind::Retransmit { .. } => "retransmit",
+            TraceKind::FaultDrop { .. } => "fault_drop",
+            TraceKind::FaultInject { .. } => "fault_inject",
+            TraceKind::FaultClear { .. } => "fault_clear",
         }
     }
 }
@@ -107,7 +119,10 @@ impl TraceRecord {
             TraceKind::GuardbandHold { node, port }
             | TraceKind::SliceMiss { node, port }
             | TraceKind::GuardbandDrop { node, port }
-            | TraceKind::NoCircuitDrop { node, port } => {
+            | TraceKind::NoCircuitDrop { node, port }
+            | TraceKind::FaultDrop { node, port }
+            | TraceKind::FaultInject { node, port }
+            | TraceKind::FaultClear { node, port } => {
                 let _ = write!(s, ",\"node\":{},\"port\":{}", node.0, port.0);
             }
             TraceKind::EqoSample { node, port, queue, estimate_bytes, actual_bytes } => {

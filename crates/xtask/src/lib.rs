@@ -29,6 +29,11 @@
 //!   in first-party code (tests included), stored in `lint-ratchet.toml`.
 //!   A rising count fails the lint; `--update` rewrites the file so
 //!   improvements lock in.
+//! * **doc-coverage** — undocumented `pub` items in library sources join
+//!   the same ratchet (`undocumented = n` per crate): documentation
+//!   coverage may only improve. Trait-impl methods (rustdoc inherits the
+//!   trait's docs), `pub use` re-exports (rustdoc's `missing_docs` skips
+//!   them), and test code are exempt.
 //!
 //! Any rule can be suppressed for one line with a justification:
 //!
@@ -57,6 +62,7 @@ pub const SIM_PATH_CRATES: &[&str] = &[
     "openoptics-topo",
     "openoptics-routing",
     "openoptics-workload",
+    "openoptics-faults",
 ];
 
 /// Bool-returning name prefixes that are idiomatic predicates, exempt from
@@ -93,7 +99,25 @@ pub struct Budget {
     pub expects: usize,
     /// `panic!(` sites.
     pub panics: usize,
+    /// `pub` items in library sources without a doc comment
+    /// (doc-coverage; tests, trait impls, and re-exports exempt).
+    pub undocumented: usize,
 }
+
+/// Item-introducing keywords counted by the doc-coverage ratchet. `pub use`
+/// is deliberately absent: rustdoc's `missing_docs` does not require docs
+/// on re-exports.
+const PUB_ITEMS: &[&str] = &[
+    "pub fn ",
+    "pub struct ",
+    "pub enum ",
+    "pub trait ",
+    "pub mod ",
+    "pub const ",
+    "pub static ",
+    "pub type ",
+    "pub union ",
+];
 
 /// Context for linting one file.
 pub struct FileCtx<'a> {
@@ -229,6 +253,11 @@ pub fn lint_file(ctx: &FileCtx<'_>, content: &str) -> (Vec<Finding>, Budget) {
     let split: Vec<(String, String)> = lines.iter().map(|l| split_code_comment(l)).collect();
 
     let sim_path = SIM_PATH_CRATES.contains(&ctx.crate_name);
+    // Brace-depth tracking for the doc-coverage exemption of trait-impl
+    // blocks (`impl Trait for Type { ... }`): rustdoc attributes their
+    // methods to the trait's docs, so they carry no doc comment here.
+    let mut depth = 0i64;
+    let mut trait_impl_floor: Option<i64> = None;
     let flag = |findings: &mut Vec<Finding>, idx: usize, rule: &'static str, msg: String| {
         // The annotation may ride the offending line or sit alone above it.
         let here = allow_in(&split[idx].1, rule);
@@ -336,6 +365,43 @@ pub fn lint_file(ctx: &FileCtx<'_>, content: &str) -> (Vec<Finding>, Budget) {
                         );
                     }
                 }
+            }
+        }
+
+        // doc-coverage: a `pub` item in library source needs a doc comment
+        // (or a `#[doc = ...]` attribute) right above it. Attribute lines
+        // between the docs and the item are skipped.
+        let trimmed = code.trim_start();
+        if !is_test
+            && trait_impl_floor.is_none()
+            && PUB_ITEMS.iter().any(|p| trimmed.starts_with(p))
+        {
+            let mut documented = false;
+            let mut j = idx;
+            while j > 0 {
+                j -= 1;
+                let raw = lines[j].trim_start();
+                if raw.starts_with("#[doc") || raw.starts_with("#![doc") {
+                    documented = true;
+                    break;
+                }
+                if raw.starts_with("#[") || raw == ")]" {
+                    continue;
+                }
+                documented = raw.starts_with("///");
+                break;
+            }
+            if !documented {
+                budget.undocumented += 1;
+            }
+        }
+        if trait_impl_floor.is_none() && trimmed.starts_with("impl") && code.contains(" for ") {
+            trait_impl_floor = Some(depth);
+        }
+        depth += code.matches('{').count() as i64 - code.matches('}').count() as i64;
+        if let Some(floor) = trait_impl_floor {
+            if depth <= floor && code.contains('}') {
+                trait_impl_floor = None;
             }
         }
 
@@ -447,6 +513,7 @@ pub fn parse_ratchet(content: &str) -> BTreeMap<String, Budget> {
             "unwraps" => b.unwraps = n,
             "expects" => b.expects = n,
             "panics" => b.panics = n,
+            "undocumented" => b.undocumented = n,
             _ => {}
         }
     }
@@ -461,12 +528,14 @@ pub fn render_ratchet(budgets: &BTreeMap<String, Budget>) -> String {
          # rises above its budget; after lowering a count, run\n\
          # `cargo run -p xtask -- lint --update` to lock the improvement in. Do not\n\
          # raise numbers by hand — convert the call site to Result<_, Error> or a\n\
-         # documented `expect` instead.\n",
+         # documented `expect` instead. `undocumented` counts public items in\n\
+         # library sources without a doc comment (doc-coverage): document the\n\
+         # item, don't bump the number.\n",
     );
     for (name, b) in budgets {
         out.push_str(&format!(
-            "\n[{name}]\nunwraps = {}\nexpects = {}\npanics = {}\n",
-            b.unwraps, b.expects, b.panics
+            "\n[{name}]\nunwraps = {}\nexpects = {}\npanics = {}\nundocumented = {}\n",
+            b.unwraps, b.expects, b.panics, b.undocumented
         ));
     }
     out
@@ -487,6 +556,7 @@ pub fn compare_ratchet(
             ("unwraps", got.unwraps, budget.unwraps),
             ("expects", got.expects, budget.expects),
             ("panics", got.panics, budget.panics),
+            ("undocumented", got.undocumented, budget.undocumented),
         ] {
             if got_n > max_n {
                 let hint = if missing {
@@ -495,14 +565,16 @@ pub fn compare_ratchet(
                 } else {
                     ""
                 };
+                let advice = if what == "undocumented" {
+                    "document the new public items (///)"
+                } else {
+                    "convert the new call sites to Result<_, Error> or a documented expect"
+                };
                 findings.push(Finding {
                     file: "lint-ratchet.toml".into(),
                     line: 1,
                     rule: "ratchet",
-                    msg: format!(
-                        "{name}: {what} rose to {got_n} (budget {max_n}); convert the new \
-                         call sites to Result<_, Error> or a documented expect{hint}"
-                    ),
+                    msg: format!("{name}: {what} rose to {got_n} (budget {max_n}); {advice}{hint}"),
                 });
             }
         }
@@ -710,14 +782,48 @@ mod tests {
                    }\n\
                    fn b() { panic!(\"real\"); }\n";
         let (_, b) = lint_file(&ctx("openoptics-sim", "a.rs"), src);
-        assert_eq!(b, Budget { unwraps: 2, expects: 1, panics: 2 });
+        assert_eq!(b, Budget { unwraps: 2, expects: 1, panics: 2, undocumented: 0 });
+    }
+
+    #[test]
+    fn doc_coverage_counts_undocumented_pub_items() {
+        // Documented items pass, attributes between docs and item are
+        // skipped, and `#[doc = ...]` counts as documentation.
+        let good = "/// Documented.\npub fn a() {}\n\
+                    /// Documented.\n#[derive(Debug)]\npub struct S;\n\
+                    #[doc = \"included\"]\npub mod m {}\n";
+        let (_, b) = lint_file(&ctx("openoptics-core", "src/a.rs"), good);
+        assert_eq!(b.undocumented, 0, "{b:?}");
+
+        let bare = "pub fn a() {}\npub struct S;\npub use other::Thing;\n";
+        let (_, b) = lint_file(&ctx("openoptics-core", "src/a.rs"), bare);
+        assert_eq!(b.undocumented, 2, "pub use is exempt: {b:?}");
+
+        // Trait-impl methods inherit the trait's docs; inherent-impl
+        // methods do not.
+        let impls = "impl fmt::Display for S {\n    pub fn undoc(&self) {}\n}\n\
+                     impl S {\n    pub fn also_undoc(&self) {}\n}\n";
+        let (_, b) = lint_file(&ctx("openoptics-core", "src/a.rs"), impls);
+        assert_eq!(b.undocumented, 1, "{b:?}");
+
+        // Test files and #[cfg(test)] regions contribute nothing.
+        let (_, b) = lint_file(
+            &FileCtx { crate_name: "openoptics-core", rel_path: "tests/a.rs", is_test_file: true },
+            bare,
+        );
+        assert_eq!(b.undocumented, 0, "{b:?}");
+        let in_mod = "#[cfg(test)]\nmod tests {\n    pub fn helper() {}\n}\n";
+        let (_, b) = lint_file(&ctx("openoptics-core", "src/a.rs"), in_mod);
+        assert_eq!(b.undocumented, 0, "{b:?}");
     }
 
     #[test]
     fn ratchet_round_trip_and_compare() {
         let mut counts = BTreeMap::new();
-        counts.insert("a".to_string(), Budget { unwraps: 2, expects: 1, panics: 0 });
-        counts.insert("b".to_string(), Budget { unwraps: 0, expects: 0, panics: 3 });
+        counts
+            .insert("a".to_string(), Budget { unwraps: 2, expects: 1, panics: 0, undocumented: 4 });
+        counts
+            .insert("b".to_string(), Budget { unwraps: 0, expects: 0, panics: 3, undocumented: 0 });
         let rendered = render_ratchet(&counts);
         assert_eq!(parse_ratchet(&rendered), counts);
         // Equal counts pass; a rise fails; a drop passes.
@@ -732,7 +838,8 @@ mod tests {
         assert!(compare_ratchet(&counts, &better).is_empty());
         // Unknown crate: zero budget.
         let mut extra = counts.clone();
-        extra.insert("c".to_string(), Budget { unwraps: 1, expects: 0, panics: 0 });
+        extra
+            .insert("c".to_string(), Budget { unwraps: 1, expects: 0, panics: 0, undocumented: 0 });
         let f = compare_ratchet(&counts, &extra);
         assert_eq!(f.len(), 1);
         assert!(f[0].msg.contains("missing"), "{}", f[0].msg);

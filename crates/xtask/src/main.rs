@@ -54,15 +54,16 @@ fn main() -> ExitCode {
     for f in &outcome.findings {
         eprintln!("{f}");
     }
-    let (mut u, mut e, mut p) = (0, 0, 0);
+    let (mut u, mut e, mut p, mut d) = (0, 0, 0, 0);
     for b in outcome.counts.values() {
         u += b.unwraps;
         e += b.expects;
         p += b.panics;
+        d += b.undocumented;
     }
     eprintln!(
-        "oolint: {} finding(s); ratchet counts: {u} unwraps, {e} expects, {p} panics \
-         across {} crates{}",
+        "oolint: {} finding(s); ratchet counts: {u} unwraps, {e} expects, {p} panics, \
+         {d} undocumented pub items across {} crates{}",
         outcome.findings.len(),
         outcome.counts.len(),
         if update { " (lint-ratchet.toml rewritten)" } else { "" },

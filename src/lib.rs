@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # OpenOptics (facade crate)
 //!
 //! Umbrella crate re-exporting the whole OpenOptics workspace under one
@@ -9,15 +10,28 @@
 //! architecture presets) — and see the `examples/` directory for runnable
 //! scenarios.
 
+/// The programming model: `NetConfig`, `OpenOpticsNet` (Table-1 API), the
+/// packet-level engine, and preset architectures (`archs`).
 pub use openoptics_core as core;
+/// OCS device catalog, circuits, optical schedules, clock-sync error model.
 pub use openoptics_fabric as fabric;
+/// Deterministic fault-injection plans (`FaultPlan`) and campaign reports.
+pub use openoptics_faults as faults;
+/// Host-side stack: vma segment queues, TCP/TDTCP transports, apps.
 pub use openoptics_host as host;
+/// Packet and control-message formats shared by every component.
 pub use openoptics_proto as proto;
+/// Time-expanded routing algorithms and route compilation.
 pub use openoptics_routing as routing;
+/// Discrete-event substrate: `SimTime`, event queue, seeded RNG.
 pub use openoptics_sim as sim;
+/// ToR switch model: time-flow tables, calendar queues, EQO, push-back.
 pub use openoptics_switch as switch;
+/// Zero-cost-when-disabled metrics registry and sim-time trace stream.
 pub use openoptics_telemetry as telemetry;
+/// Topology generators and traffic matrices.
 pub use openoptics_topo as topo;
+/// Flow-size distributions, load scaling, and FCT statistics.
 pub use openoptics_workload as workload;
 
 /// One-line import of the Table-1 API surface.
@@ -36,8 +50,9 @@ pub use openoptics_workload as workload;
 /// ```
 pub mod prelude {
     pub use openoptics_core::{
-        archs, ConfigError, DeployError, DispatchPolicy, Error, NetConfig, NetConfigBuilder,
-        OpenOpticsNet, PauseMode, TransportKind,
+        archs, ConfigError, DeployError, DispatchPolicy, Error, FaultCounters, FaultError,
+        FaultKind, FaultPlan, FaultPlanBuilder, FaultReport, FaultSpec, NetConfig,
+        NetConfigBuilder, OpenOpticsNet, PauseMode, TransportKind,
     };
     pub use openoptics_fabric::Circuit;
     pub use openoptics_host::apps::MemcachedParams;
@@ -50,3 +65,9 @@ pub mod prelude {
     pub use openoptics_topo::{round_robin, TrafficMatrix};
     pub use openoptics_workload::FctStats;
 }
+
+/// Doc-tests every `rust` code block in the README (the quickstart in
+/// particular), so the documented programs cannot rot.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
