@@ -47,7 +47,19 @@ const ARCH_NAMES: [&str; 7] =
     ["clos", "c-through", "jupiter", "mordia", "rotornet-vlb", "opera", "rotornet-ucmp"];
 
 fn architecture(i: usize, uplinks: u16) -> (&'static str, openoptics_core::OpenOpticsNet) {
-    let cfg = || util::testbed(TO_SLICE_NS, uplinks);
+    architecture_with_spans(i, uplinks, 0)
+}
+
+fn architecture_with_spans(
+    i: usize,
+    uplinks: u16,
+    span_sample_every: u64,
+) -> (&'static str, openoptics_core::OpenOpticsNet) {
+    let cfg = || {
+        let mut c = util::testbed(TO_SLICE_NS, uplinks);
+        c.span_sample_every = span_sample_every;
+        c
+    };
     let tm = || util::memcached_tm(8, NodeId(0));
     let net = match ARCH_NAMES[i] {
         "clos" => archs::clos(cfg()),
@@ -61,26 +73,84 @@ fn architecture(i: usize, uplinks: u16) -> (&'static str, openoptics_core::OpenO
     (ARCH_NAMES[i], net)
 }
 
+/// Architecture whose fig. 8(a) point records lifecycle spans when span
+/// capture is requested: RotorNet-VLB exercises the longest stage chain
+/// (calendar waits, guardband holds, intermediate hops).
+pub const SPAN_ARCH: &str = "rotornet-vlb";
+
+/// Lifecycle-span capture from one fig. 8(a) simulation point.
+#[derive(Clone, Debug)]
+pub struct SpanCapture {
+    /// Chrome trace-event JSON (`chrome://tracing` / Perfetto).
+    pub chrome_trace: String,
+    /// Deterministic plain-text span report (stage totals + trees).
+    pub report: String,
+    /// Wall-clock profiler report, when `--profile` installed a clock.
+    pub wall_report: Option<String>,
+}
+
 /// Fig. 8(a): memcached mice FCT distribution per architecture.
 /// `duration_ms` controls the measurement window. Architectures run as
 /// independent parallel points.
 pub fn run_mice(duration_ms: u64) -> Vec<MiceRow> {
-    par::par_map(ARCH_NAMES.len(), |i| {
-        let (name, mut net) = architecture(i, 1);
+    run_mice_with_spans(duration_ms, 0, false).0
+}
+
+/// Fig. 8(a) with lifecycle-span capture: the [`SPAN_ARCH`] point records
+/// every `span_sample_every`-th flow (0 disables capture) and returns its
+/// Chrome trace + span report alongside the rows. Spans are stamped in sim
+/// time only and the capture comes from a single point collected in index
+/// order, so the returned strings are byte-identical at any `--jobs`
+/// count. With `profile` set, that point also self-profiles in wall-clock
+/// mode (bench-only: simulation results never depend on the host clock).
+pub fn run_mice_with_spans(
+    duration_ms: u64,
+    span_sample_every: u64,
+    profile: bool,
+) -> (Vec<MiceRow>, Option<SpanCapture>) {
+    let results = par::par_map(ARCH_NAMES.len(), |i| {
+        let spans_here = span_sample_every > 0 && ARCH_NAMES[i] == SPAN_ARCH;
+        let (name, mut net) =
+            architecture_with_spans(i, 1, if spans_here { span_sample_every } else { 0 });
+        if spans_here && profile {
+            let t0 = std::time::Instant::now();
+            net.set_profiler_clock(move || t0.elapsed().as_nanos() as u64);
+        }
         let stop = SimTime::from_ms(duration_ms);
         util::attach_memcached(&mut net, stop);
         net.run_for(SimTime::from_ms(duration_ms + 5));
         par::note_net(&net);
+        let capture = if spans_here {
+            Some(SpanCapture {
+                chrome_trace: net.export_spans_chrome_trace().unwrap_or_default(),
+                report: net.export_span_report().unwrap_or_default(),
+                wall_report: net.profiler_wall_report(),
+            })
+        } else {
+            None
+        };
         let (p50, p90, p99, samples) = util::mice_percentiles(net.fct());
-        MiceRow {
+        let row = MiceRow {
             arch: name,
             p50_us: p50,
             p90_us: p90,
             p99_us: p99,
             samples,
             cdf: openoptics_workload::FctStats::cdf(&net.fct().mice_fcts(), 10),
-        }
-    })
+        };
+        (row, capture)
+    });
+    let mut capture = None;
+    let rows = results
+        .into_iter()
+        .map(|(row, c)| {
+            if c.is_some() {
+                capture = c;
+            }
+            row
+        })
+        .collect();
+    (rows, capture)
 }
 
 /// One architecture's allreduce row.

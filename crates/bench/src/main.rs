@@ -2,7 +2,7 @@
 //! evaluation.
 //!
 //! ```text
-//! experiments <id> [--quick] [--jobs N]
+//! experiments <id> [--quick] [--jobs N] [--profile]
 //!   ids: fig8a fig8b fig9 fig10 fig11 fig12 fig13 fig14
 //!        table2 table3 table4 ablations minslice faults all
 //! ```
@@ -16,12 +16,28 @@
 //! order, so the rendered output is byte-identical at any worker count —
 //! `--jobs 1` reproduces the serial behavior exactly.
 //!
+//! The fig8a run also records causal lifecycle spans on its RotorNet-VLB
+//! point (every 4th flow) and writes `fig8a_spans.json` (Chrome
+//! trace-event JSON, loadable in `chrome://tracing` or Perfetto) plus
+//! `fig8a_span_report.txt` (stage totals and per-flow trees) — both
+//! byte-identical at any `--jobs` count. `--profile` additionally
+//! self-profiles that point in wall-clock mode and prints the per-phase
+//! inclusive/exclusive table to stderr.
+//!
 //! Each experiment reports wall-clock time and engine throughput (events
 //! scheduled per second, from `EventQueue::scheduled_total`) to stderr, and
 //! the run writes a machine-readable `BENCH_engine.json` summary.
+//! Experiments that compute their figure analytically (no simulation run)
+//! carry `"analytic": true` there, so throughput gates skip them instead
+//! of reading their zero event counts as regressions.
 
 use openoptics_bench as x;
 use std::time::Instant;
+
+/// Experiments that derive their figure analytically — closed-form delay /
+/// error models, resource arithmetic — and schedule no engine events.
+/// Marked in `BENCH_engine.json` so `xtask bench-diff` skips them.
+const ANALYTIC: &[&str] = &["fig11", "fig12", "fig14", "table2", "minslice"];
 
 /// One experiment's instrumentation record.
 struct ExpStat {
@@ -33,6 +49,7 @@ struct ExpStat {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let profile = args.iter().any(|a| a == "--profile");
     if let Some(i) = args.iter().position(|a| a == "--jobs") {
         let n = args
             .get(i + 1)
@@ -54,7 +71,7 @@ fn main() {
         .map(|(_, a)| a.clone())
         .next()
         .unwrap_or_else(|| {
-            eprintln!("usage: experiments <fig8a|fig8b|fig9|fig10|fig11|fig12|fig13|fig14|table2|table3|table4|ablations|minslice|faults|all> [--quick] [--jobs N]");
+            eprintln!("usage: experiments <fig8a|fig8b|fig9|fig10|fig11|fig12|fig13|fig14|table2|table3|table4|ablations|minslice|faults|all> [--quick] [--jobs N] [--profile]");
             std::process::exit(2);
         });
     let all = which == "all";
@@ -106,8 +123,19 @@ fn main() {
         ran = true;
         section("Fig. 8a — memcached mice FCTs per architecture");
         instrument(&mut stats, "fig8a", &mut || {
-            let rows = x::fig8::run_mice(if quick { 8 } else { 40 });
+            let (rows, capture) =
+                x::fig8::run_mice_with_spans(if quick { 8 } else { 40 }, 4, profile);
             print!("{}", x::fig8::render_mice(&rows));
+            if let Some(c) = capture {
+                write_artifact("fig8a_spans.json", &c.chrome_trace);
+                write_artifact("fig8a_span_report.txt", &c.report);
+                if let Some(wall) = c.wall_report {
+                    eprintln!(
+                        "[fig8a wall-clock profile of the {} point]\n{wall}",
+                        x::fig8::SPAN_ARCH
+                    );
+                }
+            }
         });
     }
     if run("fig8b") {
@@ -251,17 +279,25 @@ fn write_bench_json(stats: &[ExpStat], overhead_pct: f64) {
     out.push_str("  \"experiments\": [\n");
     for (i, s) in stats.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"id\": \"{}\", \"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}}}{}\n",
+            "    {{\"id\": \"{}\", \"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}{}}}{}\n",
             s.id,
             s.wall_s,
             s.events,
             if s.wall_s > 0.0 { s.events as f64 / s.wall_s } else { 0.0 },
+            if ANALYTIC.contains(&s.id) { ", \"analytic\": true" } else { "" },
             if i + 1 < stats.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
-    match std::fs::write("BENCH_engine.json", &out) {
-        Ok(()) => eprintln!("[wrote BENCH_engine.json]"),
-        Err(e) => eprintln!("[could not write BENCH_engine.json: {e}]"),
+    write_artifact("BENCH_engine.json", &out);
+}
+
+/// Write one run artifact to the working directory, reporting the outcome
+/// on stderr (artifacts are best-effort: a read-only checkout must not
+/// abort the run).
+fn write_artifact(name: &str, content: &str) {
+    match std::fs::write(name, content) {
+        Ok(()) => eprintln!("[wrote {name}]"),
+        Err(e) => eprintln!("[could not write {name}: {e}]"),
     }
 }

@@ -93,6 +93,15 @@ pub struct NetConfig {
     /// but dropped so exports stay deterministic). 0 disables tracing while
     /// keeping metrics on.
     pub trace_capacity: u64,
+    /// Lifecycle-span sampling stride: record causal begin/end spans for
+    /// every Nth flow (flows whose id is congruent to `seed % N`). 0
+    /// disables span recording entirely (the default — spans never touch
+    /// the hot path unless asked for).
+    pub span_sample_every: u64,
+    /// Span-event buffer capacity. When full, *new* lifecycle trees are
+    /// skipped (and counted) but already-open spans still complete, so the
+    /// recorded stream stays well-formed.
+    pub span_capacity: u64,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -132,6 +141,8 @@ impl Default for NetConfig {
             elephant_threshold: 1_000_000,
             telemetry: true,
             trace_capacity: 4_096,
+            span_sample_every: 0,
+            span_capacity: 65_536,
             seed: 1,
         }
     }
@@ -174,6 +185,8 @@ macro_rules! for_each_config_field {
         $m!(u64 elephant_threshold);
         $m!(bool telemetry);
         $m!(u64 trace_capacity);
+        $m!(u64 span_sample_every);
+        $m!(u64 span_capacity);
         $m!(u64 seed);
     };
 }

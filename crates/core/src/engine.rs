@@ -21,6 +21,7 @@ use openoptics_host::tdtcp::TdTcpSender;
 use openoptics_host::udp::ProbeStats;
 use openoptics_host::vma::{Segment, VmaStack};
 use openoptics_host::FlowAging;
+use openoptics_obs::{Phase, Profiler, SpanEvent, Spans, Stage};
 use openoptics_proto::packet::{PacketKind, HEADER_BYTES};
 use openoptics_proto::{ControlMsg, FlowId, HostId, NodeId, Packet, PortId};
 use openoptics_routing::{compile, LookupMode, MultipathMode, Path, RoutingAlgorithm};
@@ -321,6 +322,201 @@ struct EngineTele {
     trace: Trace,
 }
 
+/// Lifecycle cursor for one in-flight sampled data packet: its root span
+/// and whichever stage span is currently open.
+struct PktCursor {
+    /// The packet's root span id.
+    span: u64,
+    /// Owning flow.
+    flow: FlowId,
+    /// Currently open stage span, if any.
+    open: Option<(Stage, u64)>,
+}
+
+/// Engine-side observability: sampled causal lifecycle spans plus the
+/// per-phase profiler. Every method early-returns on a single branch when
+/// span recording is off (and compiles away entirely without the core
+/// `obs` feature, where [`Spans`]/[`Profiler`] are zero-sized no-ops).
+struct ObsState {
+    spans: Spans,
+    profiler: Profiler,
+    /// Flow id → its root flow span.
+    flow_spans: FxHashMap<FlowId, u64>,
+    /// Packet id → lifecycle cursor.
+    cursors: FxHashMap<u64, PktCursor>,
+}
+
+impl ObsState {
+    fn new(cfg: &NetConfig) -> Self {
+        ObsState {
+            spans: Spans::bounded(cfg.span_sample_every, cfg.seed, cfg.span_capacity as usize),
+            profiler: if cfg.telemetry { Profiler::enabled() } else { Profiler::detached() },
+            flow_spans: FxHashMap::default(),
+            cursors: FxHashMap::default(),
+        }
+    }
+
+    /// Open the flow's root span, if the flow falls in the sample.
+    fn flow_begin(&mut self, flow: FlowId, now: SimTime) {
+        if !self.spans.samples(flow) || !self.spans.admit() {
+            return;
+        }
+        let s = self.spans.span_begin(now, 0, flow, 0, Stage::Flow, 0);
+        self.flow_spans.insert(flow, s);
+    }
+
+    /// Close the flow's root span (finalization raises the end further if
+    /// a retransmitted packet lands later).
+    fn flow_end(&mut self, flow: FlowId, now: SimTime) {
+        if let Some(s) = self.flow_spans.remove(&flow) {
+            self.spans.span_end(now, s, Stage::Flow);
+        }
+    }
+
+    /// Open a packet's root span under its flow, covering the host tx
+    /// queue wait `[queued_at, now]` as the first stage.
+    fn packet_begin(&mut self, flow: FlowId, pkt: u64, queued_at: SimTime, now: SimTime) {
+        if !self.spans.is_on() {
+            return;
+        }
+        let Some(&fs) = self.flow_spans.get(&flow) else { return };
+        if !self.spans.admit() {
+            return;
+        }
+        let at = queued_at.min(now);
+        let ps = self.spans.span_begin(at, fs, flow, pkt, Stage::Packet, 0);
+        let q = self.spans.span_begin(at, ps, flow, pkt, Stage::HostTxQueue, 0);
+        self.spans.span_end(now, q, Stage::HostTxQueue);
+        self.cursors.insert(pkt, PktCursor { span: ps, flow, open: None });
+    }
+
+    /// Close the packet's currently open stage span, if any, at `at`.
+    fn close_open(&mut self, pkt: u64, at: SimTime) {
+        if !self.spans.is_on() {
+            return;
+        }
+        let Some(c) = self.cursors.get_mut(&pkt) else { return };
+        if let Some((stage, s)) = c.open.take() {
+            // Dynamic close: the stage is whatever was opened last. The
+            // `span-paired` lint checks literal-stage begins; each stage
+            // opened through [`ObsState::open`] gets its literal close in
+            // one of these arms.
+            match stage {
+                Stage::CalendarWait => self.spans.span_end(at, s, Stage::CalendarWait),
+                Stage::GuardbandHold => self.spans.span_end(at, s, Stage::GuardbandHold),
+                Stage::Propagation => self.spans.span_end(at, s, Stage::Propagation),
+                Stage::Rx => self.spans.span_end(at, s, Stage::Rx),
+                other => self.spans.span_end(at, s, other),
+            }
+        }
+    }
+
+    /// Transition the packet to `stage` at `at`: closes the open stage
+    /// span (stages tile — no gaps, no overlap) and opens the next.
+    fn open(&mut self, pkt: u64, stage: Stage, at: SimTime) {
+        if !self.spans.is_on() {
+            return;
+        }
+        self.close_open(pkt, at);
+        let Some(c) = self.cursors.get_mut(&pkt) else { return };
+        let s = self.spans.span_begin(at, c.span, c.flow, pkt, stage, 0);
+        c.open = Some((stage, s));
+    }
+
+    /// Begin (or continue) a guardband hold for the packet at the head of
+    /// a held port. Repeated holds on the same head extend the same span.
+    fn hold_begin(&mut self, pkt: u64, at: SimTime) {
+        if !self.spans.is_on() {
+            return;
+        }
+        match self.cursors.get(&pkt) {
+            Some(c) if matches!(c.open, Some((Stage::GuardbandHold, _))) => {}
+            Some(_) => self.open(pkt, Stage::GuardbandHold, at),
+            None => {}
+        }
+    }
+
+    /// The packet left a queue and serializes onto the wire for `tx` ns:
+    /// closes the open wait span at `at` and records the full
+    /// serialization interval (its end is already known).
+    fn serialized(&mut self, pkt: u64, at: SimTime, tx: u64) {
+        if !self.spans.is_on() {
+            return;
+        }
+        self.close_open(pkt, at);
+        let Some(c) = self.cursors.get(&pkt) else { return };
+        let s = self.spans.span_begin(at, c.span, c.flow, pkt, Stage::Serialization, 0);
+        self.spans.span_end(at + tx, s, Stage::Serialization);
+    }
+
+    /// The packet reached its destination host: close the open stage, mark
+    /// the transport hand-off, and end the packet span.
+    fn delivered(&mut self, pkt: u64, at: SimTime) {
+        if !self.spans.is_on() {
+            return;
+        }
+        self.close_open(pkt, at);
+        if let Some(c) = self.cursors.remove(&pkt) {
+            self.spans.span_mark(at, c.span, c.flow, pkt, Stage::TcpDelivery, 0);
+            self.spans.span_end(at, c.span, Stage::Packet);
+        }
+    }
+
+    /// The packet was dropped (`site`: 1 switch, 2 no-route, 3 fabric,
+    /// 4 link queue, 5 trimmed): annotate and end the packet span.
+    fn dropped(&mut self, pkt: u64, at: SimTime, site: u64) {
+        if !self.spans.is_on() {
+            return;
+        }
+        self.close_open(pkt, at);
+        if let Some(c) = self.cursors.remove(&pkt) {
+            self.spans.span_mark(at, c.span, c.flow, pkt, Stage::Drop, site);
+            self.spans.span_end(at, c.span, Stage::Packet);
+        }
+    }
+
+    /// The packet was eaten by an injected fault (`code` =
+    /// `FaultKind::code`): annotate and end the packet span.
+    fn fault_dropped(&mut self, pkt: u64, at: SimTime, code: u64) {
+        if !self.spans.is_on() {
+            return;
+        }
+        self.close_open(pkt, at);
+        if let Some(c) = self.cursors.remove(&pkt) {
+            self.spans.span_mark(at, c.span, c.flow, pkt, Stage::FaultDrop, code);
+            self.spans.span_end(at, c.span, Stage::Packet);
+        }
+    }
+
+    /// Annotate the flow with a retransmission trigger (`code` mirrors
+    /// `RetxKind`: 1 watchdog, 2 RTO, 3 fast, 4 NACK).
+    fn retransmit_mark(&mut self, flow: FlowId, at: SimTime, code: u64) {
+        if !self.spans.is_on() {
+            return;
+        }
+        if let Some(&fs) = self.flow_spans.get(&flow) {
+            self.spans.span_mark(at, fs, flow, 0, Stage::Retransmit, code);
+        }
+    }
+}
+
+/// The profiler phase charged for an engine event.
+fn phase_of(event: &Event) -> Phase {
+    match event {
+        Event::HostTx(_) => Phase::HostTx,
+        Event::TorIngress(..) => Phase::TorIngress,
+        Event::HostRx(..) => Phase::HostRx,
+        Event::Rotate(_) => Phase::Rotate,
+        Event::PortFree(..) => Phase::PortFree,
+        Event::ElecFree(_) => Phase::ElecFree,
+        Event::DownlinkFree(_) => Phase::DownlinkFree,
+        Event::OffloadRecall(_) => Phase::OffloadRecall,
+        Event::Reinject(..) => Phase::Reinject,
+        Event::HostControl(..) => Phase::HostControl,
+        Event::Timer(_) => Phase::Timer,
+    }
+}
+
 /// The engine: all network state plus the event interpreter.
 pub struct Engine {
     /// Static configuration this engine was built from.
@@ -374,6 +570,8 @@ pub struct Engine {
     tele: EngineTele,
     /// Injected fault campaign, if any (`None` = sunny-day run).
     faults: Option<FaultRuntime>,
+    /// Lifecycle spans + phase profiler (inert unless configured).
+    obs: ObsState,
 }
 
 struct RouterSpec {
@@ -453,6 +651,7 @@ impl Engine {
             .collect();
         let elec = (0..n).map(|_| Link::new(16 * 1024 * 1024)).collect();
         let downlinks = (0..cfg.total_hosts()).map(|_| Link::new(16 * 1024 * 1024)).collect();
+        let obs = ObsState::new(&cfg);
         Engine {
             slice_cfg,
             fabric,
@@ -486,8 +685,27 @@ impl Engine {
             telemetry,
             tele,
             faults: None,
+            obs,
             cfg,
         }
+    }
+
+    /// Whether lifecycle-span recording is active for this engine.
+    pub fn has_span_recording(&self) -> bool {
+        self.obs.spans.is_on()
+    }
+
+    /// A finalized, well-formed copy of the recorded span stream at sim
+    /// time `now` (still-open spans get synthesized ends; parent ends are
+    /// extended to cover late children). Empty when spans are off.
+    pub fn span_events(&self, now: SimTime) -> Vec<SpanEvent> {
+        self.obs.spans.finalized_events(now)
+    }
+
+    /// The engine-phase profiler handle (for reports and for the bench
+    /// binary to install a wall clock into).
+    pub fn profiler(&self) -> &Profiler {
+        &self.obs.profiler
     }
 
     /// The metrics registry this engine reports into. Disabled when the
@@ -605,6 +823,8 @@ impl Engine {
                 reg.counter(name, Labels::None).set(v);
             }
         }
+        self.obs.spans.mirror_into(reg);
+        self.obs.profiler.mirror_into(reg);
     }
 
     // -- fault injection -----------------------------------------------------
@@ -762,6 +982,7 @@ impl Engine {
             TraceKind::FaultClear { node: spec.node, port: spec.port }
         };
         self.tele.trace.emit(now, kind);
+        self.obs.profiler.mark(Phase::FaultRuntime);
     }
 
     /// Whether a fault destroys the packet about to leave `(node, port)`:
@@ -1076,6 +1297,7 @@ impl Engine {
             _ => self.fct.start(id, bytes, now),
         }
         self.flows.insert(id, fs);
+        self.obs.flow_begin(id, now);
         match &self.flows[&id].transport {
             Transport::Paced => {
                 self.hosts[src.index()].backlog.push(id);
@@ -1099,7 +1321,7 @@ impl Engine {
 
     /// Queue paced-flow segments into the vma stack, respecting socket
     /// capacity (application push-back).
-    fn pump_backlog(&mut self, host: HostId) {
+    fn pump_backlog(&mut self, host: HostId, now: SimTime) {
         // Take the backlog to iterate without aliasing `self`; flows that
         // remain unfinished are collected into `still`, which becomes the
         // new backlog (reusing the taken allocation's slot keeps this a
@@ -1129,7 +1351,13 @@ impl Engine {
                 stack
                     .send(
                         dst_tor,
-                        Segment { flow: fid, dst_host: f.dst_host, bytes: len, seq: f.queued },
+                        Segment {
+                            flow: fid,
+                            dst_host: f.dst_host,
+                            bytes: len,
+                            seq: f.queued,
+                            queued_at: now,
+                        },
                     )
                     .ok();
                 f.queued += len as u64;
@@ -1170,7 +1398,7 @@ impl Engine {
                 let Some((seq, len)) = sender.next_segment(now) else { break };
                 self.hosts[src.index()]
                     .vma
-                    .send(dst_tor, Segment { flow: fid, dst_host, bytes: len, seq })
+                    .send(dst_tor, Segment { flow: fid, dst_host, bytes: len, seq, queued_at: now })
                     .ok();
                 self.hosts[src.index()].aging.record(fid, len as u64);
             },
@@ -1183,7 +1411,10 @@ impl Engine {
                     let Some((seq, len)) = sender.next_segment(now) else { break };
                     self.hosts[src.index()]
                         .vma
-                        .send(dst_tor, Segment { flow: fid, dst_host, bytes: len, seq })
+                        .send(
+                            dst_tor,
+                            Segment { flow: fid, dst_host, bytes: len, seq, queued_at: now },
+                        )
                         .ok();
                     self.hosts[src.index()].aging.record(fid, len as u64);
                 }
@@ -1211,6 +1442,7 @@ impl Engine {
         f.done = true;
         let kind = f.kind;
         let (src, dst) = (f.src_host, f.dst_host);
+        self.obs.flow_end(fid, now);
         match kind {
             FlowKind::Plain => self.fct.complete(fid, now),
             FlowKind::Chunk { collective } => {
@@ -1298,6 +1530,7 @@ impl Engine {
         if self.pick_electrical(host, &pkt) {
             self.dispatch_electrical(host, pkt, now, q);
         } else {
+            self.obs.open(pkt.id, Stage::Propagation, now);
             q.schedule_after(now, HOST_WIRE_NS, Event::TorIngress(src_tor, pkt));
         }
     }
@@ -1312,12 +1545,15 @@ impl Engine {
         q: &mut EventQueue<Event>,
     ) {
         let src_tor = self.hosts[host.index()].tor;
-        let link = &mut self.elec[src_tor.index()];
         let size = pkt.size;
-        if link.queue.push(size, pkt).is_err() {
+        let pid = pkt.id;
+        if self.elec[src_tor.index()].queue.push(size, pkt).is_err() {
             self.counters.link_drops += 1;
+            self.obs.dropped(pid, now, 4);
             return;
         }
+        self.obs.open(pid, Stage::CalendarWait, now);
+        let link = &mut self.elec[src_tor.index()];
         if !link.draining {
             link.draining = true;
             let at = link.busy_until.max(now);
@@ -1328,12 +1564,15 @@ impl Engine {
     /// Deliver a packet to a host's downlink queue at its ToR.
     #[allow(clippy::wrong_self_convention)] // "to" = toward the downlink, not a conversion
     fn to_downlink(&mut self, host: HostId, pkt: Packet, now: SimTime, q: &mut EventQueue<Event>) {
-        let link = &mut self.downlinks[host.index()];
         let size = pkt.size;
-        if link.queue.push(size, pkt).is_err() {
+        let pid = pkt.id;
+        if self.downlinks[host.index()].queue.push(size, pkt).is_err() {
             self.counters.link_drops += 1;
+            self.obs.dropped(pid, now, 4);
             return;
         }
+        self.obs.open(pid, Stage::Rx, now);
+        let link = &mut self.downlinks[host.index()];
         if !link.draining {
             link.draining = true;
             let at = link.busy_until.max(now);
@@ -1436,7 +1675,7 @@ impl Engine {
             self.pump_host(host, self.hosts[host.index()].nic_free, q);
             return;
         }
-        self.pump_backlog(host);
+        self.pump_backlog(host, now);
         let (popped, force_electrical) = match self.hosts[host.index()].vma_mice.pop_next(now) {
             Some(x) => (Some(x), true),
             None => (self.hosts[host.index()].vma.pop_next(now), false),
@@ -1456,6 +1695,7 @@ impl Engine {
                     now,
                 );
                 pkt.id = self.alloc_pkt_id();
+                self.obs.packet_begin(seg.flow, pkt.id, seg.queued_at, now);
                 let tx = self.cfg.host_link_bandwidth().tx_time_ns(pkt.size as u64).max(1);
                 self.hosts[host.index()].nic_free = now + tx;
                 if force_electrical {
@@ -1496,6 +1736,7 @@ impl Engine {
     ) {
         let src_tor_of_pkt = pkt.src;
         let dst = pkt.dst;
+        let pid = pkt.id;
         let res = self.tors[node.index()].ingress(pkt, now);
         if let Some(msg) = res.pushback {
             // Broadcast to the sender ToR's hosts after a control RTT.
@@ -1516,17 +1757,20 @@ impl Engine {
                 self.to_downlink(host, p, now, q);
             }
             IngressDecision::Enqueued { port, .. } | IngressDecision::Trimmed { port, .. } => {
+                self.obs.open(pid, Stage::CalendarWait, now);
                 if self.tors[node.index()].has_active_traffic(port) {
                     self.kick_port(node, port, now, q);
                 }
             }
             IngressDecision::Offloaded { .. } => {
+                self.obs.open(pid, Stage::CalendarWait, now);
                 if let Some(t) = self.tors[node.index()].next_offload_recall() {
                     q.schedule(t.max(now), Event::OffloadRecall(node));
                 }
             }
             IngressDecision::Dropped(reason) => {
                 self.counters.switch_drops += 1;
+                self.obs.dropped(pid, now, 1);
                 let _ = reason;
             }
             IngressDecision::NoRoute(p) => {
@@ -1540,17 +1784,25 @@ impl Engine {
                         }
                         IngressDecision::Enqueued { port, .. }
                         | IngressDecision::Trimmed { port, .. } => {
+                            self.obs.open(pid, Stage::CalendarWait, now);
                             if self.tors[node.index()].has_active_traffic(port) {
                                 self.kick_port(node, port, now, q);
                             }
                         }
                         IngressDecision::Offloaded { .. } => {
+                            self.obs.open(pid, Stage::CalendarWait, now);
                             if let Some(t) = self.tors[node.index()].next_offload_recall() {
                                 q.schedule(t.max(now), Event::OffloadRecall(node));
                             }
                         }
-                        IngressDecision::Dropped(_) => self.counters.switch_drops += 1,
-                        IngressDecision::NoRoute(_) => self.counters.no_route_drops += 1,
+                        IngressDecision::Dropped(_) => {
+                            self.counters.switch_drops += 1;
+                            self.obs.dropped(pid, now, 1);
+                        }
+                        IngressDecision::NoRoute(_) => {
+                            self.counters.no_route_drops += 1;
+                            self.obs.dropped(pid, now, 2);
+                        }
                     }
                     if let Some(msg) = res2.pushback {
                         let hosts: Vec<HostId> = (0..self.cfg.total_hosts())
@@ -1563,6 +1815,7 @@ impl Engine {
                     }
                 } else {
                     self.counters.no_route_drops += 1;
+                    self.obs.dropped(pid, now, 2);
                 }
             }
         }
@@ -1589,10 +1842,20 @@ impl Engine {
             self.counters.guardband_holds += 1;
             self.tele.guardband_holds.inc();
             self.tele.trace.emit(now, TraceKind::GuardbandHold { node, port });
+            if self.obs.spans.is_on() {
+                if let Some((pid, _)) = self.tors[node.index()].head_packet_ids(port) {
+                    self.obs.hold_begin(pid, now);
+                }
+            }
             q.schedule(resume.max(now + 1), Event::PortFree(node, port));
             return;
         }
-        match self.tors[node.index()].pop_if_fits(port, local, SLICE_END_MARGIN_NS) {
+        self.obs.profiler.enter(Phase::Drain);
+        let popped = self.tors[node.index()].pop_if_fits(port, local, SLICE_END_MARGIN_NS);
+        self.obs.profiler.exit(Phase::Drain);
+        // Every drain attempt refreshes the EQO estimate inside the switch.
+        self.obs.profiler.mark(Phase::EqoTick);
+        match popped {
             Some((pkt, tx)) => {
                 if cfg!(feature = "strict-invariants") && self.slice_cfg.num_slices > 1 {
                     // Guardband containment: the hold branch above already
@@ -1618,6 +1881,7 @@ impl Engine {
                     self.port_pending[node.index()][port.index()] = true;
                     q.schedule_after(now, tx, Event::PortFree(node, port));
                     self.counters.fault_drops += 1;
+                    let code = self.faults.as_ref().map_or(0, |f| f.specs[fi].kind.code());
                     if let Some(f) = &mut self.faults {
                         let c = &mut f.per_fault[fi];
                         if corrupted {
@@ -1627,19 +1891,24 @@ impl Engine {
                         }
                     }
                     self.tele.trace.emit(now, TraceKind::FaultDrop { node, port });
+                    self.obs.profiler.mark(Phase::FaultRuntime);
+                    self.obs.fault_dropped(pkt.id, now, code);
                     return;
                 }
                 self.tx_bytes_per_port[node.index()][port.index()] += pkt.size as u64;
                 // Port is busy for the serialization time.
                 self.port_pending[node.index()][port.index()] = true;
                 q.schedule_after(now, tx, Event::PortFree(node, port));
+                self.obs.serialized(pkt.id, now, tx);
                 match self.fabric.transit(node, port, now) {
                     openoptics_fabric::Transit::Delivered { node: peer, latency_ns, .. } => {
                         let delay = self.pipeline.delay_ns(pkt.size, &mut self.rng) + latency_ns;
+                        self.obs.open(pkt.id, Stage::Propagation, now + tx);
                         q.schedule_after(now, delay.max(tx), Event::TorIngress(peer, pkt));
                     }
                     lost => {
                         self.counters.fabric_drops += 1;
+                        self.obs.dropped(pkt.id, now + tx, 3);
                         if self.tele.trace.is_on() {
                             let kind = match lost {
                                 openoptics_fabric::Transit::Guardband => {
@@ -1680,8 +1949,13 @@ impl Engine {
                     f.per_fault[i].missed_rotations += 1;
                     f.rotation_lag[i] += 1;
                 }
+                self.obs.profiler.mark(Phase::FaultRuntime);
             }
-            None => self.tors[node.index()].rotate(now),
+            None => {
+                self.obs.profiler.enter(Phase::Rotation);
+                self.tors[node.index()].rotate(now);
+                self.obs.profiler.exit(Phase::Rotation);
+            }
         }
         let fire = now + self.slice_cfg.slice_ns;
         q.schedule(fire, Event::Rotate(node));
@@ -1729,7 +2003,10 @@ impl Engine {
             Some((len, pkt)) => {
                 let tx = bw.tx_time_ns(len as u64).max(1);
                 link.busy_until = now + tx;
-                q.schedule(link.busy_until, Event::ElecFree(node));
+                let busy_until = link.busy_until;
+                q.schedule(busy_until, Event::ElecFree(node));
+                self.obs.serialized(pkt.id, now, tx);
+                self.obs.open(pkt.id, Stage::Propagation, now + tx);
                 let host = pkt.dst_host;
                 let core = self.cfg.electrical_core_ns;
                 q.schedule_after(now, tx + core, Event::HostRx(host, pkt));
@@ -1780,6 +2057,7 @@ impl Engine {
                     // Opera-style trimming: the header made it; NACK the
                     // payload back to the source after a reverse-path delay.
                     self.counters.trimmed_received += 1;
+                    self.obs.dropped(pkt.id, now, 5);
                     q.schedule_after(
                         now,
                         5_000,
@@ -1787,6 +2065,7 @@ impl Engine {
                     );
                     return;
                 }
+                self.obs.delivered(pkt.id, now);
                 let fid = pkt.flow;
                 let Some(f) = self.flows.get_mut(&fid) else { return };
                 match &mut f.transport {
@@ -1858,6 +2137,7 @@ impl Engine {
                     self.tele
                         .trace
                         .emit(now, TraceKind::Retransmit { flow: fid, kind: RetxKind::FastRetx });
+                    self.obs.retransmit_mark(fid, now, 3);
                 }
                 if finished {
                     self.finish_flow(fid, now, q);
@@ -1947,15 +2227,21 @@ impl Engine {
     ) {
         let cur = self.tors[node.index()].abs_slice();
         let rank = abs.saturating_sub(cur) as u32;
+        let pid = pkt.id;
         let res = self.tors[node.index()].reinject_offloaded(pkt, port, rank, now);
         match res.decision {
-            IngressDecision::Enqueued { port, .. } | IngressDecision::Trimmed { port, .. }
-                if self.tors[node.index()].has_active_traffic(port) =>
-            {
-                self.kick_port(node, port, now, q);
+            IngressDecision::Enqueued { port, .. } | IngressDecision::Trimmed { port, .. } => {
+                self.obs.open(pid, Stage::CalendarWait, now);
+                if self.tors[node.index()].has_active_traffic(port) {
+                    self.kick_port(node, port, now, q);
+                }
             }
-            IngressDecision::Dropped(_) => self.counters.switch_drops += 1,
+            IngressDecision::Dropped(_) => {
+                self.counters.switch_drops += 1;
+                self.obs.dropped(pid, now, 1);
+            }
             IngressDecision::Offloaded { .. } => {
+                self.obs.open(pid, Stage::CalendarWait, now);
                 if let Some(t) = self.tors[node.index()].next_offload_recall() {
                     q.schedule(t.max(now + 1), Event::OffloadRecall(node));
                 }
@@ -2008,6 +2294,7 @@ impl Engine {
                     self.tele
                         .trace
                         .emit(now, TraceKind::Retransmit { flow: fid, kind: RetxKind::Watchdog });
+                    self.obs.retransmit_mark(fid, now, 1);
                     self.pump_host(src, now, q);
                 }
                 if let Some(f) = self.flows.get_mut(&fid) {
@@ -2042,6 +2329,7 @@ impl Engine {
                     self.tele
                         .trace
                         .emit(now, TraceKind::Retransmit { flow: fid, kind: RetxKind::Rto });
+                    self.obs.retransmit_mark(fid, now, 2);
                     self.pump_tcp(fid, now);
                     if let Some(s) = src {
                         self.pump_host(s, now, q);
@@ -2067,10 +2355,11 @@ impl Engine {
                 let dst_tor = self.hosts[dst_host.index()].tor;
                 self.hosts[src.index()]
                     .vma
-                    .send(dst_tor, Segment { flow, dst_host, bytes: len, seq })
+                    .send(dst_tor, Segment { flow, dst_host, bytes: len, seq, queued_at: now })
                     .ok();
                 self.counters.nack_retransmits += 1;
                 self.tele.trace.emit(now, TraceKind::Retransmit { flow, kind: RetxKind::Nack });
+                self.obs.retransmit_mark(flow, now, 4);
                 self.pump_host(src, now, q);
             }
             Timer::ProbeSend(t) => {
@@ -2103,6 +2392,7 @@ impl World for Engine {
         // every consumer (routing, pause state, dispatch) sees the schedule
         // that is physically active at `now`.
         self.fabric.schedule_at(now);
+        self.obs.profiler.event(phase_of(&event), now);
         match event {
             Event::HostTx(h) => self.on_host_tx(h, now, q),
             Event::TorIngress(n, p) => self.on_tor_ingress(n, p, now, q),

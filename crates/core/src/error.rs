@@ -10,6 +10,7 @@ use crate::json::JsonError;
 use crate::net::DeployError;
 use openoptics_fabric::{Circuit, LayoutError, ScheduleError};
 use openoptics_faults::FaultError;
+use openoptics_obs::ObsError;
 use openoptics_proto::NodeId;
 use openoptics_telemetry::TelemetryError;
 
@@ -27,6 +28,9 @@ pub enum Error {
     /// Fault plan rejected ([`crate::OpenOpticsNet::inject_faults`]):
     /// malformed window or a target outside the configured network.
     Fault(FaultError),
+    /// Observability request refused (span recording disabled, or the
+    /// recorded stream failed a well-formedness check).
+    Obs(ObsError),
     /// `connect()` was given a circuit from a node to itself.
     LoopbackCircuit(Circuit),
     /// `add()` named a node outside the configured network.
@@ -46,6 +50,7 @@ impl std::fmt::Display for Error {
             Error::Json(e) => write!(f, "json: {e}"),
             Error::Telemetry(e) => write!(f, "telemetry: {e}"),
             Error::Fault(e) => write!(f, "faults: {e}"),
+            Error::Obs(e) => write!(f, "obs: {e}"),
             Error::LoopbackCircuit(c) => {
                 write!(f, "loopback circuit: {:?} connects a node to itself", c)
             }
@@ -64,6 +69,7 @@ impl std::error::Error for Error {
             Error::Json(e) => Some(e),
             Error::Telemetry(e) => Some(e),
             Error::Fault(e) => Some(e),
+            Error::Obs(e) => Some(e),
             _ => None,
         }
     }
@@ -108,5 +114,11 @@ impl From<TelemetryError> for Error {
 impl From<FaultError> for Error {
     fn from(e: FaultError) -> Self {
         Error::Fault(e)
+    }
+}
+
+impl From<ObsError> for Error {
+    fn from(e: ObsError) -> Self {
+        Error::Obs(e)
     }
 }

@@ -351,6 +351,60 @@ impl OpenOpticsNet {
         Ok(self.engine.telemetry().trace().to_json_lines())
     }
 
+    /// The recorded lifecycle spans as Chrome trace-event JSON (loadable
+    /// in Perfetto / `chrome://tracing`). Requires `span_sample_every > 0`
+    /// in the configuration; errors when span recording is off. Stamped in
+    /// sim time only — byte-identical across runs and worker counts.
+    pub fn export_spans_chrome_trace(&self) -> Result<String, Error> {
+        if !self.engine.has_span_recording() {
+            return Err(openoptics_obs::ObsError::Disabled.into());
+        }
+        let events = self.engine.span_events(self.now);
+        openoptics_obs::chrome_trace(&events).map_err(|e| openoptics_obs::ObsError::from(e).into())
+    }
+
+    /// The recorded lifecycle spans as a deterministic plain-text report:
+    /// stage totals plus per-flow lifecycle trees. Errors when span
+    /// recording is off.
+    pub fn export_span_report(&self) -> Result<String, Error> {
+        if !self.engine.has_span_recording() {
+            return Err(openoptics_obs::ObsError::Disabled.into());
+        }
+        let events = self.engine.span_events(self.now);
+        openoptics_obs::span_report(&events).map_err(|e| openoptics_obs::ObsError::from(e).into())
+    }
+
+    /// The finalized lifecycle-span stream itself (for programmatic tree
+    /// reconstruction via [`openoptics_obs::build_forest`]). Empty when
+    /// span recording is off.
+    pub fn span_events(&self) -> Vec<openoptics_obs::SpanEvent> {
+        self.engine.span_events(self.now)
+    }
+
+    /// The deterministic sim-time profiler report: per engine phase, the
+    /// event count and the simulated time attributed to it. Requires
+    /// telemetry; errors when disabled.
+    pub fn profiler_report(&self) -> Result<String, Error> {
+        if !self.engine.profiler().is_on() {
+            return Err(openoptics_obs::ObsError::Disabled.into());
+        }
+        Ok(self.engine.profiler().report())
+    }
+
+    /// Install a wall-clock source for profiler self-timing (the simulator
+    /// never reads host time itself — callers inject an `Instant`-based
+    /// closure). No-op when telemetry is disabled.
+    pub fn set_profiler_clock(&self, clock: impl Fn() -> u64 + 'static) {
+        self.engine.profiler().set_clock(clock);
+    }
+
+    /// The wall-clock profiler report (inclusive/exclusive real time per
+    /// phase), or `None` when no clock was installed. Not deterministic —
+    /// for stderr self-profiling only.
+    pub fn profiler_wall_report(&self) -> Option<String> {
+        self.engine.profiler().wall_report()
+    }
+
     /// Run for `total` simulated time, taking a telemetry snapshot every
     /// `every` (and a final one at the end). The periodic-snapshot loop of
     /// a monitoring study: snapshots land at deterministic sim times.

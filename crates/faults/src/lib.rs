@@ -79,6 +79,18 @@ impl FaultKind {
         }
     }
 
+    /// Stable numeric code for trace annotations (lifecycle-span `arg`
+    /// fields, which carry only integers).
+    pub fn code(&self) -> u64 {
+        match self {
+            FaultKind::LinkDown => 1,
+            FaultKind::TransceiverFlap { .. } => 2,
+            FaultKind::OcsPortStuck => 3,
+            FaultKind::SliceCorruption => 4,
+            FaultKind::NicPauseStorm => 5,
+        }
+    }
+
     /// Whether the fault is scoped to a specific uplink port (`true`) or to
     /// the whole node (`false`, `port` ignored).
     pub fn is_port_scoped(&self) -> bool {

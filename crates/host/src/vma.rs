@@ -29,6 +29,9 @@ pub struct Segment {
     pub bytes: u32,
     /// Stream sequence of the first byte.
     pub seq: u64,
+    /// When the segment entered the host tx queue (feeds the
+    /// `host_tx_queue` lifecycle span; `SimTime::ZERO` when untracked).
+    pub queued_at: SimTime,
 }
 
 /// Per-destination pause state.
@@ -201,7 +204,7 @@ mod tests {
     use super::*;
 
     fn seg(flow: FlowId, bytes: u32, seq: u64) -> Segment {
-        Segment { flow, dst_host: HostId(9), bytes, seq }
+        Segment { flow, dst_host: HostId(9), bytes, seq, queued_at: SimTime::ZERO }
     }
 
     #[test]

@@ -1,0 +1,421 @@
+//! Sim-time (and optional wall-clock) engine profiler.
+//!
+//! Attribution model: the engine is a single-threaded event interpreter,
+//! so every handled event belongs to exactly one *phase* (one per event
+//! kind, plus nested sub-phases for rotation work, EQO ticks, port
+//! drains, and fault runtime). Events are instantaneous in sim time, so
+//! sim-time attribution is *gap based*: the simulated time that elapses
+//! between one event and the next is charged to the earlier event's phase
+//! — "the simulation advanced this far while X was the latest activity".
+//! Event counts are exact.
+//!
+//! Wall-clock mode is opt-in via an injected clock closure (the simulator
+//! itself never reads host time — the `wall-clock` oolint rule): with a
+//! clock installed the profiler also measures real nanoseconds per phase,
+//! inclusive and exclusive of nested sub-phases. Wall numbers are for the
+//! bench binary's self-profiling only and never appear in deterministic
+//! exports.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use openoptics_sim::time::SimTime;
+use openoptics_telemetry::{Labels, Registry};
+
+/// Engine phase charged for an event or a nested piece of work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Host NIC transmission opportunity (`Event::HostTx`).
+    HostTx,
+    /// Packet arrival at a ToR (`Event::TorIngress`).
+    TorIngress,
+    /// Delivery to a host (`Event::HostRx`).
+    HostRx,
+    /// Calendar-queue rotation boundary (`Event::Rotate`).
+    Rotate,
+    /// Optical port free / transmit attempt (`Event::PortFree`).
+    PortFree,
+    /// Electrical uplink free (`Event::ElecFree`).
+    ElecFree,
+    /// Host downlink free (`Event::DownlinkFree`).
+    DownlinkFree,
+    /// Buffer-offload recall sweep (`Event::OffloadRecall`).
+    OffloadRecall,
+    /// Offloaded packet reinjection (`Event::Reinject`).
+    Reinject,
+    /// Control-message delivery to a host (`Event::HostControl`).
+    HostControl,
+    /// Timer expiry (`Event::Timer`).
+    Timer,
+    /// Sub-phase of [`Phase::Rotate`]: the actual queue rotation.
+    Rotation,
+    /// Sub-phase of [`Phase::PortFree`]: EQO estimate refresh tick.
+    EqoTick,
+    /// Sub-phase of [`Phase::PortFree`]: head-of-queue drain attempt.
+    Drain,
+    /// Fault-injection runtime: window transitions and per-packet checks.
+    FaultRuntime,
+}
+
+/// Number of distinct [`Phase`] values.
+pub const PHASE_COUNT: usize = 15;
+
+/// Every phase, in display order.
+pub const PHASES: [Phase; PHASE_COUNT] = [
+    Phase::HostTx,
+    Phase::TorIngress,
+    Phase::HostRx,
+    Phase::Rotate,
+    Phase::PortFree,
+    Phase::ElecFree,
+    Phase::DownlinkFree,
+    Phase::OffloadRecall,
+    Phase::Reinject,
+    Phase::HostControl,
+    Phase::Timer,
+    Phase::Rotation,
+    Phase::EqoTick,
+    Phase::Drain,
+    Phase::FaultRuntime,
+];
+
+impl Phase {
+    fn index(self) -> usize {
+        match self {
+            Phase::HostTx => 0,
+            Phase::TorIngress => 1,
+            Phase::HostRx => 2,
+            Phase::Rotate => 3,
+            Phase::PortFree => 4,
+            Phase::ElecFree => 5,
+            Phase::DownlinkFree => 6,
+            Phase::OffloadRecall => 7,
+            Phase::Reinject => 8,
+            Phase::HostControl => 9,
+            Phase::Timer => 10,
+            Phase::Rotation => 11,
+            Phase::EqoTick => 12,
+            Phase::Drain => 13,
+            Phase::FaultRuntime => 14,
+        }
+    }
+
+    /// `component.phase` display name (also the mirrored counter name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::HostTx => "host.tx",
+            Phase::TorIngress => "tor.ingress",
+            Phase::HostRx => "host.rx",
+            Phase::Rotate => "tor.rotate",
+            Phase::PortFree => "tor.port_free",
+            Phase::ElecFree => "elec.free",
+            Phase::DownlinkFree => "host.downlink_free",
+            Phase::OffloadRecall => "tor.offload_recall",
+            Phase::Reinject => "tor.reinject",
+            Phase::HostControl => "host.control",
+            Phase::Timer => "engine.timer",
+            Phase::Rotation => "tor.rotation",
+            Phase::EqoTick => "tor.eqo_tick",
+            Phase::Drain => "tor.drain",
+            Phase::FaultRuntime => "faults.runtime",
+        }
+    }
+
+    /// Telemetry counter name for the phase's event count.
+    pub fn counter_name(&self) -> &'static str {
+        match self {
+            Phase::HostTx => "obs.phase.host_tx",
+            Phase::TorIngress => "obs.phase.tor_ingress",
+            Phase::HostRx => "obs.phase.host_rx",
+            Phase::Rotate => "obs.phase.rotate",
+            Phase::PortFree => "obs.phase.port_free",
+            Phase::ElecFree => "obs.phase.elec_free",
+            Phase::DownlinkFree => "obs.phase.downlink_free",
+            Phase::OffloadRecall => "obs.phase.offload_recall",
+            Phase::Reinject => "obs.phase.reinject",
+            Phase::HostControl => "obs.phase.host_control",
+            Phase::Timer => "obs.phase.timer",
+            Phase::Rotation => "obs.phase.rotation",
+            Phase::EqoTick => "obs.phase.eqo_tick",
+            Phase::Drain => "obs.phase.drain",
+            Phase::FaultRuntime => "obs.phase.fault_runtime",
+        }
+    }
+
+    /// Whether this is a nested sub-phase (no sim-gap attribution of its
+    /// own; wall time is measured inside its parent event).
+    pub fn is_sub(&self) -> bool {
+        matches!(self, Phase::Rotation | Phase::EqoTick | Phase::Drain | Phase::FaultRuntime)
+    }
+}
+
+/// Per-phase accumulators.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseStat {
+    /// Events (or sub-phase entries) counted.
+    pub events: u64,
+    /// Simulated ns attributed (gap model; 0 for sub-phases).
+    pub sim_ns: u64,
+    /// Wall ns, inclusive of nested sub-phases (clock mode only).
+    pub wall_incl_ns: u64,
+    /// Wall ns spent in nested sub-phases (clock mode only); exclusive
+    /// wall time is `wall_incl_ns - wall_child_ns`.
+    pub wall_child_ns: u64,
+}
+
+#[cfg(feature = "enabled")]
+type WallClock = Box<dyn Fn() -> u64>;
+
+#[cfg(feature = "enabled")]
+pub(crate) struct ProfBuf {
+    stats: RefCell<[PhaseStat; PHASE_COUNT]>,
+    /// Phase and sim-time of the most recent top-level event.
+    last: Cell<Option<(usize, SimTime)>>,
+    clock: RefCell<Option<WallClock>>,
+    /// Open wall frames: `(phase index, start, child wall accumulated)`.
+    wall_stack: RefCell<Vec<(usize, u64, u64)>>,
+}
+
+/// Handle to the profiler. Detached (inert) when profiling is off, so the
+/// per-event hook is a single branch.
+#[cfg(feature = "enabled")]
+#[derive(Clone, Default)]
+pub struct Profiler(pub(crate) Option<Rc<ProfBuf>>);
+
+/// Handle to the profiler. The `enabled` cargo feature is off: this is a
+/// zero-sized type and every method is a no-op that compiles away.
+#[cfg(not(feature = "enabled"))]
+#[derive(Clone, Copy, Default)]
+pub struct Profiler;
+
+#[cfg(feature = "enabled")]
+impl Profiler {
+    /// A handle that records nothing.
+    pub fn detached() -> Profiler {
+        Profiler(None)
+    }
+
+    /// A recording handle (sim-time attribution; wall clock not installed).
+    pub fn enabled() -> Profiler {
+        Profiler(Some(Rc::new(ProfBuf {
+            stats: RefCell::new([PhaseStat::default(); PHASE_COUNT]),
+            last: Cell::new(None),
+            clock: RefCell::new(None),
+            wall_stack: RefCell::new(Vec::new()),
+        })))
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Install a wall-clock source (monotonic ns). The simulator never
+    /// reads host time itself; the bench binary injects `Instant`-based
+    /// closures here for self-profiling runs.
+    pub fn set_clock(&self, clock: impl Fn() -> u64 + 'static) {
+        if let Some(b) = &self.0 {
+            *b.clock.borrow_mut() = Some(Box::new(clock));
+        }
+    }
+
+    /// Whether a wall clock is installed.
+    pub fn has_clock(&self) -> bool {
+        self.0.as_ref().is_some_and(|b| b.clock.borrow().is_some())
+    }
+
+    /// Top-level hook: one call per dispatched engine event. Charges the
+    /// sim-time gap since the previous event to that event's phase, then
+    /// makes `phase` current.
+    #[inline]
+    pub fn event(&self, phase: Phase, now: SimTime) {
+        let Some(b) = &self.0 else { return };
+        let idx = phase.index();
+        {
+            let mut stats = b.stats.borrow_mut();
+            if let Some((prev, at)) = b.last.get() {
+                stats[prev].sim_ns += now.saturating_since(at);
+            }
+            stats[idx].events += 1;
+        }
+        b.last.set(Some((idx, now)));
+        if b.clock.borrow().is_some() {
+            // Close whatever frames the previous event left open and open
+            // the new top-level frame.
+            let t = b.clock.borrow().as_ref().map_or(0, |c| c());
+            let mut stack = b.wall_stack.borrow_mut();
+            while let Some((p, start, child)) = stack.pop() {
+                let elapsed = t.saturating_sub(start);
+                let mut stats = b.stats.borrow_mut();
+                stats[p].wall_incl_ns += elapsed;
+                stats[p].wall_child_ns += child;
+                if let Some((_, _, parent_child)) = stack.last_mut() {
+                    *parent_child += elapsed;
+                }
+            }
+            stack.push((idx, t, 0));
+        }
+    }
+
+    /// Enter a nested sub-phase (counts it; starts a wall frame when a
+    /// clock is installed). Pair with [`Profiler::exit`].
+    #[inline]
+    pub fn enter(&self, sub: Phase) {
+        let Some(b) = &self.0 else { return };
+        let idx = sub.index();
+        b.stats.borrow_mut()[idx].events += 1;
+        if b.clock.borrow().is_some() {
+            let t = b.clock.borrow().as_ref().map_or(0, |c| c());
+            b.wall_stack.borrow_mut().push((idx, t, 0));
+        }
+    }
+
+    /// Leave the most recent sub-phase frame opened with [`Profiler::enter`].
+    #[inline]
+    pub fn exit(&self, sub: Phase) {
+        let Some(b) = &self.0 else { return };
+        if b.clock.borrow().is_none() {
+            return;
+        }
+        let idx = sub.index();
+        let t = b.clock.borrow().as_ref().map_or(0, |c| c());
+        let mut stack = b.wall_stack.borrow_mut();
+        if let Some(&(p, start, child)) = stack.last() {
+            if p == idx {
+                stack.pop();
+                let elapsed = t.saturating_sub(start);
+                let mut stats = b.stats.borrow_mut();
+                stats[p].wall_incl_ns += elapsed;
+                stats[p].wall_child_ns += child;
+                if let Some((_, _, parent_child)) = stack.last_mut() {
+                    *parent_child += elapsed;
+                }
+            }
+        }
+    }
+
+    /// Count a sub-phase occurrence without timing it.
+    #[inline]
+    pub fn mark(&self, sub: Phase) {
+        if let Some(b) = &self.0 {
+            b.stats.borrow_mut()[sub.index()].events += 1;
+        }
+    }
+
+    /// Snapshot of every phase's accumulators, in [`PHASES`] order.
+    pub fn stats(&self) -> Vec<(Phase, PhaseStat)> {
+        match &self.0 {
+            Some(b) => {
+                let stats = b.stats.borrow();
+                PHASES.iter().map(|p| (*p, stats[p.index()])).collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Deterministic sim-time report: per phase, event count and simulated
+    /// ns attributed. Byte-identical for identical runs at any worker
+    /// count; wall numbers are deliberately excluded.
+    pub fn report(&self) -> String {
+        let mut out = String::from("phase                events      sim_ns\n");
+        for (p, s) in self.stats() {
+            let marker = if p.is_sub() { "  - " } else { "" };
+            out.push_str(&format!(
+                "{:<20} {:>9} {:>11}\n",
+                format!("{marker}{}", p.name()),
+                s.events,
+                s.sim_ns
+            ));
+        }
+        out
+    }
+
+    /// Wall-clock report (inclusive/exclusive ns per phase), or `None`
+    /// when no clock was installed. Not deterministic — stderr only.
+    pub fn wall_report(&self) -> Option<String> {
+        if !self.has_clock() {
+            return None;
+        }
+        let mut out = String::from("phase                events   wall_incl_ns   wall_excl_ns\n");
+        for (p, s) in self.stats() {
+            let marker = if p.is_sub() { "  - " } else { "" };
+            out.push_str(&format!(
+                "{:<20} {:>9} {:>13} {:>13}\n",
+                format!("{marker}{}", p.name()),
+                s.events,
+                s.wall_incl_ns,
+                s.wall_incl_ns.saturating_sub(s.wall_child_ns)
+            ));
+        }
+        Some(out)
+    }
+
+    /// Mirror per-phase event counts into the telemetry registry.
+    pub fn mirror_into(&self, reg: &Registry) {
+        for (p, s) in self.stats() {
+            reg.counter(p.counter_name(), Labels::None).set(s.events);
+        }
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+impl Profiler {
+    /// A handle that records nothing.
+    pub fn detached() -> Profiler {
+        Profiler
+    }
+
+    /// No-op constructor: the `enabled` feature is compiled out.
+    pub fn enabled() -> Profiler {
+        Profiler
+    }
+
+    /// Always `false` with the `enabled` feature compiled out.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        false
+    }
+
+    /// No-op.
+    pub fn set_clock(&self, _clock: impl Fn() -> u64 + 'static) {}
+
+    /// Always `false` with the `enabled` feature compiled out.
+    pub fn has_clock(&self) -> bool {
+        false
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn event(&self, _phase: Phase, _now: SimTime) {}
+
+    /// No-op.
+    #[inline]
+    pub fn enter(&self, _sub: Phase) {}
+
+    /// No-op.
+    #[inline]
+    pub fn exit(&self, _sub: Phase) {}
+
+    /// No-op.
+    #[inline]
+    pub fn mark(&self, _sub: Phase) {}
+
+    /// Always empty with the `enabled` feature compiled out.
+    pub fn stats(&self) -> Vec<(Phase, PhaseStat)> {
+        Vec::new()
+    }
+
+    /// Always the empty header with the `enabled` feature compiled out.
+    pub fn report(&self) -> String {
+        String::from("phase                events      sim_ns\n")
+    }
+
+    /// Always `None` with the `enabled` feature compiled out.
+    pub fn wall_report(&self) -> Option<String> {
+        None
+    }
+
+    /// No-op.
+    pub fn mirror_into(&self, _reg: &Registry) {}
+}

@@ -18,7 +18,7 @@ use crate::offload::{OffloadBook, OffloadPolicy};
 use crate::pushback::PushbackGen;
 use crate::tft::TimeFlowTable;
 use openoptics_proto::packet::HEADER_BYTES;
-use openoptics_proto::{ControlMsg, NodeId, Packet, PortId};
+use openoptics_proto::{ControlMsg, FlowId, NodeId, Packet, PortId};
 use openoptics_routing::RouteEntry;
 use openoptics_sim::rate::Bandwidth;
 use openoptics_sim::time::{SimTime, SliceConfig, SliceIndex};
@@ -571,6 +571,12 @@ impl ToRSwitch {
     /// Whether `port`'s active queue has a packet waiting.
     pub fn has_active_traffic(&self, port: PortId) -> bool {
         self.ports[port.index()].active_bytes() > 0
+    }
+
+    /// Packet and flow id of the head of `port`'s active queue, if any —
+    /// a non-destructive peek for observability (guardband-hold spans).
+    pub fn head_packet_ids(&self, port: PortId) -> Option<(u64, FlowId)> {
+        self.ports[port.index()].peek_active().map(|(_, p)| (p.id, p.flow))
     }
 
     /// Offload batches due for recall at `now` (engine re-injects them

@@ -25,6 +25,12 @@
 //!   `has_*`, … are exempt).
 //! * **trace-complete** — every `TraceKind` variant must be handled by the
 //!   trace stream's `name()` and `to_json()` match arms.
+//! * **span-paired** — every `span_begin(..., Stage::X, ...)` call site
+//!   with a literal stage must have a matching `span_end(..., Stage::X)`
+//!   somewhere in the same crate; a begun lifecycle stage that no code
+//!   path closes leaks open spans into every export. Calls whose stage is
+//!   a variable (dynamic closes) and the `fn span_begin`/`fn span_end`
+//!   definitions themselves are exempt.
 //! * **ratchet** — counted budgets for `.unwrap()` / `.expect(` / `panic!(`
 //!   in first-party code (tests included), stored in `lint-ratchet.toml`.
 //!   A rising count fails the lint; `--update` rewrites the file so
@@ -63,6 +69,7 @@ pub const SIM_PATH_CRATES: &[&str] = &[
     "openoptics-routing",
     "openoptics-workload",
     "openoptics-faults",
+    "openoptics-obs",
 ];
 
 /// Bool-returning name prefixes that are idiomatic predicates, exempt from
@@ -415,6 +422,111 @@ pub fn lint_file(ctx: &FileCtx<'_>, content: &str) -> (Vec<Finding>, Budget) {
     (findings, budget)
 }
 
+/// One `span_begin`/`span_end` call site with a literal `Stage::` argument,
+/// collected per crate for the `span-paired` rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSite {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line of the call.
+    pub line: usize,
+    /// Stage identifier (`Flow`, `CalendarWait`, ...).
+    pub stage: String,
+    /// Whether the call opens the span (`span_begin`) or closes it.
+    pub is_begin: bool,
+}
+
+/// First `Stage::Ident` literal at or after byte offset `from` in `code`.
+fn stage_literal_after(code: &str, from: usize) -> Option<String> {
+    let pos = code.get(from..)?.find("Stage::")? + from + "Stage::".len();
+    let ident: String =
+        code[pos..].chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+    if ident.is_empty() {
+        None
+    } else {
+        Some(ident)
+    }
+}
+
+/// Collect `span_begin`/`span_end` call sites with literal stages from one
+/// file. Definitions (`fn span_begin`) are skipped, calls whose stage is a
+/// variable are exempt (dynamic closes), and an
+/// `// oolint: allow(span-paired, reason)` annotation drops the site. The
+/// returned findings are malformed annotations only; pairing itself is
+/// checked per crate by [`check_span_pairing`].
+pub fn collect_span_sites(ctx: &FileCtx<'_>, content: &str) -> (Vec<Finding>, Vec<SpanSite>) {
+    let mut findings = Vec::new();
+    let mut sites = Vec::new();
+    let split: Vec<(String, String)> = content.lines().map(split_code_comment).collect();
+    for idx in 0..split.len() {
+        let code = &split[idx].0;
+        for (needle, is_begin) in [("span_begin(", true), ("span_end(", false)] {
+            let Some(call) = code.find(needle) else { continue };
+            // Skip the API definitions in openoptics-obs itself.
+            if code.contains("fn span_begin") || code.contains("fn span_end") {
+                continue;
+            }
+            // The stage argument rides the call line, or — for a call
+            // whose argument list spans lines (no `;` yet) — one of the
+            // next three. No literal found means the stage is a variable:
+            // a dynamic close, exempt by design.
+            let mut stage = stage_literal_after(code, call + needle.len());
+            if stage.is_none() && !code[call..].contains(';') {
+                for next in split.iter().skip(idx + 1).take(3) {
+                    stage = stage_literal_after(&next.0, 0);
+                    if stage.is_some() || next.0.contains(';') {
+                        break;
+                    }
+                }
+            }
+            let Some(stage) = stage else { continue };
+            let here = allow_in(&split[idx].1, "span-paired");
+            let above = if idx > 0 && split[idx - 1].0.trim().is_empty() {
+                allow_in(&split[idx - 1].1, "span-paired")
+            } else {
+                None
+            };
+            match here.or(above) {
+                Some(true) => continue,
+                Some(false) => findings.push(Finding {
+                    file: ctx.rel_path.to_string(),
+                    line: idx + 1,
+                    rule: "span-paired",
+                    msg: "allow(span-paired) annotation needs a justification".into(),
+                }),
+                None => {}
+            }
+            sites.push(SpanSite { file: ctx.rel_path.to_string(), line: idx + 1, stage, is_begin });
+        }
+    }
+    (findings, sites)
+}
+
+/// Pairing check over one crate's collected [`SpanSite`]s: every begun
+/// literal stage needs at least one literal `span_end` for the same stage
+/// somewhere in the crate.
+pub fn check_span_pairing(crate_name: &str, sites: &[SpanSite]) -> Vec<Finding> {
+    let ends: std::collections::BTreeSet<&str> =
+        sites.iter().filter(|s| !s.is_begin).map(|s| s.stage.as_str()).collect();
+    let mut findings = Vec::new();
+    for s in sites.iter().filter(|s| s.is_begin) {
+        if !ends.contains(s.stage.as_str()) {
+            findings.push(Finding {
+                file: s.file.clone(),
+                line: s.line,
+                rule: "span-paired",
+                msg: format!(
+                    "span_begin(Stage::{stage}) has no span_end(Stage::{stage}) anywhere in \
+                     crate {crate_name}; every begun stage needs a close path (dynamic closes \
+                     via a variable stage are exempt)",
+                    stage = s.stage
+                ),
+            });
+        }
+    }
+    findings
+}
+
 /// Completeness check: every `TraceKind` variant must appear in at least
 /// two match arms outside the enum definition (the `name()` mapping and the
 /// `to_json()` field renderer).
@@ -582,6 +694,114 @@ pub fn compare_ratchet(
     findings
 }
 
+/// One experiment row parsed from a `BENCH_engine.json` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Experiment id (`fig8a`, `table3`, ...).
+    pub id: String,
+    /// Events scheduled during the experiment.
+    pub events: u64,
+    /// Engine throughput, events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Whether the experiment is analytic: it runs no simulation, so its
+    /// throughput carries no signal and is exempt from the regression gate.
+    pub analytic: bool,
+}
+
+/// String value of `"key": "..."` inside one flattened JSON object.
+fn field_str(obj: &str, key: &str) -> Option<String> {
+    let k = format!("\"{key}\"");
+    let pos = obj.find(&k)? + k.len();
+    let rest = obj[pos..].trim_start().strip_prefix(':')?.trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Numeric value of `"key": n` inside one flattened JSON object.
+fn field_num(obj: &str, key: &str) -> Option<f64> {
+    let k = format!("\"{key}\"");
+    let pos = obj.find(&k)? + k.len();
+    let rest = obj[pos..].trim_start().strip_prefix(':')?.trim_start();
+    let num: String =
+        rest.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+    num.parse().ok()
+}
+
+/// Parse the `experiments` array of a `BENCH_engine.json` report (the
+/// format written by the `openoptics-bench` `experiments` binary). A
+/// deliberately small hand parser — the report is first-party and flat —
+/// so the gate builds offline with no JSON dependency.
+pub fn parse_bench_json(content: &str) -> Result<Vec<BenchRow>, String> {
+    let start = content.find("\"experiments\"").ok_or("no \"experiments\" key")?;
+    let rest = &content[start..];
+    let open = rest.find('[').ok_or("no experiments array")?;
+    let close = rest.find(']').ok_or("unterminated experiments array")?;
+    if close < open {
+        return Err("malformed experiments array".into());
+    }
+    let mut rows = Vec::new();
+    for obj in rest[open + 1..close].split('{').skip(1) {
+        let obj = obj.split('}').next().unwrap_or("");
+        let id = field_str(obj, "id").ok_or_else(|| format!("experiment without id: {obj:?}"))?;
+        rows.push(BenchRow {
+            id,
+            events: field_num(obj, "events").unwrap_or(0.0).max(0.0) as u64,
+            events_per_sec: field_num(obj, "events_per_sec").unwrap_or(0.0),
+            analytic: obj.contains("\"analytic\": true") || obj.contains("\"analytic\":true"),
+        });
+    }
+    Ok(rows)
+}
+
+/// Outcome of comparing two bench reports.
+pub struct BenchDiffOutcome {
+    /// Human-readable comparison lines, one per experiment.
+    pub lines: Vec<String>,
+    /// Regressions (and missing experiments) beyond what the gate allows.
+    pub failures: Vec<String>,
+}
+
+/// Compare per-experiment engine throughput between an `old` (baseline)
+/// and `new` `BENCH_engine.json` report. Analytic experiments and rows
+/// with zero events on either side are reported but not gated; a
+/// throughput drop of more than `max_regress_pct` percent — or an
+/// experiment vanishing from the new report — is a failure.
+pub fn bench_diff(old: &[BenchRow], new: &[BenchRow], max_regress_pct: f64) -> BenchDiffOutcome {
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    for o in old {
+        let Some(n) = new.iter().find(|n| n.id == o.id) else {
+            failures.push(format!("{}: present in baseline but missing from new report", o.id));
+            continue;
+        };
+        if o.analytic || n.analytic || o.events == 0 || n.events == 0 || o.events_per_sec <= 0.0 {
+            lines.push(format!("{:<10} skipped (analytic or no engine events)", o.id));
+            continue;
+        }
+        let delta_pct = (n.events_per_sec / o.events_per_sec - 1.0) * 100.0;
+        let regressed = -delta_pct > max_regress_pct;
+        lines.push(format!(
+            "{:<10} {:>12.0} -> {:>12.0} events/s ({:+.1}%){}",
+            o.id,
+            o.events_per_sec,
+            n.events_per_sec,
+            delta_pct,
+            if regressed { "  REGRESSED" } else { "" }
+        ));
+        if regressed {
+            failures.push(format!(
+                "{}: events/sec fell {:.1}% (from {:.0} to {:.0}; allowed {max_regress_pct}%)",
+                o.id, -delta_pct, o.events_per_sec, n.events_per_sec
+            ));
+        }
+    }
+    for n in new {
+        if !old.iter().any(|o| o.id == n.id) {
+            lines.push(format!("{:<10} new experiment (no baseline)", n.id));
+        }
+    }
+    BenchDiffOutcome { lines, failures }
+}
+
 /// Recursively collect `.rs` files under `dir` (skipping `target/`).
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     if !dir.exists() {
@@ -656,6 +876,7 @@ pub fn run_lint(root: &Path, update: bool) -> std::io::Result<LintOutcome> {
     for dir in &crate_dirs {
         let name = package_name(dir)?;
         let budget = counts.entry(name.clone()).or_default();
+        let mut span_sites: Vec<SpanSite> = Vec::new();
         let subdirs: &[&str] =
             if *dir == root { &["src", "tests", "examples"] } else { &["src", "tests", "benches"] };
         for sub in subdirs {
@@ -671,11 +892,16 @@ pub fn run_lint(root: &Path, update: bool) -> std::io::Result<LintOutcome> {
                 budget.unwraps += b.unwraps;
                 budget.expects += b.expects;
                 budget.panics += b.panics;
+                budget.undocumented += b.undocumented;
                 if rel.ends_with("telemetry/src/trace.rs") {
                     findings.append(&mut check_trace_completeness(&rel, &content));
                 }
+                let (mut sf, mut ss) = collect_span_sites(&ctx, &content);
+                findings.append(&mut sf);
+                span_sites.append(&mut ss);
             }
         }
+        findings.extend(check_span_pairing(&name, &span_sites));
     }
 
     let ratchet_path = root.join("lint-ratchet.toml");
@@ -843,6 +1069,105 @@ mod tests {
         let f = compare_ratchet(&counts, &extra);
         assert_eq!(f.len(), 1);
         assert!(f[0].msg.contains("missing"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn span_pairing_requires_matching_end() {
+        let paired = "let s = spans.span_begin(now, 0, f, p, Stage::Rx, 0);\n\
+                      spans.span_end(now, s, Stage::Rx);\n";
+        let (f, sites) = collect_span_sites(&ctx("openoptics-core", "a.rs"), paired);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(sites.len(), 2);
+        assert!(check_span_pairing("openoptics-core", &sites).is_empty());
+
+        let unpaired = "let s = spans.span_begin(now, 0, f, p, Stage::Rx, 0);\n";
+        let (_, sites) = collect_span_sites(&ctx("openoptics-core", "a.rs"), unpaired);
+        let findings = check_span_pairing("openoptics-core", &sites);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "span-paired");
+        assert!(findings[0].msg.contains("Stage::Rx"), "{}", findings[0].msg);
+    }
+
+    #[test]
+    fn span_pairing_exempts_definitions_dynamic_and_allowed() {
+        // The API definitions themselves are not call sites.
+        let defs = "pub fn span_begin(&self, at: SimTime, stage: Stage) -> u64 {\n\
+                    pub fn span_end(&self, at: SimTime, stage: Stage) {}\n";
+        let (_, sites) = collect_span_sites(&ctx("openoptics-obs", "a.rs"), defs);
+        assert!(sites.is_empty(), "{sites:?}");
+
+        // A variable stage is a dynamic close: exempt, and a Stage literal
+        // on a later line must not be misattributed to it.
+        let dynamic = "spans.span_begin(now, 0, f, p, stage, 0);\n\
+                       let x = Stage::Rx;\n";
+        let (_, sites) = collect_span_sites(&ctx("openoptics-core", "a.rs"), dynamic);
+        assert!(sites.is_empty(), "{sites:?}");
+
+        // Multi-line calls find the stage on a following line.
+        let multiline = "let s = spans.span_begin(\n    now, 0, f, p,\n    Stage::Rx,\n    0);\n";
+        let (_, sites) = collect_span_sites(&ctx("openoptics-core", "a.rs"), multiline);
+        assert_eq!(sites.len(), 1, "{sites:?}");
+        assert_eq!(sites[0].stage, "Rx");
+
+        // An allow annotation with a reason drops the site; without one it
+        // is a finding.
+        let allowed = "spans.span_begin(now, 0, f, p, Stage::Rx, 0); \
+                       // oolint: allow(span-paired, closed dynamically elsewhere)\n";
+        let (f, sites) = collect_span_sites(&ctx("openoptics-core", "a.rs"), allowed);
+        assert!(f.is_empty() && sites.is_empty(), "{f:?} {sites:?}");
+        let bare = "spans.span_begin(now, 0, f, p, Stage::Rx, 0); // oolint: allow(span-paired)\n";
+        let (f, _) = collect_span_sites(&ctx("openoptics-core", "a.rs"), bare);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].msg.contains("justification"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn bench_json_parses_rows_and_analytic_flag() {
+        let json = "{\n  \"jobs\": 1,\n  \"experiments\": [\n    \
+                    {\"id\": \"fig8a\", \"wall_s\": 0.012, \"events\": 47932, \
+                     \"events_per_sec\": 3979975},\n    \
+                    {\"id\": \"fig11\", \"wall_s\": 0.001, \"events\": 0, \
+                     \"events_per_sec\": 0, \"analytic\": true}\n  ]\n}\n";
+        let rows = parse_bench_json(json).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].id, "fig8a");
+        assert_eq!(rows[0].events, 47932);
+        assert!(!rows[0].analytic);
+        assert!((rows[0].events_per_sec - 3979975.0).abs() < 0.5);
+        assert_eq!(rows[1].id, "fig11");
+        assert!(rows[1].analytic);
+        assert!(parse_bench_json("{}").is_err());
+    }
+
+    #[test]
+    fn bench_diff_gates_regressions_only() {
+        let row = |id: &str, events: u64, eps: f64, analytic: bool| BenchRow {
+            id: id.into(),
+            events,
+            events_per_sec: eps,
+            analytic,
+        };
+        let old = vec![
+            row("fig8a", 1000, 1000.0, false),
+            row("fig9", 1000, 1000.0, false),
+            row("fig11", 0, 0.0, true),
+            row("gone", 10, 10.0, false),
+        ];
+        let new = vec![
+            row("fig8a", 1000, 950.0, false), // -5%: within a 10% gate
+            row("fig9", 1000, 800.0, false),  // -20%: regression
+            row("fig11", 0, 0.0, true),       // analytic: never gated
+            row("extra", 10, 10.0, false),    // new experiment: informational
+        ];
+        let out = bench_diff(&old, &new, 10.0);
+        assert_eq!(out.failures.len(), 2, "{:?}", out.failures);
+        assert!(out.failures.iter().any(|f| f.starts_with("fig9:")), "{:?}", out.failures);
+        assert!(out.failures.iter().any(|f| f.starts_with("gone:")), "{:?}", out.failures);
+        assert!(out.lines.iter().any(|l| l.contains("REGRESSED")), "{:?}", out.lines);
+        assert!(out.lines.iter().any(|l| l.contains("skipped")), "{:?}", out.lines);
+        assert!(out.lines.iter().any(|l| l.contains("new experiment")), "{:?}", out.lines);
+        // Improvements and within-gate noise pass.
+        assert!(bench_diff(&new[..1], &old[..1], 10.0).failures.is_empty());
     }
 
     #[test]

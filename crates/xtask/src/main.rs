@@ -1,9 +1,11 @@
-//! Workspace task runner. The only task today is `lint` (alias `oolint`),
-//! the determinism & robustness pass described in [`xtask`]'s crate docs.
+//! Workspace task runner: `lint` (alias `oolint`), the determinism &
+//! robustness pass described in [`xtask`]'s crate docs, and `bench-diff`,
+//! the engine-throughput regression gate over `BENCH_engine.json` reports.
 //!
 //! ```text
-//! cargo run -p xtask -- lint            # check (CI hard gate)
-//! cargo run -p xtask -- lint --update   # rewrite lint-ratchet.toml
+//! cargo run -p xtask -- lint                 # check (CI hard gate)
+//! cargo run -p xtask -- lint --update        # rewrite lint-ratchet.toml
+//! cargo run -p xtask -- bench-diff old.json new.json --max-regress 10
 //! ```
 
 use std::path::PathBuf;
@@ -15,15 +17,29 @@ fn workspace_root() -> PathBuf {
     manifest.parent().and_then(|p| p.parent()).map(PathBuf::from).unwrap_or(manifest)
 }
 
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo run -p xtask -- lint [--update] [--root PATH]\n       \
+         cargo run -p xtask -- bench-diff <old.json> <new.json> [--max-regress PCT]"
+    );
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") | Some("oolint") => lint_cmd(&args[1..]),
+        Some("bench-diff") => bench_diff_cmd(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn lint_cmd(args: &[String]) -> ExitCode {
     let mut update = false;
     let mut root = workspace_root();
-    let mut task = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "lint" | "oolint" => task = Some("lint"),
             "--update" => update = true,
             "--root" => match it.next() {
                 Some(p) => root = PathBuf::from(p),
@@ -34,14 +50,9 @@ fn main() -> ExitCode {
             },
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: cargo run -p xtask -- lint [--update] [--root PATH]");
-                return ExitCode::FAILURE;
+                return usage();
             }
         }
-    }
-    if task != Some("lint") {
-        eprintln!("usage: cargo run -p xtask -- lint [--update] [--root PATH]");
-        return ExitCode::FAILURE;
     }
 
     let outcome = match xtask::run_lint(&root, update) {
@@ -71,6 +82,58 @@ fn main() -> ExitCode {
     if outcome.findings.is_empty() {
         ExitCode::SUCCESS
     } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn bench_diff_cmd(args: &[String]) -> ExitCode {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut max_regress = 10.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--max-regress" => {
+                let Some(pct) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--max-regress expects a percentage");
+                    return ExitCode::FAILURE;
+                };
+                max_regress = pct;
+            }
+            other if !other.starts_with("--") => paths.push(a),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    let [old_path, new_path] = paths[..] else {
+        return usage();
+    };
+    let load = |path: &String| -> Result<Vec<xtask::BenchRow>, String> {
+        let content =
+            std::fs::read_to_string(path).map_err(|e| format!("{path}: read failed: {e}"))?;
+        xtask::parse_bench_json(&content).map_err(|e| format!("{path}: {e}"))
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (o, n) => {
+            for r in [o.err(), n.err()].into_iter().flatten() {
+                eprintln!("bench-diff: {r}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = xtask::bench_diff(&old, &new, max_regress);
+    for l in &out.lines {
+        println!("{l}");
+    }
+    if out.failures.is_empty() {
+        println!("bench-diff: ok (gate: {max_regress}% on events/sec)");
+        ExitCode::SUCCESS
+    } else {
+        for f in &out.failures {
+            eprintln!("bench-diff: FAIL {f}");
+        }
         ExitCode::FAILURE
     }
 }

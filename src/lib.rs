@@ -19,6 +19,9 @@ pub use openoptics_fabric as fabric;
 pub use openoptics_faults as faults;
 /// Host-side stack: vma segment queues, TCP/TDTCP transports, apps.
 pub use openoptics_host as host;
+/// Causal lifecycle spans, the sim-time profiler, and Chrome/Perfetto
+/// trace export.
+pub use openoptics_obs as obs;
 /// Packet and control-message formats shared by every component.
 pub use openoptics_proto as proto;
 /// Time-expanded routing algorithms and route compilation.
