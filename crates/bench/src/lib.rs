@@ -15,6 +15,8 @@
 //! reproduction target (see EXPERIMENTS.md).
 
 pub mod ablations;
+/// Event-queue drain micro-benchmark: batched `pop_before` vs `peek`+`pop`.
+pub mod drainbench;
 pub mod faults;
 pub mod fig10;
 pub mod fig11;

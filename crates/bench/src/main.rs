@@ -2,7 +2,7 @@
 //! evaluation.
 //!
 //! ```text
-//! experiments <id> [--quick] [--jobs N] [--profile]
+//! experiments <id> [--quick] [--jobs N] [--workers N] [--profile]
 //!   ids: fig8a fig8b fig9 fig10 fig11 fig12 fig13 fig14
 //!        table2 table3 table4 ablations minslice faults all
 //! ```
@@ -15,6 +15,11 @@
 //! across a `std::thread::scope` pool; results are collected in original
 //! order, so the rendered output is byte-identical at any worker count —
 //! `--jobs 1` reproduces the serial behavior exactly.
+//!
+//! `--workers N` sets `NetConfig::workers` on every simulated network
+//! (default 1): `> 1` routes each run through conservative-lookahead
+//! epochs, the synchronization structure of the sharded engine. Output is
+//! byte-identical at any value — that invariant is CI-gated.
 //!
 //! The fig8a run also records causal lifecycle spans on its RotorNet-VLB
 //! point (every 4th flow) and writes `fig8a_spans.json` (Chrome
@@ -44,6 +49,23 @@ struct ExpStat {
     id: &'static str,
     wall_s: f64,
     events: u64,
+    /// Process peak RSS (VmHWM) observed when the experiment finished, MB.
+    /// The high-water mark is monotonic across the run, so this reads as
+    /// "the suite never needed more than this much memory up to and
+    /// including this experiment".
+    peak_rss_mb: f64,
+}
+
+/// Process peak resident set size in MB (`VmHWM` from `/proc/self/status`),
+/// or 0.0 where procfs is unavailable.
+fn peak_rss_mb() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0.0 };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse::<f64>().ok())
+        .map(|kb| kb / 1024.0)
+        .unwrap_or(0.0)
 }
 
 fn main() {
@@ -61,17 +83,29 @@ fn main() {
             });
         x::par::set_jobs(n);
     }
+    if let Some(i) = args.iter().position(|a| a == "--workers") {
+        let n = args
+            .get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                eprintln!("--workers expects a positive integer");
+                std::process::exit(2);
+            });
+        x::par::set_workers(n);
+    }
     let which = args
         .iter()
         .enumerate()
         .filter(|(i, a)| {
-            // Skip flags and the value following --jobs.
-            !a.starts_with("--") && (*i == 0 || args[i - 1] != "--jobs")
+            // Skip flags and the value following --jobs / --workers.
+            !a.starts_with("--")
+                && (*i == 0 || (args[i - 1] != "--jobs" && args[i - 1] != "--workers"))
         })
         .map(|(_, a)| a.clone())
         .next()
         .unwrap_or_else(|| {
-            eprintln!("usage: experiments <fig8a|fig8b|fig9|fig10|fig11|fig12|fig13|fig14|table2|table3|table4|ablations|minslice|faults|all> [--quick] [--jobs N] [--profile]");
+            eprintln!("usage: experiments <fig8a|fig8b|fig9|fig10|fig11|fig12|fig13|fig14|table2|table3|table4|ablations|minslice|faults|all> [--quick] [--jobs N] [--workers N] [--profile]");
             std::process::exit(2);
         });
     let all = which == "all";
@@ -116,7 +150,7 @@ fn main() {
                 retx,
             );
         }
-        stats.push(ExpStat { id, wall_s, events });
+        stats.push(ExpStat { id, wall_s, events, peak_rss_mb: peak_rss_mb() });
     };
 
     if run("fig8a") {
@@ -216,8 +250,25 @@ fn main() {
         ran = true;
         section("Table 3 — p99.9 buffer usage (300us slices, 40% load)");
         instrument(&mut stats, "table3", &mut || {
-            let rows = x::table3::run(if quick { 6 } else { 30 });
+            let (rows, capture) = x::table3::run_with_profile(if quick { 6 } else { 30 }, profile);
             print!("{}", x::table3::render(&rows));
+            if let Some(c) = capture {
+                let (algo, trace) = x::table3::PROFILE_CELL;
+                eprintln!("[table3 sim-time profile of the {algo}/{trace} cell]\n{}", c.sim_report);
+                if let Some(wall) = c.wall_report {
+                    eprintln!("[table3 wall-clock profile of the {algo}/{trace} cell]\n{wall}");
+                }
+                let qs = c.queue_stats;
+                eprintln!(
+                    "[table3 queue mix of the {algo}/{trace} cell: {} scheduled, {} popped, \
+                     {} far-heap, {} overlay-heap, peak {} pending]",
+                    qs.scheduled_total,
+                    qs.popped_total,
+                    qs.far_scheduled,
+                    qs.overlay_scheduled,
+                    qs.peak_len,
+                );
+            }
         });
     }
     if run("table4") {
@@ -260,15 +311,22 @@ fn main() {
     // instruments vs. bare, reported alongside the throughput numbers.
     let overhead_pct = x::overhead::run();
     eprintln!("[telemetry disabled-mode overhead: {overhead_pct:.2}% on churn micro-bench]");
-    write_bench_json(&stats, overhead_pct);
+    // Batched-drain primitive check: the fused pop_before vs peek+pop.
+    let (drain_single, drain_batched) = x::drainbench::run();
+    eprintln!(
+        "[drain micro-bench: {drain_single:.1} Mevents/s single-pop, \
+         {drain_batched:.1} Mevents/s batched pop_before]"
+    );
+    write_bench_json(&stats, overhead_pct, drain_single, drain_batched);
 }
 
 /// Write the machine-readable run summary next to the working directory.
-fn write_bench_json(stats: &[ExpStat], overhead_pct: f64) {
+fn write_bench_json(stats: &[ExpStat], overhead_pct: f64, drain_single: f64, drain_batched: f64) {
     let total_wall: f64 = stats.iter().map(|s| s.wall_s).sum();
     let total_events: u64 = stats.iter().map(|s| s.events).sum();
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"jobs\": {},\n", x::par::jobs()));
+    out.push_str(&format!("  \"workers\": {},\n", x::par::workers()));
     out.push_str(&format!("  \"total_wall_s\": {total_wall:.3},\n"));
     out.push_str(&format!("  \"total_events\": {total_events},\n"));
     out.push_str(&format!(
@@ -276,14 +334,19 @@ fn write_bench_json(stats: &[ExpStat], overhead_pct: f64) {
         if total_wall > 0.0 { total_events as f64 / total_wall } else { 0.0 }
     ));
     out.push_str(&format!("  \"telemetry_disabled_overhead_pct\": {overhead_pct:.2},\n"));
+    out.push_str(&format!("  \"drain_single_mevents_per_s\": {drain_single:.1},\n"));
+    out.push_str(&format!("  \"drain_batched_mevents_per_s\": {drain_batched:.1},\n"));
     out.push_str("  \"experiments\": [\n");
     for (i, s) in stats.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"id\": \"{}\", \"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}{}}}{}\n",
+            "    {{\"id\": \"{}\", \"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}, \
+             \"workers\": {}, \"peak_rss_mb\": {:.1}{}}}{}\n",
             s.id,
             s.wall_s,
             s.events,
             if s.wall_s > 0.0 { s.events as f64 / s.wall_s } else { 0.0 },
+            x::par::workers(),
+            s.peak_rss_mb,
             if ANALYTIC.contains(&s.id) { ", \"analytic\": true" } else { "" },
             if i + 1 < stats.len() { "," } else { "" }
         ));

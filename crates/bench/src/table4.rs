@@ -78,7 +78,20 @@ fn measure(
     for f in gen.take_until(SimTime::from_ms(ms)) {
         net.add_flow(f.at, f.src, f.dst, f.bytes.min(2_000_000), TransportKind::Paced);
     }
+    let cell_t0 = std::time::Instant::now();
     net.run_for(SimTime::from_ms(ms));
+    if std::env::var_os("OO_PROFILE_CELLS").is_some() {
+        let qs = net.queue_stats();
+        eprintln!(
+            "[table4 cell {config}/{}: {:.2}s wall, {} events, {} far, {} overlay, peak {}]",
+            trace.name(),
+            cell_t0.elapsed().as_secs_f64(),
+            qs.scheduled_total,
+            qs.far_scheduled,
+            qs.overlay_scheduled,
+            qs.peak_len,
+        );
+    }
     par::note_net(&net);
     let c = net.engine.counters;
     let lost = c.switch_drops + c.fabric_drops + c.link_drops + c.no_route_drops;

@@ -102,6 +102,13 @@ pub struct NetConfig {
     /// skipped (and counted) but already-open spans still complete, so the
     /// recorded stream stays well-formed.
     pub span_capacity: u64,
+    /// Worker budget for intra-run execution. `1` runs the classic serial
+    /// loop; `> 1` routes `run_for` through conservative-lookahead epochs
+    /// (windows derived from the optical schedule — see
+    /// `Fabric::conservative_lookahead_ns`), the barrier structure that
+    /// sharded execution synchronizes on. Output is byte-identical at any
+    /// value — the lookahead contract is exactly what makes that hold.
+    pub workers: usize,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -143,6 +150,7 @@ impl Default for NetConfig {
             trace_capacity: 4_096,
             span_sample_every: 0,
             span_capacity: 65_536,
+            workers: 1,
             seed: 1,
         }
     }
@@ -187,6 +195,7 @@ macro_rules! for_each_config_field {
         $m!(u64 trace_capacity);
         $m!(u64 span_sample_every);
         $m!(u64 span_capacity);
+        $m!(usize workers);
         $m!(u64 seed);
     };
 }
@@ -298,6 +307,9 @@ impl NetConfig {
         }
         if self.queue_capacity == 0 {
             return Err(err("queue_capacity", "calendar queues need a positive byte capacity"));
+        }
+        if self.workers == 0 {
+            return Err(err("workers", "the engine needs at least one worker"));
         }
         match self.congestion_policy.as_str() {
             "drop" | "trim" | "wait" | "defer" => {}

@@ -549,6 +549,15 @@ pub struct Engine {
     pending_flows: Vec<PendingFlow>,
     tm_accum: TrafficMatrix,
     rng: SimRng,
+    /// Outstanding `OffloadRecall` firing times per node. Every offloaded
+    /// packet wants a recall at its batch deadline, so without dedup a
+    /// slice-rank's worth of packets schedules a storm of same-time recall
+    /// events of which only the first does any work (table3's dominant
+    /// cost). Scheduling goes through [`Engine::schedule_recall`], which
+    /// skips exact-duplicate times; the surviving event is the
+    /// first-scheduled one, so the drain happens at the same (time, order)
+    /// point the first duplicate fired at before.
+    recall_outstanding: Vec<Vec<SimTime>>,
     /// Fabric dispatch policy.
     pub policy: DispatchPolicy,
     /// Host pausing behavior.
@@ -676,6 +685,7 @@ impl Engine {
             pending_flows: vec![],
             tm_accum: TrafficMatrix::zeros(n as usize),
             rng,
+            recall_outstanding: vec![vec![]; n as usize],
             policy: DispatchPolicy::OpticalOnly,
             pause_mode: PauseMode::None,
             counters: EngineCounters::default(),
@@ -1183,6 +1193,16 @@ impl Engine {
             stats: ProbeStats::new(),
         });
         self.probe_trains.len() - 1
+    }
+
+    /// Conservative lookahead window (ns) for epoch-stepped execution: the
+    /// fabric's minimum cross-node delay plus the serialization floor of
+    /// the smallest frame (64 B) on an optical uplink. Any two nodes'
+    /// interactions carry at least this much simulated delay, so execution
+    /// chunked into windows of this size is equivalent to (and, sharded,
+    /// safely parallelizable against) the serial event loop.
+    pub fn conservative_lookahead_ns(&self) -> u64 {
+        self.fabric.conservative_lookahead_ns(self.cfg.uplink_bandwidth().tx_time_ns(64))
     }
 
     /// Install the initial events: rotations, scheduled flows, app timers.
@@ -1765,7 +1785,7 @@ impl Engine {
             IngressDecision::Offloaded { .. } => {
                 self.obs.open(pid, Stage::CalendarWait, now);
                 if let Some(t) = self.tors[node.index()].next_offload_recall() {
-                    q.schedule(t.max(now), Event::OffloadRecall(node));
+                    self.schedule_recall(node, t.max(now), q);
                 }
             }
             IngressDecision::Dropped(reason) => {
@@ -1792,7 +1812,7 @@ impl Engine {
                         IngressDecision::Offloaded { .. } => {
                             self.obs.open(pid, Stage::CalendarWait, now);
                             if let Some(t) = self.tors[node.index()].next_offload_recall() {
-                                q.schedule(t.max(now), Event::OffloadRecall(node));
+                                self.schedule_recall(node, t.max(now), q);
                             }
                         }
                         IngressDecision::Dropped(_) => {
@@ -2204,7 +2224,23 @@ impl Engine {
         }
     }
 
+    /// Schedule an `OffloadRecall` for `node` at `t` unless one is already
+    /// outstanding at exactly that time (see the `recall_outstanding` field
+    /// docs for why exact-time dedup is output-preserving).
+    fn schedule_recall(&mut self, node: NodeId, t: SimTime, q: &mut EventQueue<Event>) {
+        let out = &mut self.recall_outstanding[node.index()];
+        if out.contains(&t) {
+            return;
+        }
+        out.push(t);
+        q.schedule(t, Event::OffloadRecall(node));
+    }
+
     fn on_offload_recall(&mut self, node: NodeId, now: SimTime, q: &mut EventQueue<Event>) {
+        let out = &mut self.recall_outstanding[node.index()];
+        if let Some(i) = out.iter().position(|&t| t == now) {
+            out.swap_remove(i);
+        }
         let due = self.tors[node.index()].offload_due(now);
         for (abs, port, pkt) in due {
             // Host round trip: recall notify + host link serialization.
@@ -2212,7 +2248,7 @@ impl Engine {
             q.schedule_after(now, rtt, Event::Reinject(node, abs, port, pkt));
         }
         if let Some(t) = self.tors[node.index()].next_offload_recall() {
-            q.schedule(t.max(now + 1), Event::OffloadRecall(node));
+            self.schedule_recall(node, t.max(now + 1), q);
         }
     }
 
@@ -2243,7 +2279,7 @@ impl Engine {
             IngressDecision::Offloaded { .. } => {
                 self.obs.open(pid, Stage::CalendarWait, now);
                 if let Some(t) = self.tors[node.index()].next_offload_recall() {
-                    q.schedule(t.max(now + 1), Event::OffloadRecall(node));
+                    self.schedule_recall(node, t.max(now + 1), q);
                 }
             }
             _ => {}

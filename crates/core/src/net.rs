@@ -425,14 +425,31 @@ impl OpenOpticsNet {
     }
 
     /// Run the simulation for `dur` more simulated time.
+    ///
+    /// With `cfg.workers > 1` the run advances in conservative-lookahead
+    /// epochs (`Engine::conservative_lookahead_ns` windows) — the barrier
+    /// structure sharded execution synchronizes on. The event order, and
+    /// therefore every export, is byte-identical at any worker count: all
+    /// events still drain from one `(time, seq)`-ordered queue, only the
+    /// horizon handed to the driver changes.
     pub fn run_for(&mut self, dur: SimTime) {
         if !self.primed {
             self.engine.prime(&mut self.queue);
             self.primed = true;
         }
         let until = self.now + dur.as_ns();
-        run(&mut self.engine, &mut self.queue, until);
-        self.now = until;
+        if self.engine.cfg.workers > 1 {
+            let lookahead = self.engine.conservative_lookahead_ns().max(1);
+            while self.now < until {
+                let end =
+                    SimTime::from_ns(self.now.as_ns().saturating_add(lookahead).min(until.as_ns()));
+                run(&mut self.engine, &mut self.queue, end);
+                self.now = end;
+            }
+        } else {
+            run(&mut self.engine, &mut self.queue, until);
+            self.now = until;
+        }
     }
 
     /// Completed-flow FCT statistics.
@@ -450,6 +467,12 @@ impl OpenOpticsNet {
     /// Bytes delivered for a flow so far.
     pub fn flow_delivered(&self, flow: FlowId) -> u64 {
         self.engine.flow_delivered(flow)
+    }
+
+    /// Point-in-time event-queue statistics (pending/peak/far/overlay
+    /// counters) — the data behind the `--profile` queue-mix line.
+    pub fn queue_stats(&self) -> openoptics_sim::QueueStats {
+        self.queue.stats()
     }
 }
 

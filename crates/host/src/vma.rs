@@ -50,6 +50,12 @@ pub struct VmaStack {
     queues: FxHashMap<NodeId, ByteQueue<Segment>>,
     state: FxHashMap<NodeId, DstState>,
     queue_capacity: u64,
+    /// All destinations ever seen, kept sorted — the queue map only grows,
+    /// so [`Self::pop_next`] can scan this instead of re-sorting the key
+    /// set on every transmitted packet.
+    known_dsts: Vec<NodeId>,
+    /// Reusable scratch for the per-call non-empty destination list.
+    scratch_dsts: Vec<NodeId>,
     /// Round-robin cursor over destinations for fair draining.
     rr_cursor: usize,
     /// Segments rejected because the segment queue was full (application
@@ -71,6 +77,8 @@ impl VmaStack {
             queues: FxHashMap::default(),
             state: FxHashMap::default(),
             queue_capacity,
+            known_dsts: vec![],
+            scratch_dsts: vec![],
             rr_cursor: 0,
             app_pushback_events: 0,
             pause_events: 0,
@@ -84,11 +92,19 @@ impl VmaStack {
     /// retry after draining.
     pub fn send(&mut self, dst: NodeId, seg: Segment) -> Result<(), Segment> {
         let cap = self.queue_capacity;
-        let q = self.queues.entry(dst).or_insert_with(|| ByteQueue::new(cap));
+        let q = self.queues.entry(dst).or_insert_with(|| {
+            // First segment toward this destination: register it in the
+            // sorted scan list.
+            ByteQueue::new(cap)
+        });
         let bytes = seg.bytes;
-        q.push(bytes, seg).inspect_err(|_s| {
+        let res = q.push(bytes, seg).inspect_err(|_s| {
             self.app_pushback_events += 1;
-        })
+        });
+        if let Err(pos) = self.known_dsts.binary_search(&dst) {
+            self.known_dsts.insert(pos, dst);
+        }
+        res
     }
 
     /// Whether a segment of `bytes` toward `dst` would be accepted.
@@ -139,13 +155,19 @@ impl VmaStack {
     /// Pop the next segment to transmit, round-robin across sendable
     /// destinations. Returns the destination node alongside the segment.
     pub fn pop_next(&mut self, now: SimTime) -> Option<(NodeId, Segment)> {
-        let mut dsts: Vec<NodeId> =
-            self.queues.iter().filter(|(_, q)| !q.is_empty()).map(|(d, _)| *d).collect();
+        // Rebuild the non-empty destination list from the presorted known
+        // set (deterministic order, no per-packet allocation or sort).
+        let mut dsts = std::mem::take(&mut self.scratch_dsts);
+        dsts.clear();
+        dsts.extend(
+            self.known_dsts.iter().filter(|d| self.queues.get(d).is_some_and(|q| !q.is_empty())),
+        );
         if dsts.is_empty() {
+            self.scratch_dsts = dsts;
             return None;
         }
-        dsts.sort_unstable(); // determinism
         let n = dsts.len();
+        let mut found = None;
         for i in 0..n {
             let dst = dsts[(self.rr_cursor + i) % n];
             if !self.sendable(dst, now) {
@@ -153,10 +175,12 @@ impl VmaStack {
             }
             if let Some((_, seg)) = self.queues.get_mut(&dst).and_then(|q| q.pop()) {
                 self.rr_cursor = (self.rr_cursor + i + 1) % n.max(1);
-                return Some((dst, seg));
+                found = Some((dst, seg));
+                break;
             }
         }
-        None
+        self.scratch_dsts = dsts;
+        found
     }
 
     /// Bytes queued toward `dst`.

@@ -1,0 +1,406 @@
+//! Conservative-lookahead sharded execution (intra-run parallelism).
+//!
+//! A [`DomainScheduler`] partitions a simulation into independent
+//! **domains** — per-ToR / per-switch time-wheel shards, each owning its
+//! state and its own [`EventQueue`] — and advances them in lock-step
+//! **epochs** of one conservative lookahead window each. The classic PDES
+//! (Chandy–Misra–Bryant) argument makes this safe without rollback: if
+//! every cross-domain interaction carries at least `lookahead_ns` of
+//! simulated delay (in an optical fabric: pipeline latency plus propagation
+//! — see `openoptics-fabric`'s `conservative_lookahead_ns`), then no event
+//! executed inside the window `[base, base + lookahead)` can affect another
+//! domain *within the same window*. Each domain can therefore batch-drain
+//! its whole window without synchronizing, and all cross-domain traffic is
+//! exchanged at the epoch barrier through **mailboxes**.
+//!
+//! # Determinism
+//!
+//! The output is byte-identical at any worker count, including one:
+//!
+//! * Within an epoch, domains touch disjoint state; the worker-to-domain
+//!   assignment cannot influence any domain's execution.
+//! * At the barrier, every mailbox message is tagged `(fire_time,
+//!   src_domain, send_seq)` and the combined batch is delivered to each
+//!   destination queue in that sorted order, so destination queue sequence
+//!   numbers — the FIFO tie-breaker of [`EventQueue`] — are assigned
+//!   identically regardless of which worker produced the message first in
+//!   wall time.
+//! * Domains never share mutable state; the only cross-thread channel is
+//!   the outbox hand-off at the barrier (fan-in on the coordinating
+//!   thread).
+//!
+//! Under the `strict-invariants` feature the outbox asserts the lookahead
+//! contract: a cross-domain send must fire no earlier than the end of the
+//! epoch that produced it.
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// One cross-domain message: deliver `event` to `dst` at `at`.
+struct Mail<E> {
+    at: SimTime,
+    src: usize,
+    /// Send order within the epoch (per source domain), the final
+    /// determinism tie-breaker.
+    seq: u64,
+    dst: usize,
+    event: E,
+}
+
+/// Cross-domain send buffer handed to a domain while it executes an epoch.
+///
+/// Sends are buffered locally (no locks, no channels — the domain thread
+/// owns the outbox) and merged deterministically at the epoch barrier.
+pub struct Outbox<E> {
+    mails: Vec<Mail<E>>,
+    src: usize,
+    next_seq: u64,
+    /// End of the epoch being executed; the conservative contract is that
+    /// every send fires at or after this instant.
+    epoch_end: SimTime,
+}
+
+impl<E> Outbox<E> {
+    /// Send `event` to domain `dst`, firing at absolute time `at`.
+    ///
+    /// `at` must be at or after the end of the current epoch — that is the
+    /// lookahead guarantee that makes barrier-free window execution sound.
+    /// Violations panic under `strict-invariants` (and silently produce a
+    /// late delivery otherwise, exactly like a real lookahead bug would).
+    pub fn send(&mut self, dst: usize, at: SimTime, event: E) {
+        if cfg!(feature = "strict-invariants") {
+            assert!(
+                at >= self.epoch_end,
+                "conservative lookahead violated: cross-domain send fires at {at} \
+                 before the epoch barrier {}",
+                self.epoch_end,
+            );
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.mails.push(Mail { at, src: self.src, seq, dst, event });
+    }
+
+    /// Number of sends buffered this epoch.
+    pub fn len(&self) -> usize {
+        self.mails.len()
+    }
+
+    /// Whether no sends are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.mails.is_empty()
+    }
+}
+
+/// One shard of a partitioned simulation: owns its local state and
+/// interprets its local events.
+pub trait Domain: Send {
+    /// The event alphabet of this domain.
+    type Event: Send;
+
+    /// Handle one local event at `now`. Local follow-ups go on `queue`;
+    /// cross-domain messages go through `out` and must respect the
+    /// scheduler's lookahead.
+    fn handle(
+        &mut self,
+        now: SimTime,
+        event: Self::Event,
+        queue: &mut EventQueue<Self::Event>,
+        out: &mut Outbox<Self::Event>,
+    );
+}
+
+struct DomainCell<D: Domain> {
+    domain: D,
+    queue: EventQueue<D::Event>,
+}
+
+/// Epoch-stepped scheduler over a set of [`Domain`]s.
+///
+/// `run_until` advances all domains to a common horizon in epochs of one
+/// lookahead window, fanning each epoch's domain executions across up to
+/// `workers` scoped threads (1 = fully serial, same output).
+pub struct DomainScheduler<D: Domain> {
+    cells: Vec<DomainCell<D>>,
+    lookahead_ns: u64,
+    workers: usize,
+    now: SimTime,
+    executed: u64,
+    epochs: u64,
+}
+
+impl<D: Domain> DomainScheduler<D> {
+    /// Build a scheduler over `domains` with the given conservative
+    /// lookahead (ns) and worker count. `lookahead_ns` must be non-zero;
+    /// `workers` is clamped to at least 1.
+    pub fn new(domains: Vec<D>, lookahead_ns: u64, workers: usize) -> Self {
+        assert!(lookahead_ns > 0, "a conservative scheduler needs positive lookahead");
+        DomainScheduler {
+            cells: domains
+                .into_iter()
+                .map(|domain| DomainCell { domain, queue: EventQueue::new() })
+                .collect(),
+            lookahead_ns,
+            workers: workers.max(1),
+            now: SimTime::ZERO,
+            executed: 0,
+            epochs: 0,
+        }
+    }
+
+    /// Schedule a seed event on domain `dom` (before or between runs).
+    pub fn schedule(&mut self, dom: usize, at: SimTime, event: D::Event) {
+        self.cells[dom].queue.schedule(at, event);
+    }
+
+    /// Shared immutable access to a domain (for result extraction).
+    pub fn domain(&self, dom: usize) -> &D {
+        &self.cells[dom].domain
+    }
+
+    /// Number of domains.
+    pub fn num_domains(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Events executed so far across all domains.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Epoch barriers crossed so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Current epoch base time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advance every domain to `until` (exclusive horizon) in conservative
+    /// epochs, exchanging cross-domain mail at each barrier.
+    pub fn run_until(&mut self, until: SimTime) {
+        while self.now < until {
+            let epoch_end = SimTime::from_ns(
+                (self.now.as_ns().saturating_add(self.lookahead_ns)).min(until.as_ns()),
+            );
+            let outboxes = self.run_epoch(epoch_end);
+            self.deliver(outboxes);
+            self.now = epoch_end;
+            self.epochs += 1;
+        }
+    }
+
+    /// Execute one epoch: every domain drains its local events firing
+    /// strictly before `epoch_end`, in parallel across workers.
+    fn run_epoch(&mut self, epoch_end: SimTime) -> Vec<Outbox<D::Event>> {
+        // Window-bounded batched drain of one domain. Runs with exclusive
+        // access to that domain's cell; the `sub` below hands disjoint
+        // cells to distinct workers.
+        let drain = |idx: usize, cell: &mut DomainCell<D>| {
+            let mut out = Outbox { mails: vec![], src: idx, next_seq: 0, epoch_end };
+            let mut executed = 0u64;
+            // `epoch_end` is exclusive so an event at exactly the barrier is
+            // handled by the *next* epoch, after mail delivery — mail fires
+            // at >= epoch_end and must interleave by (time, seq) with it.
+            let horizon = SimTime::from_ns(epoch_end.as_ns() - 1);
+            while let Some((now, ev)) = cell.queue.pop_before(horizon) {
+                cell.domain.handle(now, ev, &mut cell.queue, &mut out);
+                executed += 1;
+            }
+            (out, executed)
+        };
+
+        let workers = self.workers.min(self.cells.len()).max(1);
+        if workers == 1 {
+            let mut outs = Vec::with_capacity(self.cells.len());
+            for (i, cell) in self.cells.iter_mut().enumerate() {
+                let (out, n) = drain(i, cell);
+                self.executed += n;
+                outs.push(out);
+            }
+            return outs;
+        }
+
+        // Static partition: each worker takes a disjoint contiguous chunk of
+        // cells (plain `chunks_mut` — no locks, no shared mutation) and
+        // returns its results through the join handle. Assignment cannot
+        // influence output: domains are independent within an epoch, and
+        // `deliver` re-sorts all cross-domain mail by `(at, src, seq)`.
+        let n = self.cells.len();
+        let chunk = n.div_ceil(workers);
+        let drain = &drain;
+        let mut results: Vec<(usize, Outbox<D::Event>, u64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .cells
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(w, part)| {
+                    s.spawn(move || {
+                        part.iter_mut()
+                            .enumerate()
+                            .map(|(j, cell)| {
+                                let idx = w * chunk + j;
+                                let (out, exec) = drain(idx, cell);
+                                (idx, out, exec)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| match h.join() {
+                    Ok(results) => results,
+                    // Re-raise a domain's panic on the coordinating thread
+                    // with its original payload.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        results.sort_by_key(|&(idx, _, _)| idx);
+        let mut outs = Vec::with_capacity(n);
+        for (_, out, exec) in results {
+            self.executed += exec;
+            outs.push(out);
+        }
+        outs
+    }
+
+    /// Barrier: merge all epoch outboxes and deliver them to destination
+    /// queues in deterministic `(fire_time, src_domain, send_seq)` order.
+    fn deliver(&mut self, outboxes: Vec<Outbox<D::Event>>) {
+        let mut all: Vec<Mail<D::Event>> = outboxes.into_iter().flat_map(|o| o.mails).collect();
+        // Worker completion order never reaches this sort key, so the
+        // destination queues' FIFO sequence numbers are identical at any
+        // worker count.
+        all.sort_by_key(|m| (m.at, m.src, m.seq));
+        for m in all {
+            self.cells[m.dst].queue.schedule(m.at, m.event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A token-passing ring: each domain, on receiving a token, logs it and
+    /// forwards it to the next domain after exactly the lookahead delay.
+    struct Ring {
+        id: usize,
+        n: usize,
+        delay_ns: u64,
+        log: Vec<(SimTime, u64)>,
+    }
+
+    impl Domain for Ring {
+        type Event = u64;
+        fn handle(
+            &mut self,
+            now: SimTime,
+            token: u64,
+            _q: &mut EventQueue<u64>,
+            out: &mut Outbox<u64>,
+        ) {
+            self.log.push((now, token));
+            if token > 0 {
+                out.send((self.id + 1) % self.n, now + self.delay_ns, token - 1);
+            }
+        }
+    }
+
+    fn ring_run(workers: usize) -> Vec<Vec<(SimTime, u64)>> {
+        const N: usize = 4;
+        const LOOKAHEAD: u64 = 1_000;
+        let domains: Vec<Ring> =
+            (0..N).map(|id| Ring { id, n: N, delay_ns: LOOKAHEAD, log: vec![] }).collect();
+        let mut sched = DomainScheduler::new(domains, LOOKAHEAD, workers);
+        sched.schedule(0, SimTime::from_ns(10), 25);
+        sched.schedule(2, SimTime::from_ns(500), 13);
+        sched.run_until(SimTime::from_us(100));
+        (0..N).map(|i| sched.domain(i).log.clone()).collect()
+    }
+
+    #[test]
+    fn tokens_travel_the_ring() {
+        let logs = ring_run(1);
+        let total: usize = logs.iter().map(|l| l.len()).sum();
+        // 25-hop token + 13-hop token, each hop logged once (plus the
+        // terminal zero-token deliveries).
+        assert_eq!(total, 26 + 14);
+        assert_eq!(logs[0][0], (SimTime::from_ns(10), 25));
+    }
+
+    #[test]
+    fn parallel_matches_serial_at_any_worker_count() {
+        let serial = ring_run(1);
+        for workers in [2, 3, 4, 8] {
+            assert_eq!(ring_run(workers), serial, "divergence at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn events_at_barrier_execute_next_epoch() {
+        // An event exactly at an epoch boundary must see mail delivered at
+        // that boundary in FIFO (time, seq) order with it.
+        struct Probe {
+            log: Vec<(SimTime, u64)>,
+        }
+        impl Domain for Probe {
+            type Event = u64;
+            fn handle(
+                &mut self,
+                now: SimTime,
+                v: u64,
+                _q: &mut EventQueue<u64>,
+                _out: &mut Outbox<u64>,
+            ) {
+                self.log.push((now, v));
+            }
+        }
+        let mut sched = DomainScheduler::new(vec![Probe { log: vec![] }], 1_000, 1);
+        // Scheduled before the run: seq 0 at the barrier instant.
+        sched.schedule(0, SimTime::from_ns(1_000), 7);
+        sched.run_until(SimTime::from_ns(4_000));
+        assert_eq!(sched.domain(0).log, vec![(SimTime::from_ns(1_000), 7)]);
+    }
+
+    #[test]
+    #[cfg(feature = "strict-invariants")]
+    #[should_panic(expected = "conservative lookahead violated")]
+    fn lookahead_violation_trips_strict_invariants() {
+        struct Bad;
+        impl Domain for Bad {
+            type Event = ();
+            fn handle(
+                &mut self,
+                now: SimTime,
+                _: (),
+                _q: &mut EventQueue<()>,
+                out: &mut Outbox<()>,
+            ) {
+                // Fires inside the current window: not conservative.
+                out.send(0, now, ());
+            }
+        }
+        let mut sched = DomainScheduler::new(vec![Bad], 1_000, 1);
+        sched.schedule(0, SimTime::from_ns(10), ());
+        sched.run_until(SimTime::from_ns(2_000));
+    }
+
+    #[test]
+    fn counters_track_work() {
+        let _ = ring_run(1);
+        const LOOKAHEAD: u64 = 1_000;
+        let domains: Vec<Ring> =
+            (0..2).map(|id| Ring { id, n: 2, delay_ns: LOOKAHEAD, log: vec![] }).collect();
+        let mut sched = DomainScheduler::new(domains, LOOKAHEAD, 1);
+        sched.schedule(0, SimTime::from_ns(0), 3);
+        sched.run_until(SimTime::from_us(10));
+        assert_eq!(sched.events_executed(), 4);
+        assert_eq!(sched.epochs(), 10);
+        assert_eq!(sched.now(), SimTime::from_us(10));
+    }
+}

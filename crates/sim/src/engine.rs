@@ -40,11 +40,7 @@ pub fn run_while<W: World>(
 ) -> (u64, SimTime) {
     let mut executed = 0u64;
     let mut last = SimTime::ZERO;
-    while let Some(t) = queue.peek_time() {
-        if t > until {
-            break;
-        }
-        let (now, ev) = queue.pop().expect("peeked event vanished");
+    while let Some((now, ev)) = queue.pop_before(until) {
         debug_assert!(now >= last, "event queue delivered time travel: {now} < {last}");
         if cfg!(feature = "strict-invariants") {
             assert!(now >= last, "event queue delivered time travel: {now} < {last}");

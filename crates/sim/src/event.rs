@@ -191,11 +191,22 @@ impl<E> EventQueue<E> {
         if b >= self.base + NUM_BUCKETS as u64 {
             self.far_scheduled += 1;
             self.far.push(entry);
-        } else if b < self.cur || (b == self.cur && self.cur_sorted) {
-            // At or before the sorted drain point: merge via the overlay so
-            // the sorted bucket is never perturbed.
+        } else if b < self.cur {
+            // Before the drain point: merge via the overlay so already-popped
+            // positions are never revisited.
             self.overlay_scheduled += 1;
             self.overlay.push(entry);
+        } else if b == self.cur && self.cur_sorted {
+            // Into the sorted current bucket (the kick-at-`now` hot path): a
+            // sorted insert keeps the bucket drainable from the back. The new
+            // entry carries the largest seq so far, so for the common
+            // schedule-at-current-time case it is the smallest key in the
+            // bucket (descending order) and lands at the tail with no shift.
+            let slot = &mut self.buckets[(b % NUM_BUCKETS as u64) as usize];
+            let key = std::cmp::Reverse(entry.key());
+            let pos = slot.partition_point(|e| std::cmp::Reverse(e.key()) < key);
+            slot.insert(pos, entry);
+            self.near_len += 1;
         } else {
             if b == self.cur {
                 // Late arrival into the unsorted current bucket.
@@ -284,6 +295,64 @@ impl<E> EventQueue<E> {
             self.buckets[slot].pop().expect("checked non-empty")
         } else {
             self.overlay.pop().expect("checked non-empty")
+        };
+        if cfg!(feature = "strict-invariants") {
+            assert_eq!(
+                self.near_len + self.overlay.len() + self.far.len(),
+                self.len,
+                "event queue occupancy leak: near + overlay + far != pending"
+            );
+            assert_eq!(
+                self.scheduled_total - self.popped_total,
+                self.len as u64,
+                "event queue conservation: scheduled - popped != pending"
+            );
+            if let Some(last) = self.last_popped {
+                assert!(
+                    e.key() > last,
+                    "event queue delivered (time, seq) keys out of order: \
+                     {:?} after {:?}",
+                    e.key(),
+                    last,
+                );
+            }
+            self.last_popped = Some(e.key());
+        }
+        Some((e.time, e.event))
+    }
+
+    /// Remove and return the earliest event if it fires at or before
+    /// `until`; leave the queue untouched otherwise.
+    ///
+    /// This is the batched-drain primitive: a window-bounded run loop calls
+    /// it in place of the `peek_time` + `pop` pair, halving the
+    /// cursor-advance (`ensure_current`) work per delivered event — the
+    /// dominant fixed cost of the hot loop once handlers are cheap.
+    pub fn pop_before(&mut self, until: SimTime) -> Option<(SimTime, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.ensure_current();
+        let slot = (self.cur % NUM_BUCKETS as u64) as usize;
+        let (take_bucket, head_time) = match (self.buckets[slot].last(), self.overlay.peek()) {
+            (Some(b), Some(o)) if b.key() < o.key() => (true, b.time),
+            (Some(b), None) => (true, b.time),
+            (_, Some(o)) => (false, o.time),
+            (None, None) => unreachable!("ensure_current found no event"),
+        };
+        if head_time > until {
+            return None;
+        }
+        self.len -= 1;
+        self.popped_total += 1;
+        let e = match if take_bucket {
+            self.near_len -= 1;
+            self.buckets[slot].pop()
+        } else {
+            self.overlay.pop()
+        } {
+            Some(e) => e,
+            None => unreachable!("peeked head vanished"),
         };
         if cfg!(feature = "strict-invariants") {
             assert_eq!(
@@ -420,10 +489,12 @@ mod tests {
     #[test]
     fn stats_track_structure_usage() {
         let mut q = EventQueue::new();
-        q.schedule(SimTime::from_ns(1_000), 0); // near
+        q.schedule(SimTime::from_ns(2_000), 0); // near
         q.schedule(SimTime::from_secs(1), 1); // far
-        assert_eq!(q.pop(), Some((SimTime::from_ns(1_000), 0)));
-        q.schedule(SimTime::from_ns(500), 2); // behind the drain point -> overlay
+        assert_eq!(q.pop(), Some((SimTime::from_ns(2_000), 0)));
+        // An earlier *bucket* than the drain point -> overlay (a same-bucket
+        // arrival would sorted-insert into the current bucket instead).
+        q.schedule(SimTime::from_ns(500), 2);
         let s = q.stats();
         assert_eq!(s.scheduled_total, 3);
         assert_eq!(s.popped_total, 1);
@@ -459,6 +530,46 @@ mod tests {
         assert_eq!(q.pop(), Some((SimTime::from_ns(1_000), 1)));
         assert_eq!(q.pop(), Some((SimTime::from_ns(1_000), 2)));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_before_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), "a");
+        q.schedule(SimTime::from_ns(20), "b");
+        q.schedule(SimTime::from_ns(30), "c");
+        assert_eq!(q.pop_before(SimTime::from_ns(20)), Some((SimTime::from_ns(10), "a")));
+        assert_eq!(q.pop_before(SimTime::from_ns(20)), Some((SimTime::from_ns(20), "b")));
+        // "c" fires after the horizon: untouched, still pending.
+        assert_eq!(q.pop_before(SimTime::from_ns(20)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_before(SimTime::from_ns(30)), Some((SimTime::from_ns(30), "c")));
+        assert_eq!(q.pop_before(SimTime::from_ns(30)), None);
+    }
+
+    #[test]
+    fn pop_before_matches_peek_pop_under_churn() {
+        // The fused primitive must deliver exactly what peek+pop would.
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        for i in 0..2_000u64 {
+            let t = SimTime::from_ns(i * 37 % 9_001);
+            a.schedule(t, i);
+            b.schedule(t, i);
+        }
+        let horizon = SimTime::from_ns(5_000);
+        loop {
+            let via_fused = a.pop_before(horizon);
+            let via_pair = match b.peek_time() {
+                Some(t) if t <= horizon => b.pop(),
+                _ => None,
+            };
+            assert_eq!(via_fused, via_pair);
+            if via_fused.is_none() {
+                break;
+            }
+        }
+        assert_eq!(a.len(), b.len());
     }
 
     #[test]

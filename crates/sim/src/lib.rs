@@ -16,6 +16,8 @@
 //! [`EventQueue`] / [`run`].
 
 pub mod bytequeue;
+/// Conservative-lookahead sharded execution: [`Domain`], [`DomainScheduler`].
+pub mod domain;
 pub mod engine;
 pub mod event;
 pub mod hash;
@@ -24,6 +26,7 @@ pub mod rng;
 pub mod time;
 
 pub use bytequeue::ByteQueue;
+pub use domain::{Domain, DomainScheduler, Outbox};
 pub use engine::{run, run_while, World};
 pub use event::{EventQueue, QueueStats};
 pub use rate::Bandwidth;

@@ -20,6 +20,12 @@
 //! * **relaxed-ordering** — `Ordering::Relaxed` is banned on cross-thread
 //!   counters; use acquire/release orderings so counter reads in the
 //!   parallel runner are well-defined at any `--jobs` count.
+//! * **shared-mutable** — `Mutex`/`RwLock`/`RefCell` are banned in the
+//!   sim-path crates' domain-execution modules (`domain.rs`, `engine.rs`,
+//!   `event.rs`, `net.rs`): the sharded engine is deterministic *because*
+//!   domains share nothing and exchange state only as outbox messages
+//!   merged in `(time, src, seq)` order at the epoch barrier; a lock would
+//!   let wall-clock scheduling order back into simulated state.
 //! * **bool-api** — public functions in `openoptics-core` must report
 //!   failure as `Result<_, Error>`, not `bool` (predicates named `is_*`,
 //!   `has_*`, … are exempt).
@@ -71,6 +77,14 @@ pub const SIM_PATH_CRATES: &[&str] = &[
     "openoptics-faults",
     "openoptics-obs",
 ];
+
+/// Domain-execution modules of the sim-path crates: the files that run
+/// inside (or drive) the sharded engine's epoch loop. Shared-mutability
+/// primitives are banned here — domains communicate by message passing
+/// (outboxes merged at the epoch barrier), never through locks, so worker
+/// scheduling can never influence simulated state.
+pub const DOMAIN_EXECUTION_MODULES: &[&str] =
+    &["src/domain.rs", "src/engine.rs", "src/event.rs", "src/net.rs"];
 
 /// Bool-returning name prefixes that are idiomatic predicates, exempt from
 /// the `bool-api` rule.
@@ -326,6 +340,26 @@ pub fn lint_file(ctx: &FileCtx<'_>, content: &str) -> (Vec<Finding>, Budget) {
                         .into(),
                 );
             }
+        }
+
+        // shared-mutable: the sharded engine's determinism argument rests
+        // on domains exchanging state only through outbox messages merged
+        // at the epoch barrier. A lock or interior-mutability cell in a
+        // domain-execution module reintroduces scheduling-order-dependent
+        // state, the exact failure mode the design rules out.
+        if sim_path
+            && !is_test
+            && DOMAIN_EXECUTION_MODULES.iter().any(|m| ctx.rel_path.ends_with(m))
+            && (code.contains("Mutex") || code.contains("RwLock") || code.contains("RefCell"))
+        {
+            flag(
+                &mut findings,
+                idx,
+                "shared-mutable",
+                "Mutex/RwLock/RefCell in a domain-execution module; domains communicate \
+                 by message passing (Outbox merged at the epoch barrier) only"
+                    .into(),
+            );
         }
 
         // relaxed-ordering: cross-thread counters need acquire/release.
@@ -701,6 +735,8 @@ pub struct BenchRow {
     pub id: String,
     /// Events scheduled during the experiment.
     pub events: u64,
+    /// Wall-clock duration of the experiment, seconds.
+    pub wall_s: f64,
     /// Engine throughput, events per wall-clock second.
     pub events_per_sec: f64,
     /// Whether the experiment is analytic: it runs no simulation, so its
@@ -745,6 +781,7 @@ pub fn parse_bench_json(content: &str) -> Result<Vec<BenchRow>, String> {
         rows.push(BenchRow {
             id,
             events: field_num(obj, "events").unwrap_or(0.0).max(0.0) as u64,
+            wall_s: field_num(obj, "wall_s").unwrap_or(0.0).max(0.0),
             events_per_sec: field_num(obj, "events_per_sec").unwrap_or(0.0),
             analytic: obj.contains("\"analytic\": true") || obj.contains("\"analytic\":true"),
         });
@@ -758,16 +795,38 @@ pub struct BenchDiffOutcome {
     pub lines: Vec<String>,
     /// Regressions (and missing experiments) beyond what the gate allows.
     pub failures: Vec<String>,
+    /// One-line digest (`--summary` mode): aggregate throughput movement
+    /// plus the worst per-experiment delta.
+    pub summary: String,
 }
 
-/// Compare per-experiment engine throughput between an `old` (baseline)
-/// and `new` `BENCH_engine.json` report. Analytic experiments and rows
-/// with zero events on either side are reported but not gated; a
-/// throughput drop of more than `max_regress_pct` percent — or an
-/// experiment vanishing from the new report — is a failure.
+/// Aggregate engine throughput of a report: total events over total wall
+/// time, simulation experiments only (analytic rows run no engine and
+/// would dilute the figure with pure-arithmetic wall time).
+fn aggregate_events_per_sec(rows: &[BenchRow]) -> f64 {
+    let (events, wall) = rows
+        .iter()
+        .filter(|r| !r.analytic && r.events > 0)
+        .fold((0u64, 0f64), |(e, w), r| (e + r.events, w + r.wall_s));
+    if wall > 0.0 {
+        events as f64 / wall
+    } else {
+        0.0
+    }
+}
+
+/// Compare engine throughput between an `old` (baseline) and `new`
+/// `BENCH_engine.json` report, per experiment *and* in aggregate (total
+/// events over total wall across simulation experiments — the suite-level
+/// figure the parallel engine is accountable to). Analytic experiments
+/// and rows with zero events on either side are reported but not gated; a
+/// throughput drop of more than `max_regress_pct` percent — per
+/// experiment or aggregate — or an experiment vanishing from the new
+/// report is a failure.
 pub fn bench_diff(old: &[BenchRow], new: &[BenchRow], max_regress_pct: f64) -> BenchDiffOutcome {
     let mut lines = Vec::new();
     let mut failures = Vec::new();
+    let mut worst: Option<(&str, f64)> = None;
     for o in old {
         let Some(n) = new.iter().find(|n| n.id == o.id) else {
             failures.push(format!("{}: present in baseline but missing from new report", o.id));
@@ -778,6 +837,9 @@ pub fn bench_diff(old: &[BenchRow], new: &[BenchRow], max_regress_pct: f64) -> B
             continue;
         }
         let delta_pct = (n.events_per_sec / o.events_per_sec - 1.0) * 100.0;
+        if worst.is_none_or(|(_, w)| delta_pct < w) {
+            worst = Some((&o.id, delta_pct));
+        }
         let regressed = -delta_pct > max_regress_pct;
         lines.push(format!(
             "{:<10} {:>12.0} -> {:>12.0} events/s ({:+.1}%){}",
@@ -799,7 +861,35 @@ pub fn bench_diff(old: &[BenchRow], new: &[BenchRow], max_regress_pct: f64) -> B
             lines.push(format!("{:<10} new experiment (no baseline)", n.id));
         }
     }
-    BenchDiffOutcome { lines, failures }
+    // The suite-level gate: aggregate throughput must hold up even when
+    // every per-experiment drop individually stays inside the allowance.
+    let old_agg = aggregate_events_per_sec(old);
+    let new_agg = aggregate_events_per_sec(new);
+    let agg_delta_pct = if old_agg > 0.0 { (new_agg / old_agg - 1.0) * 100.0 } else { 0.0 };
+    let agg_regressed = old_agg > 0.0 && -agg_delta_pct > max_regress_pct;
+    lines.push(format!(
+        "{:<10} {:>12.0} -> {:>12.0} events/s ({:+.1}%){}",
+        "aggregate",
+        old_agg,
+        new_agg,
+        agg_delta_pct,
+        if agg_regressed { "  REGRESSED" } else { "" }
+    ));
+    if agg_regressed {
+        failures.push(format!(
+            "aggregate: events/sec fell {:.1}% (from {:.0} to {:.0}; allowed {max_regress_pct}%)",
+            -agg_delta_pct, old_agg, new_agg
+        ));
+    }
+    let summary = format!(
+        "aggregate {:.2}M -> {:.2}M events/s ({:+.1}%); worst {}; {} failure(s)",
+        old_agg / 1e6,
+        new_agg / 1e6,
+        agg_delta_pct,
+        worst.map_or("n/a".to_string(), |(id, d)| format!("{id} {d:+.1}%")),
+        failures.len(),
+    );
+    BenchDiffOutcome { lines, failures, summary }
 }
 
 /// Recursively collect `.rs` files under `dir` (skipping `target/`).
@@ -983,6 +1073,33 @@ mod tests {
     }
 
     #[test]
+    fn shared_mutable_flagged_in_domain_execution_modules() {
+        let src = "let m = std::sync::Mutex::new(0);\n";
+        let (f, _) = lint_file(&ctx("openoptics-sim", "crates/sim/src/domain.rs"), src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "shared-mutable");
+        let (f, _) = lint_file(&ctx("openoptics-core", "crates/core/src/engine.rs"), src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        // RefCell counts too.
+        let (f, _) = lint_file(
+            &ctx("openoptics-sim", "crates/sim/src/event.rs"),
+            "use std::cell::RefCell;\n",
+        );
+        assert_eq!(f.len(), 1);
+        // Other modules of sim-path crates are out of scope.
+        let (f, _) = lint_file(&ctx("openoptics-sim", "crates/sim/src/rate.rs"), src);
+        assert!(f.is_empty(), "{f:?}");
+        // Non-sim-path crates (the bench harness pools results in locks).
+        let (f, _) = lint_file(&ctx("openoptics-bench", "crates/bench/src/par.rs"), src);
+        assert!(f.is_empty(), "{f:?}");
+        // A justified allow suppresses it.
+        let ok = "let m = std::sync::Mutex::new(0); \
+                  // oolint: allow(shared-mutable, merge point outside the epoch loop)\n";
+        let (f, _) = lint_file(&ctx("openoptics-sim", "crates/sim/src/domain.rs"), ok);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
     fn bool_api_exempts_predicates() {
         let bad = "pub fn connect(&mut self) -> bool {\n";
         let (f, _) = lint_file(&ctx("openoptics-core", "a.rs"), bad);
@@ -1144,6 +1261,7 @@ mod tests {
         let row = |id: &str, events: u64, eps: f64, analytic: bool| BenchRow {
             id: id.into(),
             events,
+            wall_s: if eps > 0.0 { events as f64 / eps } else { 0.0 },
             events_per_sec: eps,
             analytic,
         };
@@ -1166,8 +1284,34 @@ mod tests {
         assert!(out.lines.iter().any(|l| l.contains("REGRESSED")), "{:?}", out.lines);
         assert!(out.lines.iter().any(|l| l.contains("skipped")), "{:?}", out.lines);
         assert!(out.lines.iter().any(|l| l.contains("new experiment")), "{:?}", out.lines);
+        assert!(out.lines.iter().any(|l| l.starts_with("aggregate")), "{:?}", out.lines);
+        assert!(out.summary.contains("worst fig9"), "{}", out.summary);
         // Improvements and within-gate noise pass.
         assert!(bench_diff(&new[..1], &old[..1], 10.0).failures.is_empty());
+    }
+
+    #[test]
+    fn bench_diff_aggregate_catches_compounding_drops() {
+        // The aggregate gate weights experiments by wall time, so one slow
+        // experiment ballooning drags the suite figure down far more than
+        // the per-experiment average suggests.
+        let row = |id: &str, events: u64, wall_s: f64| BenchRow {
+            id: id.into(),
+            events,
+            wall_s,
+            events_per_sec: events as f64 / wall_s,
+            analytic: false,
+        };
+        let old = vec![row("a", 1_000_000, 0.1), row("b", 1_000_000, 1.0)];
+        // "a" unchanged; "b" slows 3x: b's own delta (-66%) fails, and so
+        // does the aggregate (1.82M -> 0.65M events/s).
+        let new = vec![row("a", 1_000_000, 0.1), row("b", 1_000_000, 3.0)];
+        let out = bench_diff(&old, &new, 50.0);
+        assert!(out.failures.iter().any(|f| f.starts_with("aggregate:")), "{:?}", out.failures);
+        // Identical reports: aggregate is flat, nothing fails.
+        let out = bench_diff(&old, &old, 10.0);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert!(out.summary.contains("(+0.0%)"), "{}", out.summary);
     }
 
     #[test]

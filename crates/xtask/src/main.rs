@@ -20,7 +20,7 @@ fn workspace_root() -> PathBuf {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cargo run -p xtask -- lint [--update] [--root PATH]\n       \
-         cargo run -p xtask -- bench-diff <old.json> <new.json> [--max-regress PCT]"
+         cargo run -p xtask -- bench-diff <old.json> <new.json> [--max-regress PCT] [--summary]"
     );
     ExitCode::FAILURE
 }
@@ -89,6 +89,7 @@ fn lint_cmd(args: &[String]) -> ExitCode {
 fn bench_diff_cmd(args: &[String]) -> ExitCode {
     let mut paths: Vec<&String> = Vec::new();
     let mut max_regress = 10.0f64;
+    let mut summary = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -99,6 +100,7 @@ fn bench_diff_cmd(args: &[String]) -> ExitCode {
                 };
                 max_regress = pct;
             }
+            "--summary" => summary = true,
             other if !other.starts_with("--") => paths.push(a),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -124,6 +126,15 @@ fn bench_diff_cmd(args: &[String]) -> ExitCode {
         }
     };
     let out = xtask::bench_diff(&old, &new, max_regress);
+    if summary {
+        // One line, pass or fail — for commit messages and CI step names.
+        println!(
+            "bench-diff: {} {}",
+            if out.failures.is_empty() { "ok" } else { "FAIL" },
+            out.summary
+        );
+        return if out.failures.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
     for l in &out.lines {
         println!("{l}");
     }

@@ -164,6 +164,73 @@ proptest! {
         prop_assert!(net.events_scheduled() > 0);
     }
 
+    /// The parallel-engine contract: `NetConfig::workers` must never change
+    /// any export. Serial (`workers = 1`) and epoch-stepped (`workers` in
+    /// {2, 4, 8}) runs of the same randomized quick-mode configuration —
+    /// including a randomized fault plan — must produce byte-identical
+    /// telemetry, lifecycle spans, and fault reports.
+    #[test]
+    fn workers_never_change_exports(
+        n in 4u32..9,
+        slice_us in 1u64..4,
+        seed in 0u64..1_000,
+        arch_pick in 0u8..3,
+        fault_pick in 0u8..4,
+    ) {
+        use openoptics::faults::FaultPlan;
+        use openoptics::prelude::*;
+        let run = |workers: usize| -> (String, String, String) {
+            let cfg = NetConfig::builder()
+                .node_num(n)
+                .uplink(1)
+                .hosts_per_node(1)
+                .slice_ns(slice_us * 50_000)
+                .guard_ns(1_000)
+                .span_sample_every(4)
+                .seed(seed)
+                .workers(workers)
+                .build()
+                .expect("sampled config is valid");
+            let mut net = match arch_pick {
+                0 => archs::clos(cfg),
+                1 => archs::rotornet(cfg),
+                _ => archs::opera(cfg),
+            };
+            let plan = match fault_pick {
+                0 => None,
+                1 => Some(FaultPlan::builder().link_down(NodeId(1), PortId(0), 200_000, 900_000)),
+                2 => Some(FaultPlan::builder().transceiver_flap(
+                    NodeId(2),
+                    PortId(0),
+                    40,
+                    100_000,
+                    900_000,
+                )),
+                _ => Some(FaultPlan::builder().nic_pause_storm(NodeId(0), 300_000, 1_200_000)),
+            }
+            .map(|b| b.build().expect("sampled plan is valid"));
+            if let Some(p) = &plan {
+                net.inject_faults(p).expect("plan validates against this net");
+            }
+            let stop = SimTime::from_ms(2);
+            let clients = (1..n).map(HostId).collect();
+            net.add_memcached(MemcachedParams::paper(), HostId(0), clients, stop);
+            net.run_for(SimTime::from_ms(3));
+            (
+                net.export_telemetry("json").expect("telemetry is on"),
+                net.export_spans_chrome_trace().expect("spans are on"),
+                format!("{:?}", net.fault_report()),
+            )
+        };
+        let serial = run(1);
+        for workers in [2usize, 4, 8] {
+            let sharded = run(workers);
+            prop_assert_eq!(&sharded.0, &serial.0, "telemetry diverged at {} workers", workers);
+            prop_assert_eq!(&sharded.1, &serial.1, "spans diverged at {} workers", workers);
+            prop_assert_eq!(&sharded.2, &serial.2, "fault report diverged at {} workers", workers);
+        }
+    }
+
     /// The wildcard reduction: a schedule of held circuits routes
     /// identically from every arrival slice.
     #[test]
