@@ -292,7 +292,7 @@ fn bench_engine_end_to_end() {
             sync_err_ns: 0,
             ..Default::default()
         };
-        let mut net = archs::rotornet(cfg);
+        let mut net = archs::rotornet(cfg).expect("rotornet deploys");
         net.add_flow(SimTime::from_ns(100), HostId(0), HostId(5), 100_000, TransportKind::Paced);
         net.run_for(SimTime::from_ms(1));
         black_box(net.fct().completed().len())

@@ -1,7 +1,7 @@
 //! Batched-drain micro-benchmark: `EventQueue::pop_before` vs single-pop.
 //!
 //! The epoch-stepped engine drains a whole conservative-lookahead window
-//! per domain per sync through the fused [`EventQueue::pop_before`]
+//! per domain per sync through the fused [`openoptics_sim::EventQueue::pop_before`]
 //! primitive (one bucket lookup per delivered event). The pre-batching
 //! driver did the same work as a `peek_time` + `pop` pair — two traversals
 //! of the calendar structure per event. This micro-benchmark runs an

@@ -78,7 +78,8 @@ const SCENARIOS: [&str; 6] = [
 /// Run the six scenarios; each is an independent parallel point.
 pub fn run(ms: u64) -> Vec<FaultsRow> {
     par::par_map(SCENARIOS.len(), |i| {
-        let mut net = archs::rotornet_with(faults_cfg(), Vlb, MultipathMode::PerPacket);
+        let mut net = archs::rotornet_with(faults_cfg(), Vlb, MultipathMode::PerPacket)
+            .expect("rotornet deploys");
         if i > 0 {
             net.inject_faults(&plan_for(i)).expect("plans target the testbed");
         }

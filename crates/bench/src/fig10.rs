@@ -45,8 +45,11 @@ pub fn run(duration_ms: u64) -> Vec<Fig10Row> {
         let mut cfg = util::testbed(dev.min_slice_ns, 2);
         cfg.guard_ns = dev.guardband_ns();
         let mut net = match routing {
-            "vlb" => archs::rotornet_with(cfg, Vlb, MultipathMode::PerPacket),
-            _ => archs::rotornet_with(cfg, Ucmp::default(), MultipathMode::PerPacket),
+            "vlb" => {
+                archs::rotornet_with(cfg, Vlb, MultipathMode::PerPacket).expect("rotornet deploys")
+            }
+            _ => archs::rotornet_with(cfg, Ucmp::default(), MultipathMode::PerPacket)
+                .expect("rotornet deploys"),
         };
         let stop = SimTime::from_ms(duration_ms);
         util::attach_memcached(&mut net, stop);

@@ -32,7 +32,7 @@ pub struct Fig13Row {
 fn measure(emulated: bool, probes: u64) -> Fig13Row {
     let mut cfg = util::testbed(100_000, 1);
     cfg.emulated_fabric = emulated;
-    let mut net = archs::rotornet(cfg);
+    let mut net = archs::rotornet(cfg).expect("rotornet deploys");
     let train = net.add_probe_train(HostId(0), HostId(5), 50_000, probes, 100);
     net.run_for(SimTime::from_ms(probes / 20 * 2 + 50));
     par::note_net(&net);

@@ -70,7 +70,7 @@ fn architecture_with_spans(
         "opera" => archs::opera(cfg()),
         _ => archs::rotornet_with(cfg(), Ucmp::default(), MultipathMode::PerPacket),
     };
-    (ARCH_NAMES[i], net)
+    (ARCH_NAMES[i], net.expect("preset architecture deploys"))
 }
 
 /// Architecture whose fig. 8(a) point records lifecycle spans when span
@@ -173,14 +173,18 @@ pub fn run_allreduce(data_bytes: u64) -> Vec<AllreduceRow> {
             "c-through" => {
                 let mut c = util::testbed(TO_SLICE_NS, 2);
                 c.elephant_threshold = 100_000;
-                ("c-through", archs::cthrough(c, &tm))
+                ("c-through", archs::cthrough(c, &tm).expect("c-through deploys"))
             }
             "jupiter" => {
-                let mut net = archs::jupiter(util::testbed(TO_SLICE_NS, 2));
-                archs::jupiter_reconfigure(&mut net, &tm);
+                let mut net =
+                    archs::jupiter(util::testbed(TO_SLICE_NS, 2)).expect("jupiter deploys");
+                net.reconfigure(&tm).expect("jupiter evolution stays valid");
                 ("jupiter", net)
             }
-            "mordia" => ("mordia", archs::mordia(util::testbed(TO_SLICE_NS, 2), &tm, 8)),
+            "mordia" => (
+                "mordia",
+                archs::mordia(util::testbed(TO_SLICE_NS, 2), &tm, 8).expect("mordia deploys"),
+            ),
             _ => architecture(i, 2),
         };
         let hosts: Vec<HostId> = (0..8).map(HostId).collect();

@@ -13,11 +13,13 @@
 
 use crate::par;
 use crate::util::{self, Table};
-use openoptics_core::{archs, DispatchPolicy, PauseMode, TransportKind};
+use openoptics_core::{
+    archs, Architecture, DispatchPolicy, OpenOpticsNet, PauseMode, TransportKind,
+};
 use openoptics_host::tcp::TcpConfig;
 use openoptics_proto::HostId;
 use openoptics_routing::algos::{Direct, Vlb};
-use openoptics_routing::MultipathMode;
+use openoptics_routing::{LookupMode, MultipathMode};
 use openoptics_sim::time::SimTime;
 
 /// One measured configuration.
@@ -96,26 +98,39 @@ pub fn run(ms: u64) -> Vec<Fig9Row> {
     par::par_map(2 * SETUPS, |i| {
         let dupack = [3u32, 5][i / SETUPS];
         match i % SETUPS {
-            0 => measure("clos", archs::clos(iperf_cfg()), dupack, ms),
+            0 => measure("clos", archs::clos(iperf_cfg()).expect("clos deploys"), dupack, ms),
             1 => {
                 let mut direct_cfg = iperf_cfg();
                 // Direct-circuit traffic waits for its own circuit rather
                 // than deferring onto another pair's slice.
                 direct_cfg.congestion_policy = "wait".to_string();
-                let mut direct = archs::rotornet_with(direct_cfg, Direct, MultipathMode::None);
-                direct.engine.pause_mode = PauseMode::DirectCircuit;
+                let direct = OpenOpticsNet::deploy(
+                    direct_cfg,
+                    Architecture::rotornet().with_pause(PauseMode::DirectCircuit),
+                    Box::new(Direct),
+                    LookupMode::PerHop,
+                    MultipathMode::None,
+                )
+                .expect("rotornet-direct deploys");
                 measure("rotornet-direct", direct, dupack, ms)
             }
             2 => {
-                let vlb = archs::rotornet_with(iperf_cfg(), Vlb, MultipathMode::PerPacket);
+                let vlb = archs::rotornet_with(iperf_cfg(), Vlb, MultipathMode::PerPacket)
+                    .expect("rotornet deploys");
                 measure("rotornet-vlb", vlb, dupack, ms)
             }
             3 => {
                 let mut hybrid_cfg = iperf_cfg();
                 hybrid_cfg.electrical_gbps = 10;
                 hybrid_cfg.congestion_policy = "wait".to_string();
-                let mut hybrid = archs::rotornet_with(hybrid_cfg, Direct, MultipathMode::None);
-                hybrid.engine.policy = DispatchPolicy::HybridDirect;
+                let hybrid = OpenOpticsNet::deploy(
+                    hybrid_cfg,
+                    Architecture::rotornet().with_dispatch(DispatchPolicy::HybridDirect),
+                    Box::new(Direct),
+                    LookupMode::PerHop,
+                    MultipathMode::None,
+                )
+                .expect("rotornet-hybrid deploys");
                 measure("rotornet-hybrid", hybrid, dupack, ms)
             }
             _ => {
@@ -125,8 +140,14 @@ pub fn run(ms: u64) -> Vec<Fig9Row> {
                 let mut hybrid_cfg = iperf_cfg();
                 hybrid_cfg.electrical_gbps = 10;
                 hybrid_cfg.congestion_policy = "wait".to_string();
-                let mut hybrid_td = archs::rotornet_with(hybrid_cfg, Direct, MultipathMode::None);
-                hybrid_td.engine.policy = DispatchPolicy::HybridDirect;
+                let hybrid_td = OpenOpticsNet::deploy(
+                    hybrid_cfg,
+                    Architecture::rotornet().with_dispatch(DispatchPolicy::HybridDirect),
+                    Box::new(Direct),
+                    LookupMode::PerHop,
+                    MultipathMode::None,
+                )
+                .expect("rotornet-hybrid deploys");
                 measure_with(
                     "rotornet-hybrid-tdtcp",
                     hybrid_td,

@@ -28,6 +28,8 @@ pub mod fig9;
 pub mod minslice;
 pub mod overhead;
 pub mod par;
+/// The architecture × routing composition matrix (`experiments sweep`).
+pub mod sweep;
 pub mod table2;
 pub mod table3;
 pub mod table4;

@@ -4,8 +4,16 @@
 //! ```text
 //! experiments <id> [--quick] [--jobs N] [--workers N] [--profile]
 //!   ids: fig8a fig8b fig9 fig10 fig11 fig12 fig13 fig14
-//!        table2 table3 table4 ablations minslice faults all
+//!        table2 table3 table4 ablations minslice faults sweep all
 //! ```
+//!
+//! `sweep` runs the architecture × routing composition matrix (every
+//! preset architecture against every routing scheme, × load, × fault
+//! plan in full mode) through `OpenOpticsNet::deploy`, recording skipped
+//! incompatible pairings with their typed rejection reason. It is *not*
+//! part of `all` (its grid dwarfs the paper experiments); per-cell
+//! events/s and FCT stats land in `BENCH_engine.json` under
+//! `sweep:<arch>x<algo>@<load>/<fault>` ids.
 //!
 //! `--quick` shrinks measurement windows for smoke runs (used by CI and the
 //! `figures` bench); the default windows are the EXPERIMENTS.md settings.
@@ -46,7 +54,7 @@ const ANALYTIC: &[&str] = &["fig11", "fig12", "fig14", "table2", "minslice"];
 
 /// One experiment's instrumentation record.
 struct ExpStat {
-    id: &'static str,
+    id: String,
     wall_s: f64,
     events: u64,
     /// Process peak RSS (VmHWM) observed when the experiment finished, MB.
@@ -54,6 +62,9 @@ struct ExpStat {
     /// "the suite never needed more than this much memory up to and
     /// including this experiment".
     peak_rss_mb: f64,
+    /// Extra JSON key/value pairs appended to this record verbatim
+    /// (leading comma included) — per-cell sweep stats ride here.
+    extra: String,
 }
 
 /// Process peak resident set size in MB (`VmHWM` from `/proc/self/status`),
@@ -105,7 +116,7 @@ fn main() {
         .map(|(_, a)| a.clone())
         .next()
         .unwrap_or_else(|| {
-            eprintln!("usage: experiments <fig8a|fig8b|fig9|fig10|fig11|fig12|fig13|fig14|table2|table3|table4|ablations|minslice|faults|all> [--quick] [--jobs N] [--workers N] [--profile]");
+            eprintln!("usage: experiments <fig8a|fig8b|fig9|fig10|fig11|fig12|fig13|fig14|table2|table3|table4|ablations|minslice|faults|sweep|all> [--quick] [--jobs N] [--workers N] [--profile]");
             std::process::exit(2);
         });
     let all = which == "all";
@@ -150,7 +161,13 @@ fn main() {
                 retx,
             );
         }
-        stats.push(ExpStat { id, wall_s, events, peak_rss_mb: peak_rss_mb() });
+        stats.push(ExpStat {
+            id: id.to_string(),
+            wall_s,
+            events,
+            peak_rss_mb: peak_rss_mb(),
+            extra: String::new(),
+        });
     };
 
     if run("fig8a") {
@@ -302,6 +319,48 @@ fn main() {
         });
     }
 
+    // Deliberately not part of `all`: the composition matrix is a harness
+    // gate (CI byte-identity + compatibility coverage), not a paper figure,
+    // and `experiments_full.txt` stays byte-stable without it.
+    if which == "sweep" {
+        ran = true;
+        section("Sweep — architecture x routing composition matrix");
+        let mut cells: Vec<x::sweep::Cell> = Vec::new();
+        instrument(&mut stats, "sweep", &mut || {
+            cells = x::sweep::run(quick);
+            print!("{}", x::sweep::render(&cells));
+        });
+        let rss = peak_rss_mb();
+        for c in &cells {
+            let (events, extra) = match &c.outcome {
+                x::sweep::Outcome::Ran { completed, total, p50_us, p99_us } => (
+                    c.events,
+                    format!(
+                        ", \"load\": {:.1}, \"fault\": \"{}\", \"completed\": {completed}, \
+                         \"flows\": {total}, \"fct_p50_us\": {:.1}, \"fct_p99_us\": {:.1}",
+                        c.load, c.fault, p50_us, p99_us
+                    ),
+                ),
+                x::sweep::Outcome::Skipped { reason } => (
+                    0,
+                    format!(
+                        ", \"load\": {:.1}, \"fault\": \"{}\", \"skipped\": \"{}\"",
+                        c.load,
+                        c.fault,
+                        json_escape(reason)
+                    ),
+                ),
+            };
+            stats.push(ExpStat {
+                id: format!("sweep:{}x{}@{:.1}/{}", c.arch, c.algo, c.load, c.fault),
+                wall_s: c.wall_s,
+                events,
+                peak_rss_mb: rss,
+                extra,
+            });
+        }
+    }
+
     if !ran {
         eprintln!("unknown experiment id: {which}");
         std::process::exit(2);
@@ -340,19 +399,25 @@ fn write_bench_json(stats: &[ExpStat], overhead_pct: f64, drain_single: f64, dra
     for (i, s) in stats.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"id\": \"{}\", \"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}, \
-             \"workers\": {}, \"peak_rss_mb\": {:.1}{}}}{}\n",
+             \"workers\": {}, \"peak_rss_mb\": {:.1}{}{}}}{}\n",
             s.id,
             s.wall_s,
             s.events,
             if s.wall_s > 0.0 { s.events as f64 / s.wall_s } else { 0.0 },
             x::par::workers(),
             s.peak_rss_mb,
-            if ANALYTIC.contains(&s.id) { ", \"analytic\": true" } else { "" },
+            s.extra,
+            if ANALYTIC.contains(&s.id.as_str()) { ", \"analytic\": true" } else { "" },
             if i + 1 < stats.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
     write_artifact("BENCH_engine.json", &out);
+}
+
+/// Minimal JSON string escaping for recorded skip reasons.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// Write one run artifact to the working directory, reporting the outcome

@@ -48,9 +48,13 @@ fn build(routing: &'static str, offload: bool) -> OpenOpticsNet {
     cfg.offload_keep_ranks = 2;
     cfg.offload_return_lead_ns = 50_000;
     match routing {
-        "vlb" => archs::rotornet_with(cfg, Vlb, MultipathMode::PerPacket),
-        "hoho" => archs::rotornet_with(cfg, Hoho::default(), MultipathMode::None),
-        _ => archs::rotornet_with(cfg, Ucmp::default(), MultipathMode::PerPacket),
+        "vlb" => {
+            archs::rotornet_with(cfg, Vlb, MultipathMode::PerPacket).expect("rotornet deploys")
+        }
+        "hoho" => archs::rotornet_with(cfg, Hoho::default(), MultipathMode::None)
+            .expect("rotornet deploys"),
+        _ => archs::rotornet_with(cfg, Ucmp::default(), MultipathMode::PerPacket)
+            .expect("rotornet deploys"),
     }
 }
 

@@ -46,7 +46,8 @@ fn build(detection: bool, pushback: bool) -> OpenOpticsNet {
     // Let the slice-capacity condition (the paper's novel detector) bind;
     // the classical threshold sits near queue capacity.
     cfg.congestion_threshold = 6 * 1024 * 1024;
-    let mut net = archs::rotornet_with(cfg, Hoho::default(), MultipathMode::None);
+    let mut net =
+        archs::rotornet_with(cfg, Hoho::default(), MultipathMode::None).expect("rotornet deploys");
     net.engine.record_delays = true;
     // Open-loop trace replay: measure first-transmission loss and delay,
     // not a retransmission storm.

@@ -1,152 +1,127 @@
-//! Preset architectures (Fig. 5 and §6 Case I).
+//! Preset architectures (Fig. 5 and §6 Case I) — thin wrappers over the
+//! unified composition API.
 //!
 //! Each builder mirrors one of the paper's example programs: a static
-//! configuration plus a few API calls. They return a ready
-//! [`OpenOpticsNet`]; attach workloads and call `run_for` to experiment.
+//! configuration plus a few API calls. Since the composition redesign they
+//! are all one-liners over [`OpenOpticsNet::deploy`] with the matching
+//! [`Architecture`] descriptor and its canonical routing pairing; prefer
+//! calling `deploy` directly in new code — it is what lets any routing
+//! scheme pair with any architecture (or be rejected with a typed
+//! [`Error::Config`]).
 //!
-//! | builder | class | schedule | routing | fabric |
+//! | builder | descriptor | class | schedule | default routing |
 //! |---|---|---|---|---|
-//! | [`clos`] | baseline | none | — | electrical only |
-//! | [`cthrough`] | TA-1 | Edmonds max-weight matching | direct (elephants) | MEMS + electrical |
-//! | [`jupiter`] | TA-2 | evolving uniform mesh | WCMP | MEMS |
-//! | [`mordia`] | TA-1 | BvN decomposition | direct per slice | emulated |
-//! | [`rotornet`] | TO | 1-D round robin | VLB (or caller's) | emulated |
-//! | [`opera`] | TO | per-slice expanders | Opera source routing | emulated |
-//! | [`semi_oblivious`] | TA+TO | SORN skewed round robin | VLB | emulated |
+//! | [`clos`] | [`Architecture::clos`] | baseline | none | — (electrical only) |
+//! | [`cthrough`] | [`Architecture::cthrough`] | TA-1 | Edmonds max-weight matching | direct (elephants) |
+//! | [`jupiter`] | [`Architecture::jupiter`] | TA-2 | evolving uniform mesh | WCMP |
+//! | [`mordia`] | [`Architecture::mordia`] | TA-1 | BvN decomposition | direct per slice |
+//! | [`rotornet`] | [`Architecture::rotornet`] | TO | 1-D round robin | VLB (or caller's) |
+//! | [`opera`] | [`Architecture::opera`] | TO | per-slice expanders | Opera source routing |
+//! | [`shale`] | [`Architecture::shale`] | TO | multi-dim round robin | HOHO |
+//! | [`semi_oblivious`] | [`Architecture::semi_oblivious`] | TA+TO | SORN skewed round robin | VLB |
+//!
+//! All builders return `Result<OpenOpticsNet, Error>`: invalid schedules
+//! (e.g. a conflicting matching) surface as [`Error::Deploy`] instead of
+//! the panics the pre-redesign builders hid behind `expect`.
 
+use crate::arch::Architecture;
 use crate::config::NetConfig;
-use crate::engine::{DispatchPolicy, PauseMode};
+use crate::error::Error;
 use crate::net::OpenOpticsNet;
-use openoptics_routing::algos::{Direct, Hoho, OperaRouting, Vlb, Wcmp};
 use openoptics_routing::{LookupMode, MultipathMode, RoutingAlgorithm};
-use openoptics_topo::bvn::mordia_schedule;
-use openoptics_topo::expander::opera_schedule;
-use openoptics_topo::jupiter::{evolve, uniform_mesh};
-use openoptics_topo::matching::edmonds_multi;
-use openoptics_topo::round_robin::{round_robin, round_robin_multidim};
-use openoptics_topo::sorn::sorn;
 use openoptics_topo::TrafficMatrix;
 
 /// Traditional Clos baseline: everything rides the electrical fabric.
-/// `cfg.electrical_gbps` must be non-zero.
-pub fn clos(mut cfg: NetConfig) -> OpenOpticsNet {
-    if cfg.electrical_gbps == 0 {
-        cfg.electrical_gbps = 100;
-    }
-    let mut net = OpenOpticsNet::new(cfg);
-    net.engine.policy = DispatchPolicy::ElectricalOnly;
-    net
+/// `cfg.electrical_gbps` defaults to 100 when left 0.
+///
+/// Deprecated in favor of
+/// `OpenOpticsNet::deploy_preset(cfg, Architecture::clos())`.
+pub fn clos(cfg: NetConfig) -> Result<OpenOpticsNet, Error> {
+    OpenOpticsNet::deploy_preset(cfg, Architecture::clos())
 }
 
 /// c-Through (TA-1): a parallel electrical fabric carries mice; elephants
 /// are paused at hosts and released over max-weight-matching circuits on
 /// the MEMS OCS, recomputed from the traffic matrix per reconfiguration.
-pub fn cthrough(mut cfg: NetConfig, tm: &TrafficMatrix) -> OpenOpticsNet {
-    if cfg.electrical_gbps == 0 {
-        cfg.electrical_gbps = 10; // rate-limited as in the original design (§6)
-    }
-    cfg.emulated_fabric = false; // real MEMS OCS
-                                 // Direct-circuit traffic must wait for its own circuit; deferring onto
-                                 // a different pair's slice would strand packets (as for Mordia).
-    cfg.congestion_policy = "wait".to_string();
-    let uplinks = cfg.uplink;
-    let mut net = OpenOpticsNet::new(cfg);
-    let circuits = edmonds_multi(tm, uplinks);
-    net.deploy_topo(&circuits, 1).expect("matching is conflict-free");
-    net.deploy_routing(Direct, LookupMode::PerHop, MultipathMode::None);
-    net.engine.policy = DispatchPolicy::MiceElectrical;
-    net.engine.pause_mode = PauseMode::DirectCircuit;
-    net
+///
+/// Deprecated in favor of
+/// `OpenOpticsNet::deploy_preset(cfg, Architecture::cthrough(tm))`.
+pub fn cthrough(cfg: NetConfig, tm: &TrafficMatrix) -> Result<OpenOpticsNet, Error> {
+    OpenOpticsNet::deploy_preset(cfg, Architecture::cthrough(tm))
 }
 
 /// Reconfigure a running c-Through network for a fresh traffic matrix.
-pub fn cthrough_reconfigure(net: &mut OpenOpticsNet, tm: &TrafficMatrix) {
-    let circuits = edmonds_multi(tm, net.engine.cfg.uplink);
-    net.deploy_topo(&circuits, 1).expect("matching is conflict-free");
-    net.deploy_routing(Direct, LookupMode::PerHop, MultipathMode::None);
+///
+/// Deprecated in favor of the single reconfigure hook,
+/// [`OpenOpticsNet::reconfigure`].
+pub fn cthrough_reconfigure(net: &mut OpenOpticsNet, tm: &TrafficMatrix) -> Result<(), Error> {
+    net.reconfigure(tm)
 }
 
 /// Jupiter (TA-2): starts from a uniform mesh (empty TM) with WCMP; call
 /// [`jupiter_reconfigure`] with a collected TM to evolve the topology
 /// (the paper does so every 24 h).
-pub fn jupiter(mut cfg: NetConfig) -> OpenOpticsNet {
-    cfg.emulated_fabric = false; // MEMS-class OCS
-    if cfg.uplink < 2 {
-        cfg.uplink = 2; // a mesh needs multiple stripes
-    }
-    let (nodes, uplinks) = (cfg.node_num, cfg.uplink);
-    let mut net = OpenOpticsNet::new(cfg);
-    let mesh = uniform_mesh(nodes, uplinks);
-    net.deploy_topo(&mesh, 1).expect("uniform mesh is conflict-free");
-    net.deploy_routing(Wcmp::default(), LookupMode::PerHop, MultipathMode::PerFlow);
-    net.engine.policy = DispatchPolicy::OpticalOnly;
-    net
+///
+/// Deprecated in favor of
+/// `OpenOpticsNet::deploy_preset(cfg, Architecture::jupiter())`.
+pub fn jupiter(cfg: NetConfig) -> Result<OpenOpticsNet, Error> {
+    OpenOpticsNet::deploy_preset(cfg, Architecture::jupiter())
 }
 
 /// One Jupiter evolution step toward a new traffic matrix.
-pub fn jupiter_reconfigure(net: &mut OpenOpticsNet, tm: &TrafficMatrix) {
-    let (nodes, uplinks) = (net.engine.cfg.node_num, net.engine.cfg.uplink);
-    let prev = net.engine.schedule().circuits().to_vec();
-    let next = evolve(&prev, tm, nodes, uplinks);
-    net.deploy_topo(&next, 1).expect("evolved mesh is conflict-free");
-    net.deploy_routing(Wcmp::default(), LookupMode::PerHop, MultipathMode::PerFlow);
+///
+/// Deprecated in favor of the single reconfigure hook,
+/// [`OpenOpticsNet::reconfigure`].
+pub fn jupiter_reconfigure(net: &mut OpenOpticsNet, tm: &TrafficMatrix) -> Result<(), Error> {
+    net.reconfigure(tm)
 }
 
 /// Mordia (TA-1 with microsecond slices): Birkhoff–von-Neumann decomposition
 /// of the traffic matrix apportioned over `num_slices` slices on the
 /// emulated fabric; traffic waits for its pair's slice (direct routing).
-pub fn mordia(mut cfg: NetConfig, tm: &TrafficMatrix, num_slices: u32) -> OpenOpticsNet {
-    // Mordia's schedule only lights demand pairs: a deferred packet would
-    // launch into a circuit with no onward route. Accept slice misses
-    // instead (Wait).
-    cfg.congestion_policy = "wait".to_string();
-    let mut net = OpenOpticsNet::new(cfg);
-    let (circuits, slices) = mordia_schedule(tm, num_slices);
-    net.deploy_topo(&circuits, slices).expect("BvN slices are matchings");
-    net.deploy_routing(Direct, LookupMode::PerHop, MultipathMode::None);
-    net.engine.policy = DispatchPolicy::OpticalOnly;
-    net
+///
+/// Deprecated in favor of
+/// `OpenOpticsNet::deploy_preset(cfg, Architecture::mordia(tm, num_slices))`.
+pub fn mordia(cfg: NetConfig, tm: &TrafficMatrix, num_slices: u32) -> Result<OpenOpticsNet, Error> {
+    OpenOpticsNet::deploy_preset(cfg, Architecture::mordia(tm, num_slices))
 }
 
 /// RotorNet (TO): 1-D round-robin schedule with VLB packet spraying —
 /// the Fig. 5(a) program.
-pub fn rotornet(cfg: NetConfig) -> OpenOpticsNet {
-    rotornet_with(cfg, Vlb, MultipathMode::PerPacket)
+///
+/// Deprecated in favor of
+/// `OpenOpticsNet::deploy_preset(cfg, Architecture::rotornet())`.
+pub fn rotornet(cfg: NetConfig) -> Result<OpenOpticsNet, Error> {
+    OpenOpticsNet::deploy_preset(cfg, Architecture::rotornet())
 }
 
 /// RotorNet with a caller-chosen routing scheme (UCMP, HOHO, direct — the
 /// §6 case studies run several on the same schedule).
+///
+/// Deprecated: this was the only pairing hook before the composition
+/// redesign; it is now literally
+/// `OpenOpticsNet::deploy(cfg, Architecture::rotornet(), algo, PerHop, multipath)`.
 pub fn rotornet_with<A: RoutingAlgorithm + 'static>(
     cfg: NetConfig,
     algo: A,
     multipath: MultipathMode,
-) -> OpenOpticsNet {
-    let (nodes, uplinks) = (cfg.node_num, cfg.uplink);
-    let mut net = OpenOpticsNet::new(cfg);
-    let (circuits, slices) = round_robin(nodes, uplinks);
-    net.deploy_topo(&circuits, slices).expect("round robin is conflict-free");
-    net.deploy_routing(algo, LookupMode::PerHop, multipath);
-    net.engine.policy = DispatchPolicy::OpticalOnly;
-    net
+) -> Result<OpenOpticsNet, Error> {
+    OpenOpticsNet::deploy(
+        cfg,
+        Architecture::rotornet(),
+        Box::new(algo),
+        LookupMode::PerHop,
+        multipath,
+    )
 }
 
 /// Opera (TO): per-slice connected expanders with source-routed
 /// within-slice shortest paths.
-pub fn opera(mut cfg: NetConfig) -> OpenOpticsNet {
-    if cfg.uplink < 2 {
-        cfg.uplink = 2; // Opera needs per-slice connectivity
-    }
-    let (nodes, uplinks) = (cfg.node_num, cfg.uplink);
-    let mut net = OpenOpticsNet::new(cfg);
-    let (circuits, slices) = opera_schedule(nodes, uplinks);
-    net.deploy_topo(&circuits, slices).expect("expander schedule is conflict-free");
-    net.deploy_routing(
-        OperaRouting::default(),
-        LookupMode::SourceRouting,
-        MultipathMode::PerPacket,
-    );
-    net.engine.policy = DispatchPolicy::OpticalOnly;
-    net
+///
+/// Deprecated in favor of
+/// `OpenOpticsNet::deploy_preset(cfg, Architecture::opera())`.
+pub fn opera(cfg: NetConfig) -> Result<OpenOpticsNet, Error> {
+    OpenOpticsNet::deploy_preset(cfg, Architecture::opera())
 }
 
 /// Shale (TO): a multi-dimensional round robin — nodes form a `dim`-D grid
@@ -155,37 +130,44 @@ pub fn opera(mut cfg: NetConfig) -> OpenOpticsNet {
 /// uplink per node"). Requires `node_num` to be a perfect `dim`-th power.
 /// Routed with HOHO, whose earliest-arrival tours naturally follow the
 /// grid's dimension-ordered circuits.
-pub fn shale(mut cfg: NetConfig, dim: u32) -> OpenOpticsNet {
-    cfg.uplink = 1;
-    let nodes = cfg.node_num;
-    let mut net = OpenOpticsNet::new(cfg);
-    let (circuits, slices) = round_robin_multidim(nodes, dim);
-    net.deploy_topo(&circuits, slices).expect("grid round robin is conflict-free");
-    net.deploy_routing(Hoho::default(), LookupMode::PerHop, MultipathMode::None);
-    net.engine.policy = DispatchPolicy::OpticalOnly;
-    net
+///
+/// Deprecated in favor of
+/// `OpenOpticsNet::deploy_preset(cfg, Architecture::shale(dim))`.
+pub fn shale(cfg: NetConfig, dim: u32) -> Result<OpenOpticsNet, Error> {
+    OpenOpticsNet::deploy_preset(cfg, Architecture::shale(dim))
 }
 
 /// Semi-oblivious (TA+TO, Fig. 5c): a skewed round-robin reflecting the
 /// traffic matrix, redeployed periodically by the caller via
 /// [`semi_oblivious_reconfigure`].
-pub fn semi_oblivious(cfg: NetConfig, tm: &TrafficMatrix, extra_slices: u32) -> OpenOpticsNet {
-    let (nodes, uplinks) = (cfg.node_num, cfg.uplink);
-    let mut net = OpenOpticsNet::new(cfg);
-    let (circuits, slices) = sorn(tm, nodes, uplinks, extra_slices);
-    net.deploy_topo(&circuits, slices).expect("sorn schedule is conflict-free");
-    net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
-    net.engine.policy = DispatchPolicy::OpticalOnly;
-    net
+///
+/// Deprecated in favor of
+/// `OpenOpticsNet::deploy_preset(cfg, Architecture::semi_oblivious(tm, extra_slices))`.
+pub fn semi_oblivious(
+    cfg: NetConfig,
+    tm: &TrafficMatrix,
+    extra_slices: u32,
+) -> Result<OpenOpticsNet, Error> {
+    OpenOpticsNet::deploy_preset(cfg, Architecture::semi_oblivious(tm, extra_slices))
 }
 
 /// Refresh a semi-oblivious schedule for a new TM (the 10-minute loop of
-/// Fig. 5c).
-pub fn semi_oblivious_reconfigure(net: &mut OpenOpticsNet, tm: &TrafficMatrix, extra_slices: u32) {
-    let (nodes, uplinks) = (net.engine.cfg.node_num, net.engine.cfg.uplink);
-    let (circuits, slices) = sorn(tm, nodes, uplinks, extra_slices);
-    net.deploy_topo(&circuits, slices).expect("sorn schedule is conflict-free");
-    net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+/// Fig. 5c), adjusting the extra-slice budget.
+///
+/// Deprecated in favor of the single reconfigure hook,
+/// [`OpenOpticsNet::reconfigure`] (adjust `extra_slices` via
+/// [`OpenOpticsNet::arch_mut`] when it changes).
+pub fn semi_oblivious_reconfigure(
+    net: &mut OpenOpticsNet,
+    tm: &TrafficMatrix,
+    extra_slices: u32,
+) -> Result<(), Error> {
+    if let Some(arch) = net.arch_mut() {
+        if let crate::arch::ScheduleGen::Sorn { extra_slices: e, .. } = arch.schedule_mut() {
+            *e = extra_slices;
+        }
+    }
+    net.reconfigure(tm)
 }
 
 #[cfg(test)]
@@ -216,7 +198,7 @@ mod tests {
 
     #[test]
     fn clos_carries_traffic_electrically() {
-        let mut net = clos(cfg8());
+        let mut net = clos(cfg8()).unwrap();
         let fct = run_one_flow(&mut net, 20_000);
         assert!(fct > 0);
         let (delivered, _) = net.engine.fabric_stats();
@@ -225,7 +207,7 @@ mod tests {
 
     #[test]
     fn rotornet_vlb_delivers() {
-        let mut net = rotornet(cfg8());
+        let mut net = rotornet(cfg8()).unwrap();
         run_one_flow(&mut net, 50_000);
         let (delivered, _) = net.engine.fabric_stats();
         assert!(delivered > 0);
@@ -233,7 +215,7 @@ mod tests {
 
     #[test]
     fn opera_delivers_with_source_routing() {
-        let mut net = opera(cfg8());
+        let mut net = opera(cfg8()).unwrap();
         run_one_flow(&mut net, 50_000);
     }
 
@@ -242,7 +224,7 @@ mod tests {
         let mut tm = TrafficMatrix::zeros(8);
         tm.set(NodeId(0), NodeId(5), 100.0);
         tm.set(NodeId(1), NodeId(2), 50.0);
-        let mut net = mordia(cfg8(), &tm, 8);
+        let mut net = mordia(cfg8(), &tm, 8).unwrap();
         run_one_flow(&mut net, 20_000);
     }
 
@@ -250,7 +232,7 @@ mod tests {
     fn jupiter_wcmp_delivers() {
         let mut cfg = cfg8();
         cfg.uplink = 2;
-        let mut net = jupiter(cfg);
+        let mut net = jupiter(cfg).unwrap();
         run_one_flow(&mut net, 20_000);
     }
 
@@ -260,7 +242,7 @@ mod tests {
         tm.set(NodeId(0), NodeId(5), 1e9);
         let mut cfg = cfg8();
         cfg.elephant_threshold = 100_000;
-        let mut net = cthrough(cfg, &tm);
+        let mut net = cthrough(cfg, &tm).unwrap();
         // A mouse (electrical) and an elephant (optical, paused until its
         // held circuit — which exists for pair 0-5).
         net.add_flow(SimTime::from_ns(100), HostId(1), HostId(2), 10_000, TransportKind::Paced);
@@ -273,7 +255,74 @@ mod tests {
     fn semi_oblivious_deploys_and_delivers() {
         let mut tm = TrafficMatrix::zeros(8);
         tm.set(NodeId(0), NodeId(5), 1000.0);
-        let mut net = semi_oblivious(cfg8(), &tm, 4);
+        let mut net = semi_oblivious(cfg8(), &tm, 4).unwrap();
         run_one_flow(&mut net, 50_000);
+    }
+
+    #[test]
+    fn reconfigure_hook_shared_by_all_wrappers() {
+        // jupiter → evolve; cthrough → fresh matching; semi_oblivious →
+        // new SORN slice count. All through OpenOpticsNet::reconfigure.
+        let mut tm = TrafficMatrix::zeros(8);
+        tm.set(NodeId(0), NodeId(5), 500.0);
+
+        let mut net = jupiter(cfg8()).unwrap();
+        jupiter_reconfigure(&mut net, &tm).unwrap();
+        run_one_flow(&mut net, 20_000);
+
+        let mut net = cthrough(cfg8(), &tm).unwrap();
+        cthrough_reconfigure(&mut net, &tm).unwrap();
+
+        let mut net = semi_oblivious(cfg8(), &tm, 2).unwrap();
+        let before = net.engine.schedule().slice_config().num_slices;
+        semi_oblivious_reconfigure(&mut net, &tm, 6).unwrap();
+        let after = net.engine.schedule().slice_config().num_slices;
+        assert!(after > before, "extra slices must grow the schedule ({before} -> {after})");
+    }
+
+    #[test]
+    fn reconfigure_without_descriptor_is_typed_error() {
+        let mut net = OpenOpticsNet::new(cfg8());
+        let e = net.reconfigure(&TrafficMatrix::zeros(8)).unwrap_err();
+        assert!(matches!(e, Error::Config(_)), "got {e}");
+    }
+
+    #[test]
+    fn incompatible_pairings_are_rejected_with_config_errors() {
+        use openoptics_routing::algos::{Ecmp, Ucmp, Vlb};
+        fn rejection(r: Result<OpenOpticsNet, Error>) -> Error {
+            match r {
+                Err(e) => e,
+                Ok(_) => panic!("pairing should have been rejected"),
+            }
+        }
+        // TO scheme on a held instance.
+        let e = rejection(OpenOpticsNet::deploy(
+            cfg8(),
+            Architecture::jupiter(),
+            Box::new(Vlb),
+            LookupMode::PerHop,
+            MultipathMode::PerPacket,
+        ));
+        assert!(matches!(e, Error::Config(_)), "got {e}");
+        // Source routing on a real (non-emulated) OCS fabric.
+        let tm = TrafficMatrix::zeros(8);
+        let e = rejection(OpenOpticsNet::deploy(
+            cfg8(),
+            Architecture::cthrough(&tm),
+            Box::new(Ucmp::default()),
+            LookupMode::PerHop,
+            MultipathMode::PerPacket,
+        ));
+        assert!(matches!(e, Error::Config(_)), "got {e}");
+        // Within-instance search over sparse round-robin matchings.
+        let e = rejection(OpenOpticsNet::deploy(
+            cfg8(),
+            Architecture::rotornet(),
+            Box::new(Ecmp::default()),
+            LookupMode::PerHop,
+            MultipathMode::PerFlow,
+        ));
+        assert!(matches!(e, Error::Config(_)), "got {e}");
     }
 }

@@ -1032,6 +1032,32 @@ impl Engine {
         }
     }
 
+    /// Move the routing scheme out of `from` into this engine, updating its
+    /// TA flag for this engine's schedule. Used when `deploy_topo` replaces
+    /// an unprimed engine wholesale: the routing deployed on the old engine
+    /// survives the swap (route tables start empty in a fresh engine, so
+    /// there is nothing stale to clear).
+    pub(crate) fn adopt_router(&mut self, from: &mut Engine, ta: bool) {
+        self.router = from.router.take();
+        if let Some(spec) = &mut self.router {
+            spec.ta = ta;
+        }
+    }
+
+    /// Re-derive the router's TA flag after a schedule change (a
+    /// reconfiguration can move between a held instance and a rotating
+    /// schedule, e.g. SORN growing extra slices).
+    pub(crate) fn refresh_router_ta(&mut self, ta: bool) {
+        if let Some(spec) = &mut self.router {
+            spec.ta = ta;
+        }
+    }
+
+    /// Whether a routing scheme is installed.
+    pub fn has_router(&self) -> bool {
+        self.router.is_some()
+    }
+
     /// Replace the optical schedule (TA reconfiguration). Honors the OCS
     /// reconfiguration delay; routing tables are cleared so new paths are
     /// computed against the new topology.

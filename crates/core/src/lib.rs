@@ -18,6 +18,9 @@
 //! * [`workflow`] — the unified TA control loop
 //!   (`while TM = collect(): reconfigure`).
 
+/// Architecture descriptors: schedule generators, fabric classes,
+/// dispatch/pause defaults, and the routing compatibility contract.
+pub mod arch;
 pub mod archs;
 pub mod config;
 pub mod engine;
@@ -26,6 +29,7 @@ pub mod json;
 pub mod net;
 pub mod workflow;
 
+pub use arch::{check_compat, ArchClass, Architecture, RoutingChoice, ScheduleGen};
 pub use config::{ConfigError, NetConfig, NetConfigBuilder};
 pub use engine::{DispatchPolicy, Engine, PauseMode, TransportKind};
 pub use error::Error;

@@ -2,21 +2,30 @@
 //!
 //! A user creates an [`OpenOpticsNet`] from a static configuration, then
 //! calls the topology, routing, and monitoring APIs — the Rust rendering of
-//! the paper's Python front end:
+//! the paper's Python front end. The composed entry point pairs an
+//! [`Architecture`] descriptor with any compatible routing scheme:
 //!
 //! ```
-//! use openoptics_core::{NetConfig, OpenOpticsNet};
+//! use openoptics_core::{Architecture, NetConfig, OpenOpticsNet};
 //! use openoptics_routing::algos::Vlb;
 //! use openoptics_routing::{LookupMode, MultipathMode};
-//! use openoptics_topo::round_robin;
 //!
 //! let cfg = NetConfig::builder().node_num(8).uplink(1).slice_ns(100_000).build().unwrap();
-//! let mut net = OpenOpticsNet::new(cfg.clone());
-//! let (circuits, slices) = round_robin(cfg.node_num, cfg.uplink);
-//! net.deploy_topo(&circuits, slices).unwrap();
-//! net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+//! let net = OpenOpticsNet::deploy(
+//!     cfg,
+//!     Architecture::rotornet(),
+//!     Box::new(Vlb),
+//!     LookupMode::PerHop,
+//!     MultipathMode::PerPacket,
+//! )
+//! .unwrap();
+//! assert!(!net.is_ta());
 //! ```
+//!
+//! The primitive calls (`deploy_topo`, `deploy_routing`) remain available
+//! for hand-built schedules.
 
+use crate::arch::Architecture;
 use crate::config::NetConfig;
 use crate::engine::{Engine, Event, TransportKind};
 use crate::error::Error;
@@ -71,6 +80,9 @@ pub struct OpenOpticsNet {
     staged: Vec<Circuit>,
     layout: OcsLayout,
     primed: bool,
+    /// The architecture descriptor this network was deployed from
+    /// ([`OpenOpticsNet::deploy`]); `None` for hand-built networks.
+    arch: Option<Architecture>,
 }
 
 impl OpenOpticsNet {
@@ -97,7 +109,83 @@ impl OpenOpticsNet {
             staged: vec![],
             layout,
             primed: false,
+            arch: None,
         }
+    }
+
+    /// The unified composition entry point: build a network from an
+    /// [`Architecture`] descriptor paired with `routing`. Applies the
+    /// descriptor's config fixups, generates and deploys its schedule,
+    /// installs the routing scheme (rejecting incompatible pairings with
+    /// [`Error::Config`] — see [`crate::arch::check_compat`]), and installs
+    /// the descriptor's dispatch/pause policies. The descriptor is retained
+    /// so [`reconfigure`](Self::reconfigure) can regenerate the schedule
+    /// later.
+    pub fn deploy(
+        cfg: NetConfig,
+        arch: Architecture,
+        routing: Box<dyn RoutingAlgorithm>,
+        lookup: LookupMode,
+        multipath: MultipathMode,
+    ) -> Result<OpenOpticsNet, Error> {
+        let mut cfg = cfg;
+        arch.apply_defaults(&mut cfg);
+        let mut net = OpenOpticsNet::new(cfg);
+        if let Some((circuits, slices)) = arch.generate(&net.engine.cfg, &[]) {
+            net.deploy_topo(&circuits, slices)?;
+        }
+        net.deploy_routing_boxed(routing, lookup, multipath)?;
+        arch.install_policies(&mut net.engine);
+        net.arch = Some(arch);
+        Ok(net)
+    }
+
+    /// [`deploy`](Self::deploy) with the architecture's canonical routing
+    /// pairing (what the preset builders in [`crate::archs`] use).
+    pub fn deploy_preset(cfg: NetConfig, arch: Architecture) -> Result<OpenOpticsNet, Error> {
+        let (algo, lookup, multipath) = arch.default_routing();
+        OpenOpticsNet::deploy(cfg, arch, algo, lookup, multipath)
+    }
+
+    /// The single reconfigure hook: retarget the stored architecture's
+    /// schedule generator at `tm` and redeploy the regenerated schedule.
+    /// Works before the first run (instant) and mid-run (honors the OCS
+    /// reconfiguration delay); the installed routing scheme is preserved
+    /// and its tables recompile lazily against the new topology. Errors
+    /// with [`Error::Config`] on networks not built via
+    /// [`deploy`](Self::deploy).
+    pub fn reconfigure(&mut self, tm: &TrafficMatrix) -> Result<(), Error> {
+        let mut arch = self.arch.take().ok_or_else(|| {
+            Error::Config(crate::config::ConfigError {
+                field: "architecture",
+                reason: "reconfigure() needs a network built by OpenOpticsNet::deploy \
+                         (hand-built networks redeploy via deploy_topo)"
+                    .to_string(),
+            })
+        })?;
+        arch.schedule_mut().retarget(tm);
+        let result = self.redeploy_schedule(&arch);
+        self.arch = Some(arch);
+        result
+    }
+
+    /// The architecture descriptor this network was deployed from, if any.
+    pub fn arch(&self) -> Option<&Architecture> {
+        self.arch.as_ref()
+    }
+
+    /// Mutable access to the stored architecture descriptor (reconfigure
+    /// wrappers adjust generator parameters before regenerating).
+    pub fn arch_mut(&mut self) -> Option<&mut Architecture> {
+        self.arch.as_mut()
+    }
+
+    fn redeploy_schedule(&mut self, arch: &Architecture) -> Result<(), Error> {
+        let prev = self.engine.schedule().circuits().to_vec();
+        if let Some((circuits, slices)) = arch.generate(&self.engine.cfg, &prev) {
+            self.deploy_topo(&circuits, slices)?;
+        }
+        Ok(())
     }
 
     /// The physical OCS cabling this network was configured with.
@@ -145,6 +233,10 @@ impl OpenOpticsNet {
         self.layout.compile(circuits)?;
         if self.primed {
             let done = self.engine.reconfigure_schedule(sched, self.now);
+            // The schedule's slice count may have changed (e.g. SORN
+            // growing extra slices); keep the router's TA flag honest.
+            let ta = self.is_ta();
+            self.engine.refresh_router_ta(ta);
             // Once the OCS finishes moving, switches re-notify their hosts
             // of the new circuits (drives flow pausing on static schedules,
             // where no rotation would otherwise refresh the state).
@@ -153,12 +245,16 @@ impl OpenOpticsNet {
                     .schedule(done, Event::Timer(crate::engine::Timer::NotifyHosts(NodeId(node))));
             }
         } else {
-            // The old engine is discarded on the next line, so take its
-            // config instead of cloning it.
+            // The old engine is discarded below, so take its config instead
+            // of cloning it.
             let netcfg = std::mem::take(&mut self.engine.cfg);
             let mut fresh = Engine::new(netcfg, sched);
-            fresh.policy = self.engine.policy;
-            fresh.pause_mode = self.engine.pause_mode;
+            // Policies and routing survive a pre-run redeploy; only the
+            // architecture descriptor module may originate these values.
+            fresh.policy = self.engine.policy; // oolint: allow(arch-compose, carrying forward)
+            fresh.pause_mode = self.engine.pause_mode; // oolint: allow(arch-compose, carrying forward)
+            let ta = fresh.schedule().slice_config().num_slices == 1;
+            fresh.adopt_router(&mut self.engine, ta);
             self.engine = fresh;
         }
         Ok(())
@@ -175,16 +271,40 @@ impl OpenOpticsNet {
     /// equivalent to the paper's offline precomputation, evaluated on
     /// demand. `LookupMode::SourceRouting` is forced for schemes that
     /// require it.
+    ///
+    /// The scheme's declared capabilities are checked against the deployed
+    /// schedule first ([`crate::arch::check_compat`]); an incompatible
+    /// pairing — a TO scheme on a held instance, source routing on a
+    /// real-OCS fabric, a within-instance search over sparse matchings —
+    /// returns [`Error::Config`] instead of compiling silently-wrong
+    /// tables. Deploy the topology **before** the routing scheme.
     pub fn deploy_routing<A: RoutingAlgorithm + 'static>(
         &mut self,
         algo: A,
         lookup: LookupMode,
         multipath: MultipathMode,
-    ) {
+    ) -> Result<(), Error> {
+        self.deploy_routing_boxed(Box::new(algo), lookup, multipath)
+    }
+
+    /// [`deploy_routing`](Self::deploy_routing) for an already-boxed scheme
+    /// (the sweep harness composes pairings dynamically).
+    pub fn deploy_routing_boxed(
+        &mut self,
+        algo: Box<dyn RoutingAlgorithm>,
+        lookup: LookupMode,
+        multipath: MultipathMode,
+    ) -> Result<(), Error> {
+        crate::arch::check_compat(
+            algo.as_ref(),
+            self.engine.schedule(),
+            self.engine.cfg.emulated_fabric,
+        )?;
         let lookup =
             if algo.requires_source_routing() { LookupMode::SourceRouting } else { lookup };
         let ta = self.is_ta();
-        self.engine.set_router(Box::new(algo), lookup, multipath, ta);
+        self.engine.set_router(algo, lookup, multipath, ta);
+        Ok(())
     }
 
     /// Whether the deployed schedule is a single topology instance (TA) as
@@ -505,7 +625,7 @@ mod tests {
     fn single_flow_completes_over_rotor() {
         let cfg = small_cfg();
         let mut net = rotor_net(&cfg);
-        net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+        net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket).unwrap();
         net.add_flow(SimTime::from_ns(100), HostId(0), HostId(3), 50_000, TransportKind::Paced);
         net.run_for(SimTime::from_ms(5));
         assert_eq!(net.fct().completed().len(), 1, "flow must complete");
@@ -518,7 +638,7 @@ mod tests {
     fn direct_routing_waits_for_circuits() {
         let cfg = small_cfg();
         let mut net = rotor_net(&cfg);
-        net.deploy_routing(Direct, LookupMode::PerHop, MultipathMode::None);
+        net.deploy_routing(Direct, LookupMode::PerHop, MultipathMode::None).unwrap();
         net.add_flow(SimTime::from_ns(100), HostId(0), HostId(2), 10_000, TransportKind::Paced);
         net.run_for(SimTime::from_ms(5));
         assert_eq!(net.fct().completed().len(), 1);
@@ -549,7 +669,7 @@ mod tests {
     fn collect_sees_traffic() {
         let cfg = small_cfg();
         let mut net = rotor_net(&cfg);
-        net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+        net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket).unwrap();
         net.add_flow(SimTime::from_ns(100), HostId(0), HostId(3), 100_000, TransportKind::Paced);
         let tm = net.collect(SimTime::from_ms(5));
         assert!(tm.get(NodeId(0), NodeId(3)) > 0.0, "TM must record the flow");
@@ -574,7 +694,7 @@ mod tests {
         let mut cfg = small_cfg();
         cfg.electrical_gbps = 1;
         cfg.hosts_per_node = 3;
-        let mut net = crate::archs::clos(cfg);
+        let mut net = crate::archs::clos(cfg).unwrap();
         net.engine.watchdog_retransmit = false;
         for h in [0u32, 1, 2] {
             net.add_flow(
@@ -597,7 +717,7 @@ mod tests {
         use openoptics_host::tcp::TcpConfig;
         let cfg = small_cfg();
         let mut net = rotor_net(&cfg);
-        net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+        net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket).unwrap();
         net.add_flow(
             SimTime::from_ns(100),
             HostId(0),
@@ -613,7 +733,7 @@ mod tests {
     fn bw_usage_accumulates() {
         let cfg = small_cfg();
         let mut net = rotor_net(&cfg);
-        net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+        net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket).unwrap();
         net.add_flow(SimTime::from_ns(100), HostId(0), HostId(3), 100_000, TransportKind::Paced);
         net.run_for(SimTime::from_ms(5));
         assert!(net.bw_usage(NodeId(0), PortId(0)) > 0);

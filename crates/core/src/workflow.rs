@@ -38,8 +38,9 @@ pub struct LoopObservation<'a> {
 /// `interval`, then hand the collected matrices to `reconfigure`. Returns
 /// the last collected traffic matrix.
 ///
-/// The reconfigure step typically calls an architecture's `*_reconfigure`
-/// helper (e.g. [`crate::archs::jupiter_reconfigure`]) or its own
+/// The reconfigure step typically calls the single reconfigure hook,
+/// [`OpenOpticsNet::reconfigure`] (or a deprecated `*_reconfigure` wrapper
+/// such as [`crate::archs::jupiter_reconfigure`]), or its own
 /// `deploy_topo` / `deploy_routing` sequence.
 pub fn run_ta_loop(
     net: &mut OpenOpticsNet,
@@ -77,7 +78,7 @@ mod tests {
             ocs_reconfig_ns: 500_000,
             ..Default::default()
         };
-        let mut net = archs::jupiter(cfg);
+        let mut net = archs::jupiter(cfg).unwrap();
         // Persistent hotspot 0 -> 5 plus background.
         for k in 0..40u64 {
             net.add_flow(
@@ -99,7 +100,7 @@ mod tests {
         run_ta_loop(&mut net, SimTime::from_ms(4), 3, |obs| {
             rounds += 1;
             assert!(obs.tm.total() > 0.0, "round {} saw no traffic", obs.iteration);
-            archs::jupiter_reconfigure(obs.net, obs.tm);
+            obs.net.reconfigure(obs.tm).expect("jupiter evolution stays valid");
         });
         assert_eq!(rounds, 3);
         // Let the last reconfiguration land and traffic drain.

@@ -170,6 +170,10 @@ impl RoutingAlgorithm for Ecmp {
         "ecmp"
     }
 
+    fn routes_within_instance(&self) -> bool {
+        true
+    }
+
     fn paths(
         &self,
         schedule: &OpticalSchedule,
@@ -202,6 +206,10 @@ impl Default for Wcmp {
 impl RoutingAlgorithm for Wcmp {
     fn name(&self) -> &'static str {
         "wcmp"
+    }
+
+    fn routes_within_instance(&self) -> bool {
+        true
     }
 
     fn paths(
@@ -297,6 +305,10 @@ impl RoutingAlgorithm for Ksp {
         "ksp"
     }
 
+    fn routes_within_instance(&self) -> bool {
+        true
+    }
+
     fn paths(
         &self,
         schedule: &OpticalSchedule,
@@ -373,6 +385,10 @@ pub struct Vlb;
 impl RoutingAlgorithm for Vlb {
     fn name(&self) -> &'static str {
         "vlb"
+    }
+
+    fn needs_arrival_slice(&self) -> bool {
+        true
     }
 
     fn paths(
@@ -454,6 +470,14 @@ impl RoutingAlgorithm for OperaRouting {
     }
 
     fn requires_source_routing(&self) -> bool {
+        true
+    }
+
+    fn needs_arrival_slice(&self) -> bool {
+        true
+    }
+
+    fn routes_within_instance(&self) -> bool {
         true
     }
 }
@@ -546,6 +570,10 @@ impl RoutingAlgorithm for Ucmp {
     fn requires_source_routing(&self) -> bool {
         true
     }
+
+    fn needs_arrival_slice(&self) -> bool {
+        true
+    }
 }
 
 /// Hop-On Hop-Off routing (APNet'22): the single earliest-arrival path on
@@ -566,6 +594,10 @@ impl Default for Hoho {
 impl RoutingAlgorithm for Hoho {
     fn name(&self) -> &'static str {
         "hoho"
+    }
+
+    fn needs_arrival_slice(&self) -> bool {
+        true
     }
 
     fn paths(
@@ -737,5 +769,37 @@ mod tests {
         assert!(OperaRouting::default().requires_source_routing());
         assert!(Ucmp::default().requires_source_routing());
         assert!(!Hoho::default().requires_source_routing());
+    }
+
+    #[test]
+    fn capability_flags_partition_ta_and_to() {
+        // TO schemes need the arrival slice; TA schemes and the
+        // slice-agnostic Direct do not.
+        for (algo, needs_arr) in [
+            (&Direct as &dyn RoutingAlgorithm, false),
+            (&Ecmp::default(), false),
+            (&Wcmp::default(), false),
+            (&Ksp::default(), false),
+            (&Vlb, true),
+            (&OperaRouting::default(), true),
+            (&Ucmp::default(), true),
+            (&Hoho::default(), true),
+        ] {
+            assert_eq!(algo.needs_arrival_slice(), needs_arr, "{}", algo.name());
+        }
+        // Within-instance graph searches: the classical TA algorithms plus
+        // Opera's per-slice expander search.
+        for (algo, within) in [
+            (&Direct as &dyn RoutingAlgorithm, false),
+            (&Ecmp::default(), true),
+            (&Wcmp::default(), true),
+            (&Ksp::default(), true),
+            (&Vlb, false),
+            (&OperaRouting::default(), true),
+            (&Ucmp::default(), false),
+            (&Hoho::default(), false),
+        ] {
+            assert_eq!(algo.routes_within_instance(), within, "{}", algo.name());
+        }
     }
 }

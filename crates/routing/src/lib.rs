@@ -32,6 +32,22 @@ use openoptics_sim::time::SliceIndex;
 /// A routing scheme: given the schedule, produce the candidate paths for a
 /// (source, destination, arrival-slice) triple. `arr = None` asks for
 /// slice-agnostic (TA / static) paths.
+///
+/// Besides [`paths`](Self::paths), a scheme declares its **capabilities**
+/// — the contract the composition layer (`openoptics_core`'s architecture
+/// descriptor) checks before deployment, so an incompatible
+/// architecture × routing pairing is rejected with a typed error instead
+/// of compiling silently-wrong tables:
+///
+/// * [`needs_arrival_slice`](Self::needs_arrival_slice) — the scheme
+///   routes across the rotating slice schedule and cannot answer
+///   `arr = None` queries (a single held topology instance);
+/// * [`requires_source_routing`](Self::requires_source_routing) — the
+///   scheme's paths cannot be decomposed into independent per-hop lookups
+///   and need the full hop list pushed at the source;
+/// * [`routes_within_instance`](Self::routes_within_instance) — the scheme
+///   runs a classical graph search inside one topology instance and needs
+///   every instance it sees to connect all nodes.
 pub trait RoutingAlgorithm {
     /// Human-readable name (used in reports and benchmarks).
     fn name(&self) -> &'static str;
@@ -50,6 +66,24 @@ pub trait RoutingAlgorithm {
     /// Whether this scheme requires source routing (cannot be decomposed
     /// into independent per-hop lookups — Opera and UCMP, §3).
     fn requires_source_routing(&self) -> bool {
+        false
+    }
+
+    /// Whether this scheme routes across the rotating slice schedule and
+    /// therefore needs the arrival slice (`arr = Some(_)`). A TO scheme
+    /// deployed on a single-instance (TA) schedule has no slice to key on;
+    /// the composition layer rejects that pairing up front.
+    fn needs_arrival_slice(&self) -> bool {
+        false
+    }
+
+    /// Whether this scheme runs a classical graph search within one
+    /// topology instance (slice) and assumes that instance connects all
+    /// nodes — ECMP/WCMP/KSP on a mesh, Opera on per-slice expanders.
+    /// Deployed on a schedule of sparse matchings, such a scheme would
+    /// produce empty path sets for most pairs; the composition layer
+    /// rejects the pairing instead.
+    fn routes_within_instance(&self) -> bool {
         false
     }
 }

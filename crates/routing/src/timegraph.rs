@@ -14,11 +14,18 @@ use openoptics_proto::{NodeId, PortId};
 use openoptics_sim::time::SliceIndex;
 
 /// Result of the earliest-arrival sweep from one source/arrival slice.
+///
+/// All state is behind accessors: [`best`](Self::best) for the
+/// `(delta, hops)` optimum of a node, [`prev_hop`](Self::prev_hop) for the
+/// predecessor edge on an optimal path, and
+/// [`reconstruct_path`](Self::reconstruct_path) to materialize the full
+/// [`Path`] — so the sweep's internal vectors can change representation
+/// without breaking callers.
 #[derive(Clone, Debug)]
 pub struct EarliestInfo {
     /// `best[node] = (delta, hops)` — earliest slice offset and the fewest
     /// hops achieving it; `None` if unreachable within the horizon.
-    pub best: Vec<Option<(u32, u32)>>,
+    best: Vec<Option<(u32, u32)>>,
     /// Predecessor for path reconstruction: `prev[node] =
     /// (prev_node, port, dep_slice)` on an optimal path.
     prev: Vec<Option<(NodeId, PortId, SliceIndex)>>,
@@ -79,13 +86,38 @@ pub fn earliest_arrival(
 }
 
 impl EarliestInfo {
-    /// Reconstruct the optimal path to `dst`, if reachable.
-    pub fn path_to(&self, dst: NodeId) -> Option<Path> {
-        self.best[dst.index()]?;
+    /// The source node the sweep started from.
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// The arrival slice the sweep started in.
+    pub fn arrival_slice(&self) -> SliceIndex {
+        self.arr
+    }
+
+    /// The `(delta, hops)` optimum for `node`: earliest slice offset after
+    /// the arrival slice and the fewest hops achieving it; `None` if the
+    /// node is unreachable within the sweep's horizon.
+    pub fn best(&self, node: NodeId) -> Option<(u32, u32)> {
+        self.best.get(node.index()).copied().flatten()
+    }
+
+    /// The predecessor edge on an optimal path to `node`:
+    /// `(prev_node, departure_port, departure_slice)`. `None` for the
+    /// source itself and for unreachable nodes.
+    pub fn prev_hop(&self, node: NodeId) -> Option<(NodeId, PortId, SliceIndex)> {
+        self.prev.get(node.index()).copied().flatten()
+    }
+
+    /// Reconstruct the optimal path to `dst` by walking the predecessor
+    /// chain, if `dst` is reachable.
+    pub fn reconstruct_path(&self, dst: NodeId) -> Option<Path> {
+        self.best(dst)?;
         let mut hops_rev = Vec::new();
         let mut at = dst;
         while at != self.src {
-            let (pnode, port, slice) = self.prev[at.index()]?;
+            let (pnode, port, slice) = self.prev_hop(at)?;
             hops_rev.push(PathHop { node: pnode, port, dep_slice: Some(slice) });
             at = pnode;
         }
@@ -93,14 +125,21 @@ impl EarliestInfo {
         Some(Path { src: self.src, dst, arr_slice: Some(self.arr), hops: hops_rev })
     }
 
+    /// Reconstruct the optimal path to `dst`, if reachable. Alias of
+    /// [`reconstruct_path`](Self::reconstruct_path), kept for the
+    /// `earliest_path()` helper's historical name.
+    pub fn path_to(&self, dst: NodeId) -> Option<Path> {
+        self.reconstruct_path(dst)
+    }
+
     /// Earliest arrival offset (slices after `arr`) for `dst`.
     pub fn delta_to(&self, dst: NodeId) -> Option<u32> {
-        self.best[dst.index()].map(|(d, _)| d)
+        self.best(dst).map(|(d, _)| d)
     }
 
     /// Hops on the optimal path to `dst`.
     pub fn hops_to(&self, dst: NodeId) -> Option<u32> {
-        self.best[dst.index()].map(|(_, h)| h)
+        self.best(dst).map(|(_, h)| h)
     }
 }
 
@@ -189,7 +228,25 @@ mod tests {
     fn arrival_slice_shifts_answers() {
         // From N0 at ts2, N3 is directly connected: delta 0, 1 hop.
         let info = earliest_arrival(&fig2(), NodeId(0), 2, 4);
-        assert_eq!(info.best[3], Some((0, 1)));
+        assert_eq!(info.best(NodeId(3)), Some((0, 1)));
+    }
+
+    #[test]
+    fn accessors_expose_sweep_state() {
+        let info = earliest_arrival(&fig2(), NodeId(0), 0, 4);
+        assert_eq!(info.src(), NodeId(0));
+        assert_eq!(info.arrival_slice(), 0);
+        // The source's own optimum is (0, 0) and it has no predecessor.
+        assert_eq!(info.best(NodeId(0)), Some((0, 0)));
+        assert_eq!(info.prev_hop(NodeId(0)), None);
+        // N1 is a slice-0 neighbor: its predecessor edge departs N0 in
+        // slice 0, and reconstruct_path agrees with path_to.
+        let (pnode, _, dep) = info.prev_hop(NodeId(1)).expect("N1 reachable");
+        assert_eq!((pnode, dep), (NodeId(0), 0));
+        assert_eq!(info.reconstruct_path(NodeId(3)), info.path_to(NodeId(3)));
+        // Out-of-range nodes answer None rather than panicking.
+        assert_eq!(info.best(NodeId(99)), None);
+        assert_eq!(info.prev_hop(NodeId(99)), None);
     }
 
     #[test]
@@ -202,7 +259,7 @@ mod tests {
         let s = OpticalSchedule::build(SliceConfig::new(1_000, 1, 100), 3, 2, &cs)
             .expect("schedule deploys");
         let info = earliest_arrival(&s, NodeId(0), 0, 4);
-        assert_eq!(info.best[2], Some((0, 2)));
+        assert_eq!(info.best(NodeId(2)), Some((0, 2)));
         let p = info.path_to(NodeId(2)).expect("destination reachable");
         p.validate(&s).expect("path validates against its schedule");
         assert_eq!(p.hops.len(), 2);

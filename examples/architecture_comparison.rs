@@ -34,10 +34,10 @@ fn memcached_tm() -> TrafficMatrix {
 
 fn main() {
     let nets: Vec<(&str, OpenOpticsNet)> = vec![
-        ("clos", archs::clos(cfg())),
-        ("c-through", archs::cthrough(cfg(), &memcached_tm())),
-        ("rotornet", archs::rotornet(cfg())),
-        ("opera", archs::opera(cfg())),
+        ("clos", archs::clos(cfg()).expect("clos deploys")),
+        ("c-through", archs::cthrough(cfg(), &memcached_tm()).expect("c-through deploys")),
+        ("rotornet", archs::rotornet(cfg()).expect("rotornet deploys")),
+        ("opera", archs::opera(cfg()).expect("opera deploys")),
     ];
 
     println!("{:<12} {:>10} {:>10} {:>10} {:>8}", "arch", "p50", "p90", "p99", "ops");

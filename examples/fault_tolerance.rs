@@ -28,7 +28,7 @@ fn main() -> Result<(), Error> {
     let mut net = OpenOpticsNet::new(cfg.clone());
     let (circuits, num_slices) = round_robin(cfg.node_num, cfg.uplink);
     net.deploy_topo(&circuits, num_slices)?;
-    net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+    net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket)?;
 
     // The fault campaign: ToR 0 loses uplink 0 from t=50 µs to t=5 ms.
     // Plans are validated like configs — malformed windows or targets

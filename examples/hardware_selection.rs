@@ -31,7 +31,8 @@ fn main() {
                 archs::rotornet_with(cfg, Vlb, MultipathMode::PerPacket)
             } else {
                 archs::rotornet_with(cfg, Ucmp::default(), MultipathMode::PerPacket)
-            };
+            }
+            .expect("rotornet deploys");
             let clients = (1..8).map(HostId).collect();
             net.add_memcached(MemcachedParams::paper(), HostId(0), clients, SimTime::from_ms(20));
             net.run_for(SimTime::from_ms(28));

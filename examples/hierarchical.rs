@@ -39,11 +39,12 @@ fn core_conf() -> NetConfig {
 
 fn main() {
     // for rack in net.nodes: rack.deploy_topo(round_robin(...)); vlb(...)
-    let mut racks: Vec<OpenOpticsNet> =
-        (0..core_conf().node_num).map(|_| archs::rotornet(rack_conf())).collect();
+    let mut racks: Vec<OpenOpticsNet> = (0..core_conf().node_num)
+        .map(|_| archs::rotornet(rack_conf()).expect("rotornet deploys"))
+        .collect();
 
     // Core inter-rack network: Jupiter-style evolving mesh with WCMP.
-    let mut core = archs::jupiter(core_conf());
+    let mut core = archs::jupiter(core_conf()).expect("jupiter deploys");
 
     // Workload: an all-to-all burst inside rack 0 (scale-up traffic) and
     // rack-to-rack shuffles on the core (scale-out traffic).
@@ -80,7 +81,7 @@ fn main() {
     // Run the scale-out level: collect traffic, evolve the mesh (the
     // `while TM = net.collect("1h")` loop of Fig. 5d), continue.
     let tm: TrafficMatrix = core.collect(SimTime::from_ms(5));
-    archs::jupiter_reconfigure(&mut core, &tm);
+    core.reconfigure(&tm).expect("jupiter evolution stays valid");
     core.run_for(SimTime::from_ms(40));
 
     rack_fcts.sort_unstable();

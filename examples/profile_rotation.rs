@@ -36,7 +36,8 @@ fn main() {
     let mut net = OpenOpticsNet::new(cfg.clone());
     let (circuits, num_slices) = round_robin(cfg.node_num, cfg.uplink);
     net.deploy_topo(&circuits, num_slices).expect("round robin is feasible");
-    net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+    net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket)
+        .expect("VLB pairs with a rotating schedule");
 
     // Incast toward host 0: seven clients send a small burst each, the
     // server answers — enough rotations and calendar waits to profile.

@@ -25,17 +25,21 @@ fn main() {
     )
     .expect("valid config");
 
-    // net = OpenOptics.net(config)
-    let mut net = OpenOpticsNet::new(cfg.clone());
-
-    // circuits = round_robin(dimension=1, uplink=config.uplink)
-    let (circuits, num_slices) = round_robin(cfg.node_num, cfg.uplink);
-
-    // net.deploy_topo(circuits)
-    net.deploy_topo(&circuits, num_slices).expect("round robin is feasible");
-
-    // net.deploy_routing(vlb(circuits), LOOKUP="hop", MULTIPATH="packet")
-    net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+    // net = OpenOptics.deploy(config, arch=rotornet, routing=vlb,
+    //                         LOOKUP="hop", MULTIPATH="packet")
+    // — the unified composition entry point: the architecture descriptor
+    // carries the round-robin schedule generator and the dispatch/pause
+    // defaults; any compatible routing scheme slots in (incompatible ones
+    // are rejected with a typed error).
+    let mut net = OpenOpticsNet::deploy(
+        cfg.clone(),
+        Architecture::rotornet(),
+        Box::new(Vlb),
+        LookupMode::PerHop,
+        MultipathMode::PerPacket,
+    )
+    .expect("rotornet x VLB is a compatible pairing");
+    let num_slices = net.engine.schedule().slice_config().num_slices;
 
     // Run a 1 MB flow from host 0 (under ToR 0) to host 5 (under ToR 5).
     net.add_flow(SimTime::from_ns(100), HostId(0), HostId(5), 1_000_000, TransportKind::Paced);

@@ -63,21 +63,37 @@ fn run_tdtcp(name: &str, mut net: openoptics::core::OpenOpticsNet) {
 fn main() {
     println!("iperf TCP over optical DCNs (paper Fig. 9)\n");
     for dupack in [3u32, 5] {
-        run("clos", archs::clos(cfg()), dupack);
+        run("clos", archs::clos(cfg()).expect("clos deploys"), dupack);
 
         let mut direct_cfg = cfg();
         direct_cfg.congestion_policy = "wait".to_string();
-        let mut direct = archs::rotornet_with(direct_cfg, Direct, MultipathMode::None);
-        direct.engine.pause_mode = PauseMode::DirectCircuit;
+        let direct = OpenOpticsNet::deploy(
+            direct_cfg,
+            Architecture::rotornet().with_pause(PauseMode::DirectCircuit),
+            Box::new(Direct),
+            LookupMode::PerHop,
+            MultipathMode::None,
+        )
+        .expect("rotornet-direct deploys");
         run("rotornet-direct", direct, dupack);
 
-        run("rotornet-vlb", archs::rotornet_with(cfg(), Vlb, MultipathMode::PerPacket), dupack);
+        run(
+            "rotornet-vlb",
+            archs::rotornet_with(cfg(), Vlb, MultipathMode::PerPacket).expect("rotornet deploys"),
+            dupack,
+        );
 
         let mut hybrid_cfg = cfg();
         hybrid_cfg.electrical_gbps = 10;
         hybrid_cfg.congestion_policy = "wait".to_string();
-        let mut hybrid = archs::rotornet_with(hybrid_cfg, Direct, MultipathMode::None);
-        hybrid.engine.policy = DispatchPolicy::HybridDirect;
+        let hybrid = OpenOpticsNet::deploy(
+            hybrid_cfg,
+            Architecture::rotornet().with_dispatch(DispatchPolicy::HybridDirect),
+            Box::new(Direct),
+            LookupMode::PerHop,
+            MultipathMode::None,
+        )
+        .expect("rotornet-hybrid deploys");
         run("rotornet-hybrid", hybrid, dupack);
         println!();
     }
@@ -88,8 +104,14 @@ fn main() {
     let mut hybrid_cfg = cfg();
     hybrid_cfg.electrical_gbps = 10;
     hybrid_cfg.congestion_policy = "wait".to_string();
-    let mut td = archs::rotornet_with(hybrid_cfg, Direct, MultipathMode::None);
-    td.engine.policy = DispatchPolicy::HybridDirect;
+    let td = OpenOpticsNet::deploy(
+        hybrid_cfg,
+        Architecture::rotornet().with_dispatch(DispatchPolicy::HybridDirect),
+        Box::new(Direct),
+        LookupMode::PerHop,
+        MultipathMode::None,
+    )
+    .expect("rotornet-hybrid deploys");
     run_tdtcp("hybrid-tdtcp", td);
     println!("TDTCP's per-topology congestion state + post-switch reordering grace");
     println!("recovers the hybrid's throughput without touching the dupack threshold —");

@@ -43,19 +43,24 @@ pub use openoptics_workload as workload;
 /// use openoptics::prelude::*;
 ///
 /// let cfg = NetConfig::builder().node_num(4).build().unwrap();
-/// let mut net = OpenOpticsNet::new(cfg.clone());
-/// let (circuits, slices) = round_robin(cfg.node_num, cfg.uplink);
-/// net.deploy_topo(&circuits, slices).unwrap();
-/// net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+/// let mut net = OpenOpticsNet::deploy(
+///     cfg,
+///     Architecture::rotornet(),
+///     Box::new(Vlb),
+///     LookupMode::PerHop,
+///     MultipathMode::PerPacket,
+/// )
+/// .unwrap();
 /// net.add_flow(SimTime::from_ns(100), HostId(0), HostId(3), 50_000, TransportKind::Paced);
 /// net.run_for(SimTime::from_ms(5));
 /// assert_eq!(net.fct().completed().len(), 1);
 /// ```
 pub mod prelude {
     pub use openoptics_core::{
-        archs, ConfigError, DeployError, DispatchPolicy, Error, FaultCounters, FaultError,
-        FaultKind, FaultPlan, FaultPlanBuilder, FaultReport, FaultSpec, NetConfig,
-        NetConfigBuilder, OpenOpticsNet, PauseMode, TransportKind,
+        archs, check_compat, ArchClass, Architecture, ConfigError, DeployError, DispatchPolicy,
+        Error, FaultCounters, FaultError, FaultKind, FaultPlan, FaultPlanBuilder, FaultReport,
+        FaultSpec, NetConfig, NetConfigBuilder, OpenOpticsNet, PauseMode, RoutingChoice,
+        ScheduleGen, TransportKind,
     };
     pub use openoptics_fabric::Circuit;
     pub use openoptics_host::apps::MemcachedParams;

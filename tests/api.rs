@@ -30,7 +30,8 @@ fn json_config_drives_the_network() {
     let mut net = OpenOpticsNet::new(cfg.clone());
     let (circuits, slices) = round_robin(cfg.node_num, cfg.uplink);
     net.deploy_topo(&circuits, slices).unwrap();
-    net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+    net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket)
+        .expect("routing pairs with this schedule");
     net.add_flow(SimTime::from_ns(50), HostId(0), HostId(3), 20_000, TransportKind::Paced);
     net.run_for(SimTime::from_ms(5));
     assert_eq!(net.fct().completed().len(), 1);
@@ -88,7 +89,8 @@ fn monitoring_apis_report_consistent_telemetry() {
     let mut net = OpenOpticsNet::new(cfg());
     let (circuits, slices) = round_robin(4, 1);
     net.deploy_topo(&circuits, slices).unwrap();
-    net.deploy_routing(Direct, LookupMode::PerHop, MultipathMode::None);
+    net.deploy_routing(Direct, LookupMode::PerHop, MultipathMode::None)
+        .expect("routing pairs with this schedule");
     net.add_flow(SimTime::from_ns(50), HostId(0), HostId(2), 100_000, TransportKind::Paced);
 
     // collect() returns the traffic matrix of exactly the window run.
@@ -118,7 +120,8 @@ fn source_routing_forced_for_schemes_that_need_it() {
     let mut net = OpenOpticsNet::new(cfg());
     let (circuits, slices) = round_robin(4, 1);
     net.deploy_topo(&circuits, slices).unwrap();
-    net.deploy_routing(Ucmp::default(), LookupMode::PerHop, MultipathMode::PerPacket);
+    net.deploy_routing(Ucmp::default(), LookupMode::PerHop, MultipathMode::PerPacket)
+        .expect("routing pairs with this schedule");
     net.add_flow(SimTime::from_ns(50), HostId(0), HostId(3), 30_000, TransportKind::Paced);
     net.run_for(SimTime::from_ms(5));
     assert_eq!(net.fct().completed().len(), 1);
@@ -134,7 +137,8 @@ fn ta_reconfiguration_honors_ocs_delay() {
     let a = vec![Circuit::held(NodeId(0), PortId(0), NodeId(1), PortId(0))];
     let b = vec![Circuit::held(NodeId(0), PortId(0), NodeId(2), PortId(0))];
     net.deploy_topo(&a, 1).unwrap();
-    net.deploy_routing(Direct, LookupMode::PerHop, MultipathMode::None);
+    net.deploy_routing(Direct, LookupMode::PerHop, MultipathMode::None)
+        .expect("routing pairs with this schedule");
     net.run_for(SimTime::from_ms(1)); // primes the engine
     net.deploy_topo(&b, 1).unwrap(); // reconfiguration begins at t=1ms
                                      // Immediately after: still the old schedule's circuits resolve (the

@@ -3,10 +3,12 @@
 //! switch/host models inside the core engine.
 
 use openoptics::core::archs;
-use openoptics::core::{DispatchPolicy, NetConfig, OpenOpticsNet, PauseMode, TransportKind};
+use openoptics::core::{
+    Architecture, DispatchPolicy, NetConfig, OpenOpticsNet, PauseMode, TransportKind,
+};
 use openoptics::proto::{HostId, NodeId};
 use openoptics::routing::algos::{Direct, Hoho, Ucmp, Vlb};
-use openoptics::routing::MultipathMode;
+use openoptics::routing::{LookupMode, MultipathMode};
 use openoptics::sim::time::SimTime;
 use openoptics_host::tcp::TcpConfig;
 
@@ -46,13 +48,16 @@ fn every_architecture_delivers_every_pair() {
         tm
     };
     let nets: Vec<(&str, OpenOpticsNet)> = vec![
-        ("clos", archs::clos(cfg(8, 1, 100))),
-        ("cthrough", archs::cthrough(cfg(8, 2, 100), &tm)),
-        ("jupiter", archs::jupiter(cfg(8, 2, 100))),
-        ("mordia", archs::mordia(cfg(8, 1, 100), &tm, 8)),
-        ("rotornet", archs::rotornet(cfg(8, 1, 100))),
-        ("opera", archs::opera(cfg(8, 2, 100))),
-        ("semi-oblivious", archs::semi_oblivious(cfg(8, 1, 100), &tm, 3)),
+        ("clos", archs::clos(cfg(8, 1, 100)).expect("clos deploys")),
+        ("cthrough", archs::cthrough(cfg(8, 2, 100), &tm).expect("cthrough deploys")),
+        ("jupiter", archs::jupiter(cfg(8, 2, 100)).expect("jupiter deploys")),
+        ("mordia", archs::mordia(cfg(8, 1, 100), &tm, 8).expect("mordia deploys")),
+        ("rotornet", archs::rotornet(cfg(8, 1, 100)).expect("rotornet deploys")),
+        ("opera", archs::opera(cfg(8, 2, 100)).expect("opera deploys")),
+        (
+            "semi-oblivious",
+            archs::semi_oblivious(cfg(8, 1, 100), &tm, 3).expect("semi-oblivious deploys"),
+        ),
     ];
     for (name, mut net) in nets {
         run_flows(&mut net, &flows, 80);
@@ -70,10 +75,26 @@ fn every_architecture_delivers_every_pair() {
 #[test]
 fn to_routings_deliver_on_shared_schedule() {
     for (name, mut net) in [
-        ("vlb", archs::rotornet_with(cfg(8, 1, 50), Vlb, MultipathMode::PerPacket)),
-        ("direct", archs::rotornet_with(cfg(8, 1, 50), Direct, MultipathMode::None)),
-        ("ucmp", archs::rotornet_with(cfg(8, 1, 50), Ucmp::default(), MultipathMode::PerPacket)),
-        ("hoho", archs::rotornet_with(cfg(8, 1, 50), Hoho::default(), MultipathMode::None)),
+        (
+            "vlb",
+            archs::rotornet_with(cfg(8, 1, 50), Vlb, MultipathMode::PerPacket)
+                .expect("vlb deploys"),
+        ),
+        (
+            "direct",
+            archs::rotornet_with(cfg(8, 1, 50), Direct, MultipathMode::None)
+                .expect("direct deploys"),
+        ),
+        (
+            "ucmp",
+            archs::rotornet_with(cfg(8, 1, 50), Ucmp::default(), MultipathMode::PerPacket)
+                .expect("ucmp deploys"),
+        ),
+        (
+            "hoho",
+            archs::rotornet_with(cfg(8, 1, 50), Hoho::default(), MultipathMode::None)
+                .expect("hoho deploys"),
+        ),
     ] {
         run_flows(&mut net, &[(0, 5, 200_000), (3, 1, 80_000), (7, 2, 40_000)], 60);
         assert_eq!(net.fct().completed().len(), 3, "{name} left flows incomplete");
@@ -85,7 +106,7 @@ fn no_loss_with_guardband_at_paper_min_slice() {
     // The 2 us / 200 ns headline configuration must deliver without fabric
     // loss ("we observe no packet loss in all the experiments with this
     // guardband value", §7).
-    let mut net = archs::rotornet(cfg(8, 1, 2));
+    let mut net = archs::rotornet(cfg(8, 1, 2)).expect("rotornet deploys");
     run_flows(&mut net, &[(0, 4, 100_000), (2, 6, 100_000)], 40);
     assert_eq!(net.fct().completed().len(), 2);
     let (delivered, lost) = net.engine.fabric_stats();
@@ -96,7 +117,7 @@ fn no_loss_with_guardband_at_paper_min_slice() {
 #[test]
 fn deterministic_given_seed() {
     let run = || {
-        let mut net = archs::rotornet(cfg(8, 1, 20));
+        let mut net = archs::rotornet(cfg(8, 1, 20)).expect("rotornet deploys");
         run_flows(&mut net, &[(0, 5, 150_000), (1, 6, 90_000)], 40);
         let mut fcts: Vec<u64> = net.fct().completed().iter().map(|r| r.fct_ns()).collect();
         fcts.sort_unstable();
@@ -107,7 +128,8 @@ fn deterministic_given_seed() {
 
 #[test]
 fn tcp_over_rotornet_completes_and_reorders_under_vlb() {
-    let mut net = archs::rotornet_with(cfg(8, 2, 50), Vlb, MultipathMode::PerPacket);
+    let mut net = archs::rotornet_with(cfg(8, 2, 50), Vlb, MultipathMode::PerPacket)
+        .expect("rotornet deploys");
     net.add_flow(
         SimTime::from_ns(100),
         HostId(0),
@@ -129,7 +151,8 @@ fn pushback_protects_against_overload() {
         c.pushback = pushback;
         c.congestion_policy = "drop".to_string();
         c.congestion_threshold = 256 * 1024;
-        let mut net = archs::rotornet_with(c, Direct, MultipathMode::None);
+        let mut net =
+            archs::rotornet_with(c, Direct, MultipathMode::None).expect("rotornet deploys");
         net.engine.watchdog_retransmit = false;
         for s in [1u32, 2, 3] {
             net.add_flow(
@@ -159,7 +182,7 @@ fn offload_round_trips_bytes_intact() {
     c.offload = true;
     c.offload_keep_ranks = 3;
     c.offload_return_lead_ns = 30_000;
-    let mut net = archs::rotornet_with(c, Vlb, MultipathMode::PerPacket);
+    let mut net = archs::rotornet_with(c, Vlb, MultipathMode::PerPacket).expect("rotornet deploys");
     run_flows(&mut net, &[(0, 7, 400_000), (3, 9, 200_000)], 80);
     assert_eq!(net.fct().completed().len(), 2, "offloaded flows must complete");
     let offloaded: u64 =
@@ -174,8 +197,14 @@ fn offload_round_trips_bytes_intact() {
 fn hybrid_direct_uses_both_fabrics() {
     let mut c = cfg(8, 1, 50);
     c.electrical_gbps = 10;
-    let mut net = archs::rotornet_with(c, Direct, MultipathMode::None);
-    net.engine.policy = DispatchPolicy::HybridDirect;
+    let mut net = OpenOpticsNet::deploy(
+        c,
+        Architecture::rotornet().with_dispatch(DispatchPolicy::HybridDirect),
+        Box::new(Direct),
+        LookupMode::PerHop,
+        MultipathMode::None,
+    )
+    .expect("rotornet-hybrid deploys");
     // Big enough that the NIC's drain spans several slices, so the host
     // sees both circuit-up (optical) and circuit-down (electrical) periods.
     run_flows(&mut net, &[(0, 5, 5_000_000)], 120);
@@ -186,8 +215,14 @@ fn hybrid_direct_uses_both_fabrics() {
 
 #[test]
 fn direct_circuit_pausing_gates_hosts() {
-    let mut net = archs::rotornet_with(cfg(8, 1, 50), Direct, MultipathMode::None);
-    net.engine.pause_mode = PauseMode::DirectCircuit;
+    let mut net = OpenOpticsNet::deploy(
+        cfg(8, 1, 50),
+        Architecture::rotornet().with_pause(PauseMode::DirectCircuit),
+        Box::new(Direct),
+        LookupMode::PerHop,
+        MultipathMode::None,
+    )
+    .expect("rotornet-direct deploys");
     run_flows(&mut net, &[(0, 5, 120_000)], 50);
     assert_eq!(net.fct().completed().len(), 1);
     // With pausing, hosts transmit only into open circuits, so the switch
@@ -202,7 +237,7 @@ fn direct_circuit_pausing_gates_hosts() {
 #[test]
 fn memcached_and_allreduce_coexist() {
     use openoptics_host::apps::MemcachedParams;
-    let mut net = archs::opera(cfg(8, 2, 100));
+    let mut net = archs::opera(cfg(8, 2, 100)).expect("opera deploys");
     let clients = (1..8).map(HostId).collect();
     net.add_memcached(MemcachedParams::paper(), HostId(0), clients, SimTime::from_ms(20));
     let ar = net.add_allreduce((0..8).map(HostId).collect(), 1_600_000);
@@ -213,7 +248,7 @@ fn memcached_and_allreduce_coexist() {
 
 #[test]
 fn probe_train_measures_stepped_rtts() {
-    let mut net = archs::rotornet(cfg(8, 1, 100));
+    let mut net = archs::rotornet(cfg(8, 1, 100)).expect("rotornet deploys");
     let t = net.add_probe_train(HostId(0), HostId(5), 50_000, 200, 100);
     net.run_for(SimTime::from_ms(30));
     let stats = net.engine.probe_stats(t);
@@ -231,11 +266,11 @@ fn probe_train_measures_stepped_rtts() {
 fn ta_reconfiguration_switches_traffic() {
     // Start Jupiter on a uniform mesh, collect, evolve toward a hotspot,
     // and confirm traffic continues end to end across the reconfiguration.
-    let mut net = archs::jupiter(cfg(8, 2, 100));
+    let mut net = archs::jupiter(cfg(8, 2, 100)).expect("jupiter deploys");
     net.add_flow(SimTime::from_ns(100), HostId(0), HostId(5), 300_000, TransportKind::Paced);
     let tm = net.collect(SimTime::from_ms(10));
     assert!(tm.total() > 0.0);
-    archs::jupiter_reconfigure(&mut net, &tm);
+    archs::jupiter_reconfigure(&mut net, &tm).expect("collected matrix stays deployable");
     net.add_flow(net.now() + 1_000_000, HostId(0), HostId(5), 300_000, TransportKind::Paced);
     net.run_for(SimTime::from_ms(60));
     assert_eq!(net.fct().completed().len(), 2, "flows before and after reconfig complete");

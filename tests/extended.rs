@@ -29,7 +29,7 @@ fn multi_host_racks_route_inter_and_intra() {
     // inter-rack flows do. Both complete.
     let mut cfg = base_cfg();
     cfg.hosts_per_node = 3;
-    let mut net = archs::rotornet(cfg);
+    let mut net = archs::rotornet(cfg).expect("rotornet deploys");
     // Intra-rack: host 0 -> host 2 (both under ToR 0).
     net.add_flow(SimTime::from_ns(100), HostId(0), HostId(2), 50_000, TransportKind::Paced);
     // Inter-rack: host 1 (ToR 0) -> host 10 (ToR 3).
@@ -49,7 +49,8 @@ fn shale_multidim_schedule_carries_traffic() {
     cfg.node_num = 9;
     let mut net = OpenOpticsNet::new(cfg);
     net.deploy_topo(&circuits, slices).unwrap();
-    net.deploy_routing(Hoho::default(), LookupMode::PerHop, MultipathMode::None);
+    net.deploy_routing(Hoho::default(), LookupMode::PerHop, MultipathMode::None)
+        .expect("HOHO pairs with a grid schedule");
     // 0 -> 4 has no direct circuit ever (different row and column).
     net.add_flow(SimTime::from_ns(100), HostId(0), HostId(4), 40_000, TransportKind::Paced);
     net.add_flow(SimTime::from_ns(200), HostId(0), HostId(1), 40_000, TransportKind::Paced);
@@ -68,7 +69,8 @@ fn reconfiguration_losses_are_accounted() {
     let mut net = OpenOpticsNet::new(cfg);
     let a = vec![Circuit::held(NodeId(0), PortId(0), NodeId(1), PortId(0))];
     net.deploy_topo(&a, 1).unwrap();
-    net.deploy_routing(openoptics::routing::algos::Direct, LookupMode::PerHop, MultipathMode::None);
+    net.deploy_routing(openoptics::routing::algos::Direct, LookupMode::PerHop, MultipathMode::None)
+        .expect("Direct has no schedule requirements");
     // A long flow spanning the reconfiguration.
     net.add_flow(SimTime::from_ns(100), HostId(0), HostId(1), 60_000_000, TransportKind::Paced);
     net.run_for(SimTime::from_ms(1));
@@ -89,7 +91,7 @@ fn min_slice_sustains_continuous_load() {
     cfg.slice_ns = 2_000;
     cfg.guard_ns = 200;
     cfg.sync_err_ns = 28;
-    let mut net = archs::rotornet(cfg);
+    let mut net = archs::rotornet(cfg).expect("rotornet deploys");
     for i in 0..8u32 {
         net.add_flow(
             SimTime::from_ns(100 + i as u64 * 777),
@@ -117,7 +119,8 @@ fn buffer_usage_monitoring_tracks_load() {
     // return to zero after it drains.
     let mut cfg = base_cfg();
     cfg.node_num = 8;
-    let mut net = archs::rotornet_with(cfg, Vlb, MultipathMode::PerPacket);
+    let mut net =
+        archs::rotornet_with(cfg, Vlb, MultipathMode::PerPacket).expect("rotornet deploys");
     net.add_flow(SimTime::from_ns(100), HostId(0), HostId(5), 500_000, TransportKind::Paced);
     // Run just past the burst injection: relays still hold packets.
     net.run_for(SimTime::from_us(120));
@@ -141,7 +144,7 @@ fn seeds_change_stochastic_outcomes() {
         cfg.node_num = 8;
         cfg.seed = seed;
         cfg.sync_err_ns = 28;
-        let mut net = archs::rotornet(cfg);
+        let mut net = archs::rotornet(cfg).expect("rotornet deploys");
         net.engine.record_delays = true;
         net.add_flow(SimTime::from_ns(100), HostId(0), HostId(5), 200_000, TransportKind::Paced);
         net.run_for(SimTime::from_ms(20));

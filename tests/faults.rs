@@ -21,7 +21,8 @@ fn testbed(uplink: u16, seed: u64) -> OpenOpticsNet {
     let mut net = OpenOpticsNet::new(cfg.clone());
     let (circuits, slices) = round_robin(cfg.node_num, cfg.uplink);
     net.deploy_topo(&circuits, slices).expect("round robin deploys");
-    net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+    net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket)
+        .expect("routing pairs with this schedule");
     net
 }
 

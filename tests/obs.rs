@@ -37,7 +37,8 @@ fn run_one(cfg: NetConfig) -> OpenOpticsNet {
     let mut net = OpenOpticsNet::new(cfg.clone());
     let (circuits, slices) = round_robin(cfg.node_num, cfg.uplink);
     net.deploy_topo(&circuits, slices).unwrap();
-    net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+    net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket)
+        .expect("routing pairs with this schedule");
     for i in 0..4u32 {
         net.add_flow(
             SimTime::from_ns(50 + 37 * i as u64),
@@ -144,7 +145,7 @@ proptest! {
         let mut net = OpenOpticsNet::new(c.clone());
         let (circuits, slices) = round_robin(c.node_num, c.uplink);
         net.deploy_topo(&circuits, slices).unwrap();
-        net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+        net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket).expect("routing pairs with this schedule");
         for i in 0..4u32 {
             net.add_flow(
                 SimTime::from_ns(50 + 41 * i as u64),

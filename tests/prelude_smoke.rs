@@ -16,7 +16,8 @@ fn prelude_covers_the_quickstart() {
     let mut net = OpenOpticsNet::new(cfg.clone());
     let (circuits, slices) = round_robin(cfg.node_num, cfg.uplink);
     net.deploy_topo(&circuits, slices).unwrap();
-    net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+    net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket)
+        .expect("routing pairs with this schedule");
     net.add_flow(
         SimTime::from_ns(50),
         HostId(0),

@@ -156,7 +156,8 @@ proptest! {
             0 => archs::clos(cfg),
             1 => archs::rotornet(cfg),
             _ => archs::opera(cfg),
-        };
+        }
+        .expect("sampled architecture deploys");
         let stop = SimTime::from_ms(2);
         let clients = (1..n).map(HostId).collect();
         net.add_memcached(MemcachedParams::paper(), HostId(0), clients, stop);
@@ -195,7 +196,8 @@ proptest! {
                 0 => archs::clos(cfg),
                 1 => archs::rotornet(cfg),
                 _ => archs::opera(cfg),
-            };
+            }
+            .expect("sampled architecture deploys");
             let plan = match fault_pick {
                 0 => None,
                 1 => Some(FaultPlan::builder().link_down(NodeId(1), PortId(0), 200_000, 900_000)),

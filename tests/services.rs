@@ -2,10 +2,10 @@
 //! data plane (§5.2): circuit notifications, trim-NACK recovery, pending-
 //! demand collection, and the Shale preset.
 
-use openoptics::core::{archs, NetConfig, PauseMode, TransportKind};
+use openoptics::core::{archs, Architecture, NetConfig, OpenOpticsNet, PauseMode, TransportKind};
 use openoptics::proto::{HostId, NodeId};
 use openoptics::routing::algos::Direct;
-use openoptics::routing::MultipathMode;
+use openoptics::routing::{LookupMode, MultipathMode};
 use openoptics::sim::time::SimTime;
 
 fn cfg(n: u32, slice_us: u64) -> NetConfig {
@@ -24,8 +24,14 @@ fn circuit_notifications_drive_flow_pausing() {
     // Direct-circuit pausing is driven by pre-boundary notification
     // broadcasts; the counter proves the evented path runs, and the flow
     // still completes with minimal switch buffering.
-    let mut net = archs::rotornet_with(cfg(8, 50), Direct, MultipathMode::None);
-    net.engine.pause_mode = PauseMode::DirectCircuit;
+    let mut net = OpenOpticsNet::deploy(
+        cfg(8, 50),
+        Architecture::rotornet().with_pause(PauseMode::DirectCircuit),
+        Box::new(Direct),
+        LookupMode::PerHop,
+        MultipathMode::None,
+    )
+    .expect("rotornet-direct deploys");
     net.add_flow(SimTime::from_ns(100), HostId(0), HostId(5), 150_000, TransportKind::Paced);
     net.run_for(SimTime::from_ms(30));
     assert_eq!(net.fct().completed().len(), 1);
@@ -40,7 +46,7 @@ fn trim_nack_recovers_without_watchdog() {
     let mut c = cfg(8, 50);
     c.congestion_policy = "trim".to_string();
     c.congestion_threshold = 64 * 1024;
-    let mut net = archs::rotornet_with(c, Direct, MultipathMode::None);
+    let mut net = archs::rotornet_with(c, Direct, MultipathMode::None).expect("rotornet deploys");
     net.engine.watchdog_retransmit = false; // isolate the NACK path
     net.add_flow(SimTime::from_ns(100), HostId(0), HostId(5), 2_000_000, TransportKind::Paced);
     net.run_for(SimTime::from_ms(60));
@@ -60,7 +66,7 @@ fn pending_demand_report_sees_paused_elephants() {
     };
     let mut c = cfg(8, 100);
     c.elephant_threshold = 10_000;
-    let mut net = archs::cthrough(c, &tm0);
+    let mut net = archs::cthrough(c, &tm0).expect("cthrough deploys");
     // Elephant 0 -> 5: pair (0,5) has no circuit, so it pauses.
     net.add_flow(SimTime::from_ns(100), HostId(0), HostId(5), 3_000_000, TransportKind::Paced);
     net.run_for(SimTime::from_ms(2));
@@ -71,7 +77,8 @@ fn pending_demand_report_sees_paused_elephants() {
     );
     // Reconfigure from the pending report — the c-Through loop — and the
     // elephant drains.
-    archs::cthrough_reconfigure(&mut net, &pending);
+    archs::cthrough_reconfigure(&mut net, &pending)
+        .expect("pending demand yields a valid schedule");
     net.run_for(SimTime::from_ms(80));
     assert_eq!(net.fct().completed().len(), 1, "elephant completes after reconfiguration");
 }
@@ -79,7 +86,7 @@ fn pending_demand_report_sees_paused_elephants() {
 #[test]
 fn shale_preset_runs_grid_traffic() {
     // 27 nodes = 3^3 grid, the paper's "three-dimensional round-robin".
-    let mut net = archs::shale(cfg(27, 50), 3);
+    let mut net = archs::shale(cfg(27, 50), 3).expect("shale deploys");
     // A pair differing in all three coordinates (0 vs 26) needs 3 hops.
     net.add_flow(SimTime::from_ns(100), HostId(0), HostId(26), 60_000, TransportKind::Paced);
     net.add_flow(SimTime::from_ns(200), HostId(3), HostId(4), 60_000, TransportKind::Paced);

@@ -24,7 +24,8 @@ fn run_one(cfg: NetConfig) -> OpenOpticsNet {
     let mut net = OpenOpticsNet::new(cfg.clone());
     let (circuits, slices) = round_robin(cfg.node_num, cfg.uplink);
     net.deploy_topo(&circuits, slices).unwrap();
-    net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+    net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket)
+        .expect("routing pairs with this schedule");
     for i in 0..4u32 {
         net.add_flow(
             SimTime::from_ns(50 + 37 * i as u64),
@@ -123,7 +124,8 @@ fn run_with_snapshots_yields_one_per_interval() {
     let mut net = OpenOpticsNet::new(cfg());
     let (circuits, slices) = round_robin(4, 1);
     net.deploy_topo(&circuits, slices).unwrap();
-    net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket);
+    net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket)
+        .expect("routing pairs with this schedule");
     net.add_flow(
         SimTime::from_ns(50),
         HostId(0),
