@@ -198,7 +198,7 @@ mod tests {
 
     #[test]
     fn clos_carries_traffic_electrically() {
-        let mut net = clos(cfg8()).unwrap();
+        let mut net = clos(cfg8()).expect("clos deploys on the 8-node test config");
         let fct = run_one_flow(&mut net, 20_000);
         assert!(fct > 0);
         let (delivered, _) = net.engine.fabric_stats();
@@ -207,7 +207,7 @@ mod tests {
 
     #[test]
     fn rotornet_vlb_delivers() {
-        let mut net = rotornet(cfg8()).unwrap();
+        let mut net = rotornet(cfg8()).expect("rotornet deploys on the 8-node test config");
         run_one_flow(&mut net, 50_000);
         let (delivered, _) = net.engine.fabric_stats();
         assert!(delivered > 0);
@@ -215,7 +215,7 @@ mod tests {
 
     #[test]
     fn opera_delivers_with_source_routing() {
-        let mut net = opera(cfg8()).unwrap();
+        let mut net = opera(cfg8()).expect("opera deploys on the 8-node test config");
         run_one_flow(&mut net, 50_000);
     }
 
@@ -224,7 +224,7 @@ mod tests {
         let mut tm = TrafficMatrix::zeros(8);
         tm.set(NodeId(0), NodeId(5), 100.0);
         tm.set(NodeId(1), NodeId(2), 50.0);
-        let mut net = mordia(cfg8(), &tm, 8).unwrap();
+        let mut net = mordia(cfg8(), &tm, 8).expect("mordia deploys on the 8-node test config");
         run_one_flow(&mut net, 20_000);
     }
 
@@ -232,7 +232,7 @@ mod tests {
     fn jupiter_wcmp_delivers() {
         let mut cfg = cfg8();
         cfg.uplink = 2;
-        let mut net = jupiter(cfg).unwrap();
+        let mut net = jupiter(cfg).expect("jupiter deploys on the test config");
         run_one_flow(&mut net, 20_000);
     }
 
@@ -242,7 +242,7 @@ mod tests {
         tm.set(NodeId(0), NodeId(5), 1e9);
         let mut cfg = cfg8();
         cfg.elephant_threshold = 100_000;
-        let mut net = cthrough(cfg, &tm).unwrap();
+        let mut net = cthrough(cfg, &tm).expect("c-through deploys on the test config");
         // A mouse (electrical) and an elephant (optical, paused until its
         // held circuit — which exists for pair 0-5).
         net.add_flow(SimTime::from_ns(100), HostId(1), HostId(2), 10_000, TransportKind::Paced);
@@ -255,7 +255,8 @@ mod tests {
     fn semi_oblivious_deploys_and_delivers() {
         let mut tm = TrafficMatrix::zeros(8);
         tm.set(NodeId(0), NodeId(5), 1000.0);
-        let mut net = semi_oblivious(cfg8(), &tm, 4).unwrap();
+        let mut net = semi_oblivious(cfg8(), &tm, 4)
+            .expect("semi-oblivious deploys on the 8-node test config");
         run_one_flow(&mut net, 50_000);
     }
 
@@ -266,16 +267,18 @@ mod tests {
         let mut tm = TrafficMatrix::zeros(8);
         tm.set(NodeId(0), NodeId(5), 500.0);
 
-        let mut net = jupiter(cfg8()).unwrap();
-        jupiter_reconfigure(&mut net, &tm).unwrap();
+        let mut net = jupiter(cfg8()).expect("jupiter deploys on the 8-node test config");
+        jupiter_reconfigure(&mut net, &tm).expect("jupiter reconfigures under the test demand");
         run_one_flow(&mut net, 20_000);
 
-        let mut net = cthrough(cfg8(), &tm).unwrap();
-        cthrough_reconfigure(&mut net, &tm).unwrap();
+        let mut net = cthrough(cfg8(), &tm).expect("c-through deploys on the 8-node test config");
+        cthrough_reconfigure(&mut net, &tm).expect("c-through reconfigures under the test demand");
 
-        let mut net = semi_oblivious(cfg8(), &tm, 2).unwrap();
+        let mut net = semi_oblivious(cfg8(), &tm, 2)
+            .expect("semi-oblivious deploys on the 8-node test config");
         let before = net.engine.schedule().slice_config().num_slices;
-        semi_oblivious_reconfigure(&mut net, &tm, 6).unwrap();
+        semi_oblivious_reconfigure(&mut net, &tm, 6)
+            .expect("semi-oblivious reconfigures under the test demand");
         let after = net.engine.schedule().slice_config().num_slices;
         assert!(after > before, "extra slices must grow the schedule ({before} -> {after})");
     }

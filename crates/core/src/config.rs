@@ -411,7 +411,7 @@ mod tests {
     fn json_round_trip() {
         let c = NetConfig { node_num: 108, uplink: 6, ..Default::default() };
         let j = c.to_json();
-        let back = NetConfig::from_json(&j).unwrap();
+        let back = NetConfig::from_json(&j).expect("to_json output round-trips");
         assert_eq!(back.node_num, 108);
         assert_eq!(back.uplink, 6);
     }
@@ -421,7 +421,7 @@ mod tests {
         // The paper's Fig. 5 style config: only the fields users care about.
         let c =
             NetConfig::from_json(r#"{"node":"host","node_num":128,"uplink":2,"slice_ns":2000}"#)
-                .unwrap();
+                .expect("literal is a valid partial config");
         assert_eq!(c.node, "host");
         assert_eq!(c.node_num, 128);
         assert_eq!(c.uplink, 2);

@@ -26,6 +26,7 @@ use openoptics_proto::packet::{PacketKind, HEADER_BYTES};
 use openoptics_proto::{ControlMsg, FlowId, HostId, NodeId, Packet, PortId};
 use openoptics_routing::{compile, LookupMode, MultipathMode, Path, RoutingAlgorithm};
 use openoptics_sim::bytequeue::ByteQueue;
+use openoptics_sim::cast::{to_u32, to_u8};
 use openoptics_sim::hash::FxHashMap;
 use openoptics_sim::rate::Bandwidth;
 use openoptics_sim::time::{SimTime, SliceConfig};
@@ -1384,7 +1385,7 @@ impl Engine {
             let elephant_threshold = self.cfg.elephant_threshold;
             let h = &mut self.hosts[host.index()];
             while f.queued < f.bytes {
-                let len = ((f.bytes - f.queued).min(MSS as u64)) as u32;
+                let len = to_u32((f.bytes - f.queued).min(MSS as u64));
                 // Elephant classification: the simulator knows flow sizes,
                 // so it classifies by size directly — the steady state that
                 // PIAS-style aging converges to on persistent connections
@@ -2197,7 +2198,7 @@ impl Engine {
             PacketKind::Probe { echo_of, is_reply } => {
                 if is_reply {
                     // pkt.seq carries the forward hop count.
-                    let total_hops = pkt.seq as u8 + pkt.hops;
+                    let total_hops = to_u8(pkt.seq) + pkt.hops;
                     for t in &mut self.probe_trains {
                         if t.src == host {
                             t.stats.record(echo_of, now, total_hops);
@@ -2288,7 +2289,7 @@ impl Engine {
         q: &mut EventQueue<Event>,
     ) {
         let cur = self.tors[node.index()].abs_slice();
-        let rank = abs.saturating_sub(cur) as u32;
+        let rank = to_u32(abs.saturating_sub(cur));
         let pid = pkt.id;
         let res = self.tors[node.index()].reinject_offloaded(pkt, port, rank, now);
         match res.decision {
@@ -2409,7 +2410,7 @@ impl Engine {
                 if f.done {
                     return;
                 }
-                let len = (f.bytes.saturating_sub(seq)).min(MSS as u64) as u32;
+                let len = to_u32((f.bytes.saturating_sub(seq)).min(MSS as u64));
                 if len == 0 {
                     return;
                 }

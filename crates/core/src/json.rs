@@ -280,7 +280,8 @@ impl Parser<'_> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number scan only accepts ASCII bytes");
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| JsonError::new(format!("bad number '{text}' at byte {start}")))
@@ -312,7 +313,8 @@ mod tests {
 
     #[test]
     fn parses_nested_document() {
-        let v = parse(r#"{"a": 1, "b": [true, null, "x\n"], "c": {"d": -2.5}}"#).unwrap();
+        let v = parse(r#"{"a": 1, "b": [true, null, "x\n"], "c": {"d": -2.5}}"#)
+            .expect("literal is valid JSON");
         let Json::Obj(fields) = v else { panic!("not an object") };
         assert_eq!(fields[0], ("a".into(), Json::Num(1.0)));
         assert_eq!(
@@ -333,17 +335,17 @@ mod tests {
     #[test]
     fn escape_round_trips() {
         let s = "line\n\"quoted\"\tüñî";
-        let parsed = parse(&escape(s)).unwrap();
+        let parsed = parse(&escape(s)).expect("escape output is valid JSON");
         assert_eq!(parsed, Json::Str(s.to_string()));
     }
 
     #[test]
     fn typed_accessors() {
-        let v = parse(r#"{"n": 3, "s": "hi", "b": false}"#).unwrap();
+        let v = parse(r#"{"n": 3, "s": "hi", "b": false}"#).expect("literal is valid JSON");
         let Json::Obj(f) = v else { unreachable!() };
-        assert_eq!(f[0].1.as_u64().unwrap(), 3);
-        assert_eq!(f[1].1.as_str().unwrap(), "hi");
-        assert!(!f[2].1.as_bool().unwrap());
+        assert_eq!(f[0].1.as_u64().expect("n is a number"), 3);
+        assert_eq!(f[1].1.as_str().expect("s is a string"), "hi");
+        assert!(!f[2].1.as_bool().expect("b is a bool"));
         assert!(f[0].1.as_str().is_err());
         assert!(f[1].1.as_u64().is_err());
         assert!(Json::Num(-1.0).as_u64().is_err());

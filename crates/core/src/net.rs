@@ -617,7 +617,7 @@ mod tests {
     fn rotor_net(cfg: &NetConfig) -> OpenOpticsNet {
         let mut net = OpenOpticsNet::new(cfg.clone());
         let (circuits, slices) = round_robin(cfg.node_num, cfg.uplink);
-        net.deploy_topo(&circuits, slices).unwrap();
+        net.deploy_topo(&circuits, slices).expect("test circuits are well-formed");
         net
     }
 
@@ -625,7 +625,8 @@ mod tests {
     fn single_flow_completes_over_rotor() {
         let cfg = small_cfg();
         let mut net = rotor_net(&cfg);
-        net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket).unwrap();
+        net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket)
+            .expect("VLB deploys on the test topology");
         net.add_flow(SimTime::from_ns(100), HostId(0), HostId(3), 50_000, TransportKind::Paced);
         net.run_for(SimTime::from_ms(5));
         assert_eq!(net.fct().completed().len(), 1, "flow must complete");
@@ -638,7 +639,8 @@ mod tests {
     fn direct_routing_waits_for_circuits() {
         let cfg = small_cfg();
         let mut net = rotor_net(&cfg);
-        net.deploy_routing(Direct, LookupMode::PerHop, MultipathMode::None).unwrap();
+        net.deploy_routing(Direct, LookupMode::PerHop, MultipathMode::None)
+            .expect("direct routing deploys on the test topology");
         net.add_flow(SimTime::from_ns(100), HostId(0), HostId(2), 10_000, TransportKind::Paced);
         net.run_for(SimTime::from_ms(5));
         assert_eq!(net.fct().completed().len(), 1);
@@ -669,7 +671,8 @@ mod tests {
     fn collect_sees_traffic() {
         let cfg = small_cfg();
         let mut net = rotor_net(&cfg);
-        net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket).unwrap();
+        net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket)
+            .expect("VLB deploys on the test topology");
         net.add_flow(SimTime::from_ns(100), HostId(0), HostId(3), 100_000, TransportKind::Paced);
         let tm = net.collect(SimTime::from_ms(5));
         assert!(tm.get(NodeId(0), NodeId(3)) > 0.0, "TM must record the flow");
@@ -694,7 +697,7 @@ mod tests {
         let mut cfg = small_cfg();
         cfg.electrical_gbps = 1;
         cfg.hosts_per_node = 3;
-        let mut net = crate::archs::clos(cfg).unwrap();
+        let mut net = crate::archs::clos(cfg).expect("clos deploys on the test config");
         net.engine.watchdog_retransmit = false;
         for h in [0u32, 1, 2] {
             net.add_flow(
@@ -717,7 +720,8 @@ mod tests {
         use openoptics_host::tcp::TcpConfig;
         let cfg = small_cfg();
         let mut net = rotor_net(&cfg);
-        net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket).unwrap();
+        net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket)
+            .expect("VLB deploys on the test topology");
         net.add_flow(
             SimTime::from_ns(100),
             HostId(0),
@@ -733,7 +737,8 @@ mod tests {
     fn bw_usage_accumulates() {
         let cfg = small_cfg();
         let mut net = rotor_net(&cfg);
-        net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket).unwrap();
+        net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket)
+            .expect("VLB deploys on the test topology");
         net.add_flow(SimTime::from_ns(100), HostId(0), HostId(3), 100_000, TransportKind::Paced);
         net.run_for(SimTime::from_ms(5));
         assert!(net.bw_usage(NodeId(0), PortId(0)) > 0);

@@ -78,7 +78,7 @@ mod tests {
             ocs_reconfig_ns: 500_000,
             ..Default::default()
         };
-        let mut net = archs::jupiter(cfg).unwrap();
+        let mut net = archs::jupiter(cfg).expect("jupiter deploys on the workflow test config");
         // Persistent hotspot 0 -> 5 plus background.
         for k in 0..40u64 {
             net.add_flow(

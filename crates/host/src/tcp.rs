@@ -10,6 +10,7 @@
 //! retransmit/recovery, slow start, congestion avoidance, and an RTO
 //! fallback. SACK, Nagle, and window scaling are intentionally out of scope.
 
+use openoptics_sim::cast::to_u32;
 use openoptics_sim::time::SimTime;
 use std::collections::BTreeMap;
 
@@ -143,7 +144,7 @@ impl TcpSender {
 
     fn segment_len_at(&self, seq: u64) -> u32 {
         match self.total {
-            Some(t) => ((t - seq).min(self.cfg.mss as u64)) as u32,
+            Some(t) => to_u32((t - seq).min(self.cfg.mss as u64)),
             None => self.cfg.mss,
         }
     }

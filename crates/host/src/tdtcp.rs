@@ -17,6 +17,7 @@
 //! emulator (§6: "researchers can ... evaluate newly designed protocols").
 
 use crate::tcp::TcpConfig;
+use openoptics_sim::cast::to_u32;
 use openoptics_sim::time::SimTime;
 
 /// Per-topology congestion state.
@@ -131,7 +132,7 @@ impl TdTcpSender {
 
     fn segment_len_at(&self, seq: u64) -> u32 {
         match self.total {
-            Some(t) => ((t - seq).min(self.cfg.mss as u64)) as u32,
+            Some(t) => to_u32((t - seq).min(self.cfg.mss as u64)),
             None => self.cfg.mss,
         }
     }

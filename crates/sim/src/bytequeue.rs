@@ -149,8 +149,8 @@ mod tests {
     #[test]
     fn fifo_order_and_accounting() {
         let mut q = ByteQueue::new(1000);
-        q.push(100, "a").unwrap();
-        q.push(200, "b").unwrap();
+        q.push(100, "a").expect("push fits the test queue capacity");
+        q.push(200, "b").expect("push fits the test queue capacity");
         assert_eq!(q.bytes(), 300);
         assert_eq!(q.pop(), Some((100, "a")));
         assert_eq!(q.pop(), Some((200, "b")));
@@ -161,14 +161,14 @@ mod tests {
     #[test]
     fn capacity_rejects_and_counts() {
         let mut q = ByteQueue::new(250);
-        q.push(100, 1).unwrap();
-        q.push(100, 2).unwrap();
+        q.push(100, 1).expect("push fits the test queue capacity");
+        q.push(100, 2).expect("push fits the test queue capacity");
         assert!(!q.would_fit(100));
         assert_eq!(q.push(100, 3), Err(3));
         assert_eq!(q.dropped(), 1);
         assert_eq!(q.dropped_bytes(), 100);
         assert!(q.would_fit(50));
-        q.push(50, 4).unwrap();
+        q.push(50, 4).expect("push fits the test queue capacity");
         assert_eq!(q.bytes(), 250);
     }
 
@@ -176,7 +176,7 @@ mod tests {
     fn pause_blocks_pop_but_not_push() {
         let mut q = ByteQueue::new(1000);
         q.pause();
-        q.push(10, "x").unwrap();
+        q.push(10, "x").expect("push fits the test queue capacity");
         assert_eq!(q.pop(), None);
         assert_eq!(q.len(), 1);
         q.resume();
@@ -187,7 +187,7 @@ mod tests {
     fn pop_even_if_paused_bypasses_gate() {
         let mut q = ByteQueue::new(1000);
         q.pause();
-        q.push(10, "x").unwrap();
+        q.push(10, "x").expect("push fits the test queue capacity");
         assert_eq!(q.pop_even_if_paused(), Some((10, "x")));
         assert_eq!(q.bytes(), 0);
     }
@@ -195,8 +195,8 @@ mod tests {
     #[test]
     fn peak_tracking() {
         let mut q = ByteQueue::new(1000);
-        q.push(400, ()).unwrap();
-        q.push(300, ()).unwrap();
+        q.push(400, ()).expect("push fits the test queue capacity");
+        q.push(300, ()).expect("push fits the test queue capacity");
         q.pop();
         assert_eq!(q.peak_bytes(), 700);
         q.reset_peak();
@@ -206,9 +206,9 @@ mod tests {
     #[test]
     fn accepted_bytes_accumulates() {
         let mut q = ByteQueue::new(100);
-        q.push(60, ()).unwrap();
+        q.push(60, ()).expect("push fits the test queue capacity");
         q.pop();
-        q.push(60, ()).unwrap();
+        q.push(60, ()).expect("push fits the test queue capacity");
         assert_eq!(q.accepted_bytes(), 120);
     }
 }

@@ -16,6 +16,8 @@
 //! [`EventQueue`] / [`run`].
 
 pub mod bytequeue;
+/// Checked narrowing conversions: [`cast::to_u32`] and friends.
+pub mod cast;
 /// Conservative-lookahead sharded execution: [`Domain`], [`DomainScheduler`].
 pub mod domain;
 pub mod engine;

@@ -78,7 +78,8 @@ impl SimRng {
         let mut init = [0u32; 16];
         init[..4].copy_from_slice(&SIGMA);
         for (i, chunk) in self.seed.chunks_exact(4).enumerate() {
-            init[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+            init[4 + i] =
+                u32::from_le_bytes(chunk.try_into().expect("chunks_exact(4) yields 4-byte chunks"));
         }
         init[12] = self.counter as u32;
         init[13] = (self.counter >> 32) as u32;

@@ -1,0 +1,388 @@
+//! A minimal hand-rolled Rust lexer for the graph-backed lint rules.
+//!
+//! The per-line text rules in the crate root get away with
+//! [`split_code_comment`]-style scanning, but call-graph extraction needs
+//! real tokens: identifiers, joined `::` / `->` / `=>` punctuation, and
+//! literals reduced to opaque atoms so brace matching never trips over a
+//! `{` inside a string. Like the vendored JSON parser and RNG, this is
+//! deliberately dependency-free — it lexes the subset of Rust this
+//! workspace actually writes, and the known gaps (no true macro
+//! expansion, no type inference) are documented in DESIGN.md.
+//!
+//! Besides tokens, [`lex`] returns per-line comment text (line comments
+//! *and* block comments, including multi-line `/* */` bodies attributed to
+//! every line they cover) so `// oolint: allow(rule, reason)` annotations
+//! can be honored at any call-graph hop, and a per-line "has code" map so
+//! an annotation on its own line above a flagged site still suppresses it.
+//!
+//! [`split_code_comment`]: crate::lint_file
+
+/// Token classes the extractor distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `Engine`, `run_for`, ...).
+    Ident,
+    /// Punctuation; multi-char operators `::`, `->` and `=>` are joined.
+    Punct,
+    /// String / char / numeric literal, reduced to one opaque token.
+    Lit,
+    /// Lifetime (`'a`) — kept distinct so it is never mistaken for a char.
+    Life,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// 1-based source line.
+    pub line: u32,
+    /// Token class.
+    pub kind: Kind,
+    /// Source text (idents and punctuation verbatim; literals may be
+    /// abbreviated — their content is never pattern-matched).
+    pub text: String,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == Kind::Punct && self.text == s
+    }
+}
+
+/// Output of [`lex`]: the token stream plus per-line comment/code maps.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    /// `comments[i]` — concatenated comment text appearing on 1-based line
+    /// `i + 1` (line comments and the slice of any block comment covering
+    /// that line).
+    pub comments: Vec<String>,
+    /// `has_code[i]` — whether 1-based line `i + 1` carries any token.
+    pub has_code: Vec<bool>,
+}
+
+impl Lexed {
+    /// Comment text on 1-based `line` (empty when out of range).
+    pub fn comment_on(&self, line: u32) -> &str {
+        self.comments.get(line as usize - 1).map(String::as_str).unwrap_or("")
+    }
+
+    /// Whether 1-based `line` carries any code token.
+    pub fn code_on(&self, line: u32) -> bool {
+        self.has_code.get(line as usize - 1).copied().unwrap_or(false)
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lex `src` into tokens plus per-line comment/code maps. Never fails:
+/// unterminated constructs consume to end of input, matching how rustc
+/// would have already rejected the file if it did not compile.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let n_lines = src.lines().count().max(1);
+    let mut out = Lexed {
+        toks: Vec::new(),
+        comments: vec![String::new(); n_lines],
+        has_code: vec![false; n_lines],
+    };
+    let mut line: u32 = 1;
+    let mut i = 0usize;
+
+    let mark_code = |out: &mut Lexed, line: u32| {
+        if let Some(slot) = out.has_code.get_mut(line as usize - 1) {
+            *slot = true;
+        }
+    };
+    let push = |out: &mut Lexed, line: u32, kind: Kind, text: String| {
+        if let Some(slot) = out.has_code.get_mut(line as usize - 1) {
+            *slot = true;
+        }
+        out.toks.push(Tok { line, kind, text });
+    };
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            // Line comment (also covers `///` and `//!` doc comments).
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                if let Some(slot) = out.comments.get_mut(line as usize - 1) {
+                    slot.push_str(&src[start..i]);
+                    slot.push(' ');
+                }
+            }
+            // Block comment, possibly nested, possibly multi-line; its text
+            // is attributed to every line it covers.
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1usize;
+                let mut seg_start = i;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else if b[i] == b'\n' {
+                        if let Some(slot) = out.comments.get_mut(line as usize - 1) {
+                            slot.push_str(&src[seg_start..i]);
+                            slot.push(' ');
+                        }
+                        line += 1;
+                        i += 1;
+                        seg_start = i;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if let Some(slot) = out.comments.get_mut(line as usize - 1) {
+                    slot.push_str(&src[seg_start..i]);
+                    slot.push(' ');
+                }
+            }
+            // String literal (including `b"..."` via the ident path below
+            // falling through? No: `b"` starts with an ident char, handled
+            // in the ident arm).
+            b'"' => {
+                let start = i;
+                i = skip_string(b, i);
+                push(&mut out, line, Kind::Lit, "\"\"".into());
+                // Multi-line strings: account for the newlines we skipped.
+                line += src[start..i].matches('\n').count() as u32;
+            }
+            // Raw strings `r"..."` / `r#"..."#` start with an ident char and
+            // are dispatched from the ident arm.
+            b'\'' => {
+                // Char literal or lifetime. `'\x'`-style escapes and plain
+                // `'c'` are chars; otherwise it is a lifetime.
+                if b.get(i + 1) == Some(&b'\\') {
+                    i += 2;
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    push(&mut out, line, Kind::Lit, "''".into());
+                } else if b.get(i + 2) == Some(&b'\'') && b.get(i + 1) != Some(&b'\'') {
+                    i += 3;
+                    push(&mut out, line, Kind::Lit, "''".into());
+                } else {
+                    i += 1;
+                    let start = i;
+                    while i < b.len() && is_ident_cont(b[i]) {
+                        i += 1;
+                    }
+                    push(&mut out, line, Kind::Life, src[start..i].to_string());
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (is_ident_cont(b[i]) || b[i] == b'.') {
+                    // `1..n` is a range, `1.max()` a method call — only eat
+                    // a dot when a digit follows.
+                    if b[i] == b'.' && !b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                        break;
+                    }
+                    i += 1;
+                }
+                push(&mut out, line, Kind::Lit, src[start..i].to_string());
+            }
+            c if is_ident_start(c) => {
+                // Raw-string / byte-string prefixes.
+                if (c == b'r' || c == b'b')
+                    && matches!(b.get(i + 1), Some(&b'"') | Some(&b'#'))
+                    && (c == b'r' || b.get(i + 1) == Some(&b'"'))
+                {
+                    if let Some(end) = skip_raw_or_byte_string(b, i) {
+                        let skipped = &src[i..end];
+                        line += skipped.matches('\n').count() as u32;
+                        i = end;
+                        push(&mut out, line, Kind::Lit, "\"\"".into());
+                        continue;
+                    }
+                }
+                let start = i;
+                while i < b.len() && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                push(&mut out, line, Kind::Ident, src[start..i].to_string());
+            }
+            b':' if b.get(i + 1) == Some(&b':') => {
+                i += 2;
+                push(&mut out, line, Kind::Punct, "::".into());
+            }
+            b'-' if b.get(i + 1) == Some(&b'>') => {
+                i += 2;
+                push(&mut out, line, Kind::Punct, "->".into());
+            }
+            b'=' if b.get(i + 1) == Some(&b'>') => {
+                i += 2;
+                push(&mut out, line, Kind::Punct, "=>".into());
+            }
+            _ => {
+                i += 1;
+                mark_code(&mut out, line);
+                out.toks.push(Tok { line, kind: Kind::Punct, text: (c as char).to_string() });
+            }
+        }
+    }
+    out
+}
+
+/// Skip a `"..."` literal starting at `i` (which points at the opening
+/// quote); returns the index just past the closing quote.
+fn skip_string(b: &[u8], mut i: usize) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skip `r"..."`, `r#"..."#` (any hash depth) or `b"..."` starting at `i`.
+/// Returns the index past the close, or `None` if this is not actually a
+/// raw/byte string (e.g. `r#foo` raw identifiers).
+fn skip_raw_or_byte_string(b: &[u8], mut i: usize) -> Option<usize> {
+    let mut hashes = 0usize;
+    i += 1; // past `r` / `b`
+    if b.get(i) == Some(&b'#') {
+        while b.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+    }
+    if b.get(i) != Some(&b'"') {
+        return None;
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && b.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return Some(j);
+            }
+            i += 1;
+        } else if hashes == 0 && b[i] == b'\\' {
+            // Byte strings (b"...") honor escapes; raw strings do not, but
+            // with zero hashes the next `"` closes either way except for
+            // an escaped quote — treat `\"` as escaped to be safe for the
+            // b"..." case.
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Some(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(l: &Lexed) -> Vec<&str> {
+        l.toks.iter().filter(|t| t.kind == Kind::Ident).map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn tokenizes_paths_and_calls() {
+        let l = lex("fn f() { let t = std::time::Instant::now(); }");
+        assert_eq!(idents(&l), ["fn", "f", "let", "t", "std", "time", "Instant", "now"]);
+        assert!(l.toks.iter().any(|t| t.is_punct("::")));
+    }
+
+    #[test]
+    fn strings_chars_and_lifetimes_are_opaque() {
+        let l = lex("fn f<'a>(s: &'a str) { g(\"Instant::now()\"); let c = '{'; }");
+        assert!(!idents(&l).contains(&"Instant"));
+        assert!(l.toks.iter().any(|t| t.kind == Kind::Life && t.text == "a"));
+        // The `{` inside the char literal must not unbalance braces.
+        let opens = l.toks.iter().filter(|t| t.is_punct("{")).count();
+        let closes = l.toks.iter().filter(|t| t.is_punct("}")).count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        let l = lex("let j = r#\"{\"k\": \"v\"}\"#; let b = b\"bytes\";");
+        let opens = l.toks.iter().filter(|t| t.is_punct("{")).count();
+        assert_eq!(opens, 0, "{:?}", l.toks);
+        assert!(idents(&l).contains(&"j"));
+        assert!(idents(&l).contains(&"b"));
+    }
+
+    #[test]
+    fn line_comments_land_in_comment_map() {
+        let l = lex("let x = 1; // oolint: allow(wall-clock, bench only)\nlet y = 2;\n");
+        assert!(l.comment_on(1).contains("oolint: allow(wall-clock"));
+        assert!(l.comment_on(2).is_empty());
+        assert!(l.code_on(1) && l.code_on(2));
+    }
+
+    #[test]
+    fn multiline_block_comment_covers_every_line() {
+        let src = "/* first\n   oolint: allow(graph-nondet, seeded)\n   last */ let x = 1;\n";
+        let l = lex(src);
+        assert!(l.comment_on(1).contains("first"));
+        assert!(l.comment_on(2).contains("allow(graph-nondet"));
+        assert!(l.comment_on(3).contains("last"));
+        assert!(!l.code_on(2), "comment-only line has no code");
+        assert!(l.code_on(3), "code after the close is still seen");
+        assert!(idents(&l).contains(&"x"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ fn f() {}\n");
+        assert!(idents(&l).contains(&"f"));
+        assert!(!idents(&l).contains(&"outer"));
+        assert!(l.comment_on(1).contains("inner"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls_or_ranges() {
+        let l = lex("let a = 1.max(2); for i in 0..n { } let f = 1.5e3;");
+        assert!(idents(&l).contains(&"max"));
+        assert!(idents(&l).contains(&"n"));
+        let lits: Vec<&str> =
+            l.toks.iter().filter(|t| t.kind == Kind::Lit).map(|t| t.text.as_str()).collect();
+        assert!(lits.contains(&"1.5e3"), "{lits:?}");
+    }
+
+    #[test]
+    fn joined_punct() {
+        let l = lex("fn f() -> u64 { match x { A => 1, B::C => 2 } }");
+        assert!(l.toks.iter().any(|t| t.is_punct("->")));
+        assert!(l.toks.iter().any(|t| t.is_punct("=>")));
+        assert!(l.toks.iter().any(|t| t.is_punct("::")));
+    }
+}

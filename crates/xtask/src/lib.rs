@@ -52,6 +52,22 @@
 //!   coverage may only improve. Trait-impl methods (rustdoc inherits the
 //!   trait's docs), `pub use` re-exports (rustdoc's `missing_docs` skips
 //!   them), and test code are exempt.
+//! * **numeric-cast** — `as` casts to narrower integer/float types
+//!   (`u64 as u32`, `f64 as f32`, ...) in sim-path crates join the ratchet
+//!   (`narrowing_casts = n` per crate): silent truncation of sim-time
+//!   nanoseconds is a determinism hazard. New sites use
+//!   `openoptics_sim::cast` checked helpers or `try_into` instead.
+//!
+//! # Flow-aware rules (`lint --graph`)
+//!
+//! The per-line pass cannot see a `thread_rng` wrapper called three crates
+//! away from the engine hot loop. `--graph` adds oolint v2: a hand-rolled
+//! lexer ([`lex`]) and item/call extractor ([`graph`]) build a cross-crate
+//! call graph, and [`taint`] runs reachability from sim-path entry points
+//! to nondeterminism sources (**graph-nondet**), reporting each hit as a
+//! full call chain, plus the structural **domain-send** fire-time check on
+//! `Outbox::send` sites. `--json` renders findings machine-readable;
+//! `--explain <rule>` prints the rationale for any rule.
 //!
 //! Any rule can be suppressed for one line with a justification:
 //!
@@ -59,11 +75,17 @@
 //! let m = std::collections::HashMap::new(); // oolint: allow(nondet-map, never iterated)
 //! ```
 //!
-//! The annotation may also sit alone on the preceding line. An annotation
-//! without a reason is itself a lint error.
+//! The annotation may also sit alone on the preceding line(s) — `//` or
+//! `/* */` comments both work — and balanced parentheses inside the
+//! justification are fine. An annotation without a reason is itself a lint
+//! error. The graph rules honor annotations at *any hop* of a chain.
 //!
 //! [`FxHashMap`]: https://docs.rs/rustc-hash
 //! [`FxHashSet`]: https://docs.rs/rustc-hash
+
+pub mod graph;
+pub mod lex;
+pub mod taint;
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -129,6 +151,9 @@ pub struct Budget {
     /// `pub` items in library sources without a doc comment
     /// (doc-coverage; tests, trait impls, and re-exports exempt).
     pub undocumented: usize,
+    /// `as` casts to narrower numeric types in sim-path crates
+    /// (numeric-cast; non-sim-path crates always count zero).
+    pub narrowing_casts: usize,
 }
 
 /// Item-introducing keywords counted by the doc-coverage ratchet. `pub use`
@@ -159,12 +184,65 @@ pub struct FileCtx<'a> {
 /// Split a source line into its code part and its `//` comment part, with
 /// string-literal contents blanked out of the code part so patterns never
 /// match inside literals. Good enough for tidy-style linting; raw strings
-/// and multi-line literals are not tracked across lines.
+/// and multi-line literals are not tracked across lines. For `/* */`-aware
+/// splitting across lines, use [`LineSplitter`].
 fn split_code_comment(line: &str) -> (String, String) {
-    let b = line.as_bytes();
-    let mut code = String::with_capacity(line.len());
-    let mut i = 0;
-    while i < b.len() {
+    LineSplitter::default().split(line)
+}
+
+/// Stateful per-line splitter that also tracks `/* */` block comments
+/// across lines, so an `oolint: allow` annotation inside one is recognized
+/// and code inside one is not linted. Feed lines top to bottom.
+#[derive(Default)]
+struct LineSplitter {
+    in_block: bool,
+}
+
+impl LineSplitter {
+    fn split(&mut self, line: &str) -> (String, String) {
+        let b = line.as_bytes();
+        let mut code = String::with_capacity(line.len());
+        let mut comment = String::new();
+        let mut i = 0;
+        while i < b.len() {
+            if self.in_block {
+                // Inside a `/* */` comment: accumulate into the comment
+                // part until it closes (nesting not tracked — rare enough
+                // that the line-oriented pass stays simple).
+                if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    self.in_block = false;
+                    i += 2;
+                } else {
+                    comment.push(b[i] as char);
+                    i += 1;
+                }
+                continue;
+            }
+            let c = b[i];
+            if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                self.in_block = true;
+                i += 2;
+                continue;
+            }
+            if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+                comment.push_str(&line[i..]);
+                return (code, comment);
+            }
+            let (chunk, advanced) = scan_code_char(b, i);
+            code.push_str(&chunk);
+            i = advanced;
+        }
+        (code, comment)
+    }
+}
+
+/// Scan one code token starting at byte `i` (string/char literal handling
+/// shared by the splitters); returns the blanked text to append and the
+/// next index.
+fn scan_code_char(b: &[u8], i: usize) -> (String, usize) {
+    let mut code = String::new();
+    let mut i = i;
+    {
         let c = b[i];
         if c == b'"' {
             // Blank the literal, keep the quotes so the line still scans.
@@ -203,25 +281,42 @@ fn split_code_comment(line: &str) -> (String, String) {
                 code.push('\'');
                 i += 1;
             }
-        } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
-            return (code, line[i..].to_string());
         } else {
             code.push(c as char);
             i += 1;
         }
     }
-    (code, String::new())
+    (code, i)
 }
 
 /// Whether `comment` carries an `oolint: allow(rule, ...)` annotation for
 /// `rule`. Returns `None` when absent, `Some(true)` when well-formed, and
-/// `Some(false)` when the justification is missing.
+/// `Some(false)` when the justification is missing. The closing paren is
+/// found by balance, so a justification may itself contain parentheses
+/// (`allow(wall-clock, O(1) lookup)`), and trailing text after the close
+/// is ignored.
 fn allow_in(comment: &str, rule: &str) -> Option<bool> {
     let marker = "oolint: allow(";
     let start = comment.find(marker)? + marker.len();
     let rest = &comment[start..];
-    let close = rest.find(')')?;
-    let inner = &rest[..close];
+    let mut depth = 1usize;
+    let mut close = None;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    // An unclosed annotation still parses to its end-of-comment content —
+    // better to judge the justification than to silently drop the intent.
+    let inner = &rest[..close.unwrap_or(rest.len())];
     let mut parts = inner.splitn(2, ',');
     let named = parts.next().unwrap_or("").trim();
     if named != rule {
@@ -229,6 +324,27 @@ fn allow_in(comment: &str, rule: &str) -> Option<bool> {
     }
     let reason = parts.next().unwrap_or("").trim();
     Some(!reason.is_empty())
+}
+
+/// Numeric `as`-cast targets that narrow on the 64-bit hosts the sim runs
+/// on. Casting sim-time nanoseconds (`u64`) or byte counts into these
+/// silently truncates — the numeric-cast ratchet counts every such site in
+/// sim-path crates. (`u64`/`i64`/`usize`/`f64` targets are widening or
+/// same-width and stay free.)
+const NARROW_CAST_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// Count narrowing `as` casts on one blanked code line.
+fn narrowing_casts_in(code: &str) -> usize {
+    let mut n = 0;
+    for (pos, _) in code.match_indices(" as ") {
+        let after = &code[pos + " as ".len()..];
+        let target: String =
+            after.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+        if NARROW_CAST_TARGETS.contains(&target.as_str()) {
+            n += 1;
+        }
+    }
+    n
 }
 
 /// Tracks `#[cfg(test)]` regions across the lines of one file.
@@ -277,7 +393,8 @@ pub fn lint_file(ctx: &FileCtx<'_>, content: &str) -> (Vec<Finding>, Budget) {
     let mut budget = Budget::default();
     let mut regions = TestRegions::default();
     let lines: Vec<&str> = content.lines().collect();
-    let split: Vec<(String, String)> = lines.iter().map(|l| split_code_comment(l)).collect();
+    let mut splitter = LineSplitter::default();
+    let split: Vec<(String, String)> = lines.iter().map(|l| splitter.split(l)).collect();
 
     let sim_path = SIM_PATH_CRATES.contains(&ctx.crate_name);
     // Brace-depth tracking for the doc-coverage exemption of trait-impl
@@ -286,13 +403,22 @@ pub fn lint_file(ctx: &FileCtx<'_>, content: &str) -> (Vec<Finding>, Budget) {
     let mut depth = 0i64;
     let mut trait_impl_floor: Option<i64> = None;
     let flag = |findings: &mut Vec<Finding>, idx: usize, rule: &'static str, msg: String| {
-        // The annotation may ride the offending line or sit alone above it.
+        // The annotation may ride the offending line or sit alone on the
+        // comment-only lines directly above it (a multi-line `/* */`
+        // block included).
         let here = allow_in(&split[idx].1, rule);
-        let above = if idx > 0 && split[idx - 1].0.trim().is_empty() {
-            allow_in(&split[idx - 1].1, rule)
-        } else {
-            None
-        };
+        let mut above = None;
+        let mut j = idx;
+        while above.is_none() && j > 0 && split[j - 1].0.trim().is_empty() {
+            j -= 1;
+            above = allow_in(&split[j].1, rule);
+            // A line with no comment at all ends the annotation window; a
+            // whitespace-only comment part (e.g. the `*/` line of a block)
+            // keeps the walk going.
+            if split[j].1.is_empty() {
+                break;
+            }
+        }
         match here.or(above) {
             Some(true) => {}
             Some(false) => findings.push(Finding {
@@ -479,6 +605,11 @@ pub fn lint_file(ctx: &FileCtx<'_>, content: &str) -> (Vec<Finding>, Budget) {
         budget.unwraps += code.matches(".unwrap()").count();
         budget.expects += code.matches(".expect(").count();
         budget.panics += code.matches("panic!(").count();
+        // numeric-cast: silent truncation is a determinism hazard only
+        // where the numbers feed simulated behavior.
+        if sim_path {
+            budget.narrowing_casts += narrowing_casts_in(code);
+        }
     }
     (findings, budget)
 }
@@ -687,6 +818,7 @@ pub fn parse_ratchet(content: &str) -> BTreeMap<String, Budget> {
             "expects" => b.expects = n,
             "panics" => b.panics = n,
             "undocumented" => b.undocumented = n,
+            "narrowing_casts" => b.narrowing_casts = n,
             _ => {}
         }
     }
@@ -703,12 +835,15 @@ pub fn render_ratchet(budgets: &BTreeMap<String, Budget>) -> String {
          # raise numbers by hand — convert the call site to Result<_, Error> or a\n\
          # documented `expect` instead. `undocumented` counts public items in\n\
          # library sources without a doc comment (doc-coverage): document the\n\
-         # item, don't bump the number.\n",
+         # item, don't bump the number. `narrowing_casts` counts `as` casts to\n\
+         # narrower numeric types in sim-path crates (numeric-cast): use the\n\
+         # openoptics_sim::cast checked helpers or try_into instead.\n",
     );
     for (name, b) in budgets {
         out.push_str(&format!(
-            "\n[{name}]\nunwraps = {}\nexpects = {}\npanics = {}\nundocumented = {}\n",
-            b.unwraps, b.expects, b.panics, b.undocumented
+            "\n[{name}]\nunwraps = {}\nexpects = {}\npanics = {}\nundocumented = {}\n\
+             narrowing_casts = {}\n",
+            b.unwraps, b.expects, b.panics, b.undocumented, b.narrowing_casts
         ));
     }
     out
@@ -730,6 +865,7 @@ pub fn compare_ratchet(
             ("expects", got.expects, budget.expects),
             ("panics", got.panics, budget.panics),
             ("undocumented", got.undocumented, budget.undocumented),
+            ("narrowing_casts", got.narrowing_casts, budget.narrowing_casts),
         ] {
             if got_n > max_n {
                 let hint = if missing {
@@ -738,10 +874,13 @@ pub fn compare_ratchet(
                 } else {
                     ""
                 };
-                let advice = if what == "undocumented" {
-                    "document the new public items (///)"
-                } else {
-                    "convert the new call sites to Result<_, Error> or a documented expect"
+                let advice = match what {
+                    "undocumented" => "document the new public items (///)",
+                    "narrowing_casts" => {
+                        "use the openoptics_sim::cast checked helpers or try_into instead of \
+                         a narrowing `as` cast"
+                    }
+                    _ => "convert the new call sites to Result<_, Error> or a documented expect",
                 };
                 findings.push(Finding {
                     file: "lint-ratchet.toml".into(),
@@ -1017,6 +1156,7 @@ pub fn run_lint(root: &Path, update: bool) -> std::io::Result<LintOutcome> {
                 budget.expects += b.expects;
                 budget.panics += b.panics;
                 budget.undocumented += b.undocumented;
+                budget.narrowing_casts += b.narrowing_casts;
                 if rel.ends_with("telemetry/src/trace.rs") {
                     findings.append(&mut check_trace_completeness(&rel, &content));
                 }
@@ -1040,6 +1180,178 @@ pub fn run_lint(root: &Path, update: bool) -> std::io::Result<LintOutcome> {
     }
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(LintOutcome { findings, counts })
+}
+
+/// Run the flow-aware (oolint v2) pass over the workspace rooted at
+/// `root`: lex and extract every first-party crate's library sources into
+/// a cross-crate call graph, then apply the `graph-nondet` taint
+/// reachability and `domain-send` structural rules. Test/bench/example
+/// code is excluded — the graph models the shipped sim path.
+pub fn run_graph_lint(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut ws = taint::TaintWorkspace::default();
+
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut entries: Vec<_> =
+            std::fs::read_dir(&crates)?.collect::<Result<Vec<_>, _>>()?.into_iter().collect();
+        entries.sort_by_key(|e| e.path());
+        for e in entries {
+            if e.path().is_dir() && e.file_name() != "xtask" {
+                crate_dirs.push(e.path());
+            }
+        }
+    }
+    crate_dirs.push(root.to_path_buf());
+
+    for dir in &crate_dirs {
+        let name = package_name(dir)?;
+        let mut files = Vec::new();
+        collect_rs(&dir.join("src"), &mut files)?;
+        for f in files {
+            let rel = f.strip_prefix(root).unwrap_or(&f).to_string_lossy().into_owned();
+            let content = std::fs::read_to_string(&f)?;
+            let lexed = lex::lex(&content);
+            ws.fns.extend(graph::extract(&name, &rel, &lexed));
+            ws.comments.insert(rel, taint::FileComments::from_lexed(&lexed));
+        }
+    }
+
+    let idx = taint::Index::build(&ws.fns);
+    let mut findings = taint::taint_findings(&ws, &idx);
+    findings.extend(taint::domain_send_findings(&ws, &idx));
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+/// Rationale text for every rule, for `lint --explain <rule>`.
+pub const RULE_EXPLANATIONS: &[(&str, &str)] = &[
+    (
+        "nondet-map",
+        "std HashMap/HashSet randomize their SipHash keys per process, so iteration order \
+         differs between runs. In a sim-path crate that breaks the byte-identical-exports \
+         contract. Use FxHashMap/FxHashSet from openoptics_sim::hash, or BTreeMap/BTreeSet \
+         where iteration order is observable.",
+    ),
+    (
+        "wall-clock",
+        "Instant::now/SystemTime::now/thread_rng read host state, so simulated behavior \
+         would differ between runs and machines. Simulation time comes from SimTime; \
+         randomness from the seeded SimRng. Only the bench harness measures real time.",
+    ),
+    (
+        "relaxed-ordering",
+        "Ordering::Relaxed gives no inter-thread ordering: counter reads in the parallel \
+         runner would be schedule-dependent. Use Acquire/Release/AcqRel.",
+    ),
+    (
+        "shared-mutable",
+        "Mutex/RwLock/RefCell in a domain-execution module lets wall-clock scheduling \
+         order back into simulated state. Domains exchange state only as Outbox messages \
+         merged in (time, src, seq) order at the epoch barrier.",
+    ),
+    (
+        "arch-compose",
+        "DispatchPolicy/PauseMode may only be assigned in the Architecture descriptor \
+         module; everything else composes via Architecture::with_dispatch/with_pause and \
+         OpenOpticsNet::deploy, so a deployed network always matches its descriptor.",
+    ),
+    (
+        "bool-api",
+        "Public functions in openoptics-core report failure as Result<_, Error>, not bool \
+         (is_*/has_*/... predicates exempt).",
+    ),
+    (
+        "trace-complete",
+        "Every TraceKind variant needs a name() arm and a to_json() arm; an unhandled \
+         event kind would silently vanish from exports.",
+    ),
+    (
+        "span-paired",
+        "Every span_begin(Stage::X) with a literal stage needs a span_end(Stage::X) \
+         somewhere in the crate; an unclosed lifecycle stage leaks open spans into every \
+         export.",
+    ),
+    (
+        "ratchet",
+        "Counted budgets for unwrap/expect/panic and undocumented pub items, stored in \
+         lint-ratchet.toml. Counts may only fall; `lint --update` locks improvements in.",
+    ),
+    (
+        "doc-coverage",
+        "Undocumented pub items in library sources count against the per-crate \
+         `undocumented` ratchet budget; documentation coverage may only improve.",
+    ),
+    (
+        "numeric-cast",
+        "`as` casts to narrower numeric types (u64 as u32, f64 as f32, ...) silently \
+         truncate; for sim-time nanoseconds that is a determinism hazard. Sim-path \
+         crates count them against the per-crate `narrowing_casts` ratchet budget; new \
+         sites use the openoptics_sim::cast checked helpers or try_into.",
+    ),
+    (
+        "graph-nondet",
+        "Flow-aware taint reachability over the cross-crate call graph: no call chain \
+         from a sim-path entry point (engine run loops, DomainScheduler epoch execution, \
+         deploy/reconfigure, fault injection) may reach a nondeterminism source (wall \
+         clock, OS RNG, std HashMap/HashSet, Ordering::Relaxed, thread-id/env/fs reads, \
+         float reductions in the parallel merge). Violations print the full chain; \
+         `// oolint: allow(graph-nondet, why)` is honored at any hop.",
+    ),
+    (
+        "domain-send",
+        "Cross-domain emission must go through Outbox::send with a fire time provably \
+         at or after the epoch lookahead bound — the conservative-PDES contract the \
+         sharded engine's determinism rests on. The fire-time argument must reference \
+         the epoch bound (epoch_end/lookahead) or be `now + <physical delay>`; anything \
+         else needs `// oolint: allow(domain-send, why)`. This is the static counterpart \
+         of the strict-invariants runtime assert, which only catches violations a given \
+         seed happens to trigger.",
+    ),
+];
+
+/// Explanation text for one rule, if it exists.
+pub fn explain_rule(rule: &str) -> Option<&'static str> {
+    RULE_EXPLANATIONS.iter().find(|(r, _)| *r == rule).map(|(_, e)| *e)
+}
+
+/// Escape a string for JSON output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render findings as machine-readable JSON (for `lint --json`; CI uploads
+/// this as an artifact).
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"msg\": \"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            json_escape(f.rule),
+            json_escape(&f.msg)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!("],\n  \"count\": {}\n}}\n", findings.len()));
+    out
 }
 
 #[cfg(test)]
@@ -1159,7 +1471,57 @@ mod tests {
                    }\n\
                    fn b() { panic!(\"real\"); }\n";
         let (_, b) = lint_file(&ctx("openoptics-sim", "a.rs"), src);
-        assert_eq!(b, Budget { unwraps: 2, expects: 1, panics: 2, undocumented: 0 });
+        assert_eq!(
+            b,
+            Budget { unwraps: 2, expects: 1, panics: 2, undocumented: 0, narrowing_casts: 0 }
+        );
+    }
+
+    #[test]
+    fn numeric_cast_counts_narrowing_in_sim_path_only() {
+        let src = "let a = t as u32;\nlet b = t as u64;\nlet c = x as f32;\n\
+                   let d = y as usize;\nlet e = (n as u16) + (m as u8);\n";
+        let (_, b) = lint_file(&ctx("openoptics-core", "a.rs"), src);
+        assert_eq!(b.narrowing_casts, 4, "{b:?}");
+        // Non-sim-path crates are out of scope for the cast ratchet.
+        let (_, b) = lint_file(&ctx("openoptics-bench", "a.rs"), src);
+        assert_eq!(b.narrowing_casts, 0, "{b:?}");
+        // Strings and comments never count.
+        let quoted = "// u64 as u32 explained\nlet s = \"cast as u32\";\n";
+        let (_, b) = lint_file(&ctx("openoptics-core", "a.rs"), quoted);
+        assert_eq!(b.narrowing_casts, 0, "{b:?}");
+    }
+
+    #[test]
+    fn allow_accepts_parens_in_justification_and_trailing_text() {
+        let nested = "use std::collections::HashMap; \
+                      // oolint: allow(nondet-map, O(1) lookup, never iterated)\n";
+        let (f, _) = lint_file(&ctx("openoptics-core", "a.rs"), nested);
+        assert!(f.is_empty(), "{f:?}");
+        let trailing = "use std::collections::HashMap; \
+                        // oolint: allow(nondet-map, keyed lookups only) -- see DESIGN.md\n";
+        let (f, _) = lint_file(&ctx("openoptics-core", "a.rs"), trailing);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allow_recognized_in_block_comments() {
+        // Single-line block comment on the flagged line.
+        let inline = "use std::collections::HashMap; \
+                      /* oolint: allow(nondet-map, never iterated) */\n";
+        let (f, _) = lint_file(&ctx("openoptics-core", "a.rs"), inline);
+        assert!(f.is_empty(), "{f:?}");
+        // Multi-line block comment above the flagged line: the annotation
+        // rides one of its lines.
+        let above = "/* Discussed in review:\n \
+                        oolint: allow(nondet-map, alias over deterministic hasher)\n \
+                     */\nuse std::collections::HashMap;\n";
+        let (f, _) = lint_file(&ctx("openoptics-core", "a.rs"), above);
+        assert!(f.is_empty(), "{f:?}");
+        // Code *inside* a block comment is not linted.
+        let commented = "/*\nuse std::collections::HashMap;\n*/\n";
+        let (f, _) = lint_file(&ctx("openoptics-core", "a.rs"), commented);
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]
@@ -1197,10 +1559,14 @@ mod tests {
     #[test]
     fn ratchet_round_trip_and_compare() {
         let mut counts = BTreeMap::new();
-        counts
-            .insert("a".to_string(), Budget { unwraps: 2, expects: 1, panics: 0, undocumented: 4 });
-        counts
-            .insert("b".to_string(), Budget { unwraps: 0, expects: 0, panics: 3, undocumented: 0 });
+        counts.insert(
+            "a".to_string(),
+            Budget { unwraps: 2, expects: 1, panics: 0, undocumented: 4, narrowing_casts: 7 },
+        );
+        counts.insert(
+            "b".to_string(),
+            Budget { unwraps: 0, expects: 0, panics: 3, undocumented: 0, narrowing_casts: 0 },
+        );
         let rendered = render_ratchet(&counts);
         assert_eq!(parse_ratchet(&rendered), counts);
         // Equal counts pass; a rise fails; a drop passes.
@@ -1215,8 +1581,10 @@ mod tests {
         assert!(compare_ratchet(&counts, &better).is_empty());
         // Unknown crate: zero budget.
         let mut extra = counts.clone();
-        extra
-            .insert("c".to_string(), Budget { unwraps: 1, expects: 0, panics: 0, undocumented: 0 });
+        extra.insert(
+            "c".to_string(),
+            Budget { unwraps: 1, expects: 0, panics: 0, undocumented: 0, narrowing_casts: 0 },
+        );
         let f = compare_ratchet(&counts, &extra);
         assert_eq!(f.len(), 1);
         assert!(f[0].msg.contains("missing"), "{}", f[0].msg);

@@ -4,6 +4,9 @@
 //!
 //! ```text
 //! cargo run -p xtask -- lint                 # check (CI hard gate)
+//! cargo run -p xtask -- lint --graph         # + flow-aware taint analysis
+//! cargo run -p xtask -- lint --json          # machine-readable findings
+//! cargo run -p xtask -- lint --explain graph-nondet
 //! cargo run -p xtask -- lint --update        # rewrite lint-ratchet.toml
 //! cargo run -p xtask -- bench-diff old.json new.json --max-regress 10
 //! ```
@@ -19,7 +22,8 @@ fn workspace_root() -> PathBuf {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cargo run -p xtask -- lint [--update] [--root PATH]\n       \
+        "usage: cargo run -p xtask -- lint [--graph] [--json] [--update] [--root PATH]\n       \
+         cargo run -p xtask -- lint --explain <rule>\n       \
          cargo run -p xtask -- bench-diff <old.json> <new.json> [--max-regress PCT] [--summary]"
     );
     ExitCode::FAILURE
@@ -36,11 +40,22 @@ fn main() -> ExitCode {
 
 fn lint_cmd(args: &[String]) -> ExitCode {
     let mut update = false;
+    let mut graph = false;
+    let mut json = false;
     let mut root = workspace_root();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--update" => update = true,
+            "--graph" => graph = true,
+            "--json" => json = true,
+            "--explain" => {
+                let Some(rule) = it.next() else {
+                    eprintln!("--explain needs a rule name");
+                    return ExitCode::FAILURE;
+                };
+                return explain_cmd(rule);
+            }
             "--root" => match it.next() {
                 Some(p) => root = PathBuf::from(p),
                 None => {
@@ -62,27 +77,61 @@ fn lint_cmd(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    for f in &outcome.findings {
-        eprintln!("{f}");
+    let mut findings = outcome.findings;
+    if graph {
+        match xtask::run_graph_lint(&root) {
+            Ok(mut f) => findings.append(&mut f),
+            Err(e) => {
+                eprintln!("oolint: graph pass i/o error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
-    let (mut u, mut e, mut p, mut d) = (0, 0, 0, 0);
+    if json {
+        // Machine-readable findings on stdout (CI uploads this artifact);
+        // the human summary stays on stderr.
+        print!("{}", xtask::findings_to_json(&findings));
+    } else {
+        for f in &findings {
+            eprintln!("{f}");
+        }
+    }
+    let (mut u, mut e, mut p, mut d, mut c) = (0, 0, 0, 0, 0);
     for b in outcome.counts.values() {
         u += b.unwraps;
         e += b.expects;
         p += b.panics;
         d += b.undocumented;
+        c += b.narrowing_casts;
     }
     eprintln!(
-        "oolint: {} finding(s); ratchet counts: {u} unwraps, {e} expects, {p} panics, \
-         {d} undocumented pub items across {} crates{}",
-        outcome.findings.len(),
+        "oolint: {} finding(s){}; ratchet counts: {u} unwraps, {e} expects, {p} panics, \
+         {d} undocumented pub items, {c} narrowing casts across {} crates{}",
+        findings.len(),
+        if graph { " (text + graph)" } else { "" },
         outcome.counts.len(),
         if update { " (lint-ratchet.toml rewritten)" } else { "" },
     );
-    if outcome.findings.is_empty() {
+    if findings.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+fn explain_cmd(rule: &str) -> ExitCode {
+    match xtask::explain_rule(rule) {
+        Some(text) => {
+            println!("{rule}\n{}\n{text}", "-".repeat(rule.len()));
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("unknown rule `{rule}`; known rules:");
+            for (r, _) in xtask::RULE_EXPLANATIONS {
+                eprintln!("  {r}");
+            }
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -1,0 +1,48 @@
+//! Fixture: sim-path entry points with seeded cross-crate leaks.
+
+use std::collections::HashMap;
+
+pub struct OpenOpticsNet;
+
+impl OpenOpticsNet {
+    /// LEAK 1: three-hop cross-crate chain to a wall-clock source —
+    /// run_for -> dispatch -> openoptics_workload::jitter -> Instant::now.
+    pub fn run_for(&mut self) {
+        self.dispatch();
+    }
+
+    fn dispatch(&mut self) {
+        openoptics_workload::jitter();
+    }
+
+    pub fn run_with_snapshots(&mut self) {}
+
+    pub fn deploy(&mut self) {
+        // oolint: allow(graph-nondet, fixture: hop-suppressed chain must not be reported)
+        self.excused_helper();
+    }
+
+    fn excused_helper(&mut self) {
+        let _t = std::time::SystemTime::now();
+    }
+
+    pub fn deploy_preset(&mut self) {}
+    pub fn deploy_topo(&mut self) {}
+    pub fn deploy_routing(&mut self) {}
+
+    /// LEAK 2: a HashMap reached through an import (the path use carries
+    /// the expanded `std::collections::HashMap`).
+    pub fn reconfigure(&mut self) {
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        m.insert(1, 2);
+    }
+
+    pub fn inject_faults(&mut self) {
+        seeded_entropy();
+    }
+}
+
+fn seeded_entropy() {
+    // oolint: allow(graph-nondet, fixture: source-suppressed with a justification)
+    let _r = thread_rng();
+}

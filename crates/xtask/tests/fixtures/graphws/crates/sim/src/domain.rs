@@ -1,0 +1,46 @@
+//! Fixture: domain scheduler entry points and Outbox send sites.
+
+pub struct Outbox;
+
+impl Outbox {
+    pub fn send(&mut self, dst: usize, at: SimTime, event: u64) {
+        let _ = (dst, at, event);
+    }
+}
+
+pub struct DomainScheduler;
+
+impl DomainScheduler {
+    pub fn run_until(&mut self) {}
+}
+
+pub fn run() {}
+
+pub fn run_while() {}
+
+pub struct Ring {
+    delay_ns: u64,
+}
+
+impl Ring {
+    /// Sound: fire time is now + a physical delay.
+    pub fn forward(&self, out: &mut Outbox, now: SimTime) {
+        out.send(1, now + self.delay_ns, 7);
+    }
+
+    /// Sound: fire time references the epoch bound directly.
+    pub fn flush(&self, out: &mut Outbox, epoch_end: SimTime) {
+        out.send(0, epoch_end, 9);
+    }
+
+    /// LEAK 3: fires at `now` with no provable lookahead margin.
+    pub fn broken(&self, out: &mut Outbox, now: SimTime) {
+        out.send(2, now, 11);
+    }
+
+    /// Suppressed with a justification: not reported.
+    pub fn excused(&self, out: &mut Outbox, now: SimTime) {
+        // oolint: allow(domain-send, fixture: barrier re-sorts delivery)
+        out.send(3, now, 13);
+    }
+}

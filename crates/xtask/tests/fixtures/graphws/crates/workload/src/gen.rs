@@ -1,0 +1,12 @@
+//! Fixture: the cross-crate leak sink plus an unreachable source.
+
+/// Reached from openoptics-core's run_for via dispatch: the seeded leak.
+pub fn jitter() -> u64 {
+    let _t = std::time::Instant::now();
+    0
+}
+
+/// A wall-clock source no entry point reaches: must NOT be reported.
+pub fn unreachable_source() {
+    let _t = std::time::Instant::now();
+}

@@ -1,0 +1,1 @@
+//! Root facade of the graph fixture workspace (intentionally empty).
