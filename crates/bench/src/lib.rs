@@ -15,6 +15,8 @@
 //! reproduction target (see EXPERIMENTS.md).
 
 pub mod ablations;
+/// Checkpoint save/restore/fork micro-benchmark over `openoptics-ctl`.
+pub mod ckptbench;
 /// Event-queue drain micro-benchmark: batched `pop_before` vs `peek`+`pop`.
 pub mod drainbench;
 pub mod faults;

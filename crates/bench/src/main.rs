@@ -376,11 +376,30 @@ fn main() {
         "[drain micro-bench: {drain_single:.1} Mevents/s single-pop, \
          {drain_batched:.1} Mevents/s batched pop_before]"
     );
-    write_bench_json(&stats, overhead_pct, drain_single, drain_batched);
+    // Control-plane state operations: checkpoint serialize, journal-replay
+    // restore, in-memory fork (stderr + JSON only; stdout stays frozen).
+    let (ckpt_save_ms, ckpt_restore_ms, ckpt_fork_ms) = x::ckptbench::run();
+    eprintln!(
+        "[checkpoint micro-bench: {ckpt_save_ms:.2} ms save, \
+         {ckpt_restore_ms:.2} ms replay-restore, {ckpt_fork_ms:.2} ms fork]"
+    );
+    write_bench_json(
+        &stats,
+        overhead_pct,
+        drain_single,
+        drain_batched,
+        (ckpt_save_ms, ckpt_restore_ms, ckpt_fork_ms),
+    );
 }
 
 /// Write the machine-readable run summary next to the working directory.
-fn write_bench_json(stats: &[ExpStat], overhead_pct: f64, drain_single: f64, drain_batched: f64) {
+fn write_bench_json(
+    stats: &[ExpStat],
+    overhead_pct: f64,
+    drain_single: f64,
+    drain_batched: f64,
+    (ckpt_save_ms, ckpt_restore_ms, ckpt_fork_ms): (f64, f64, f64),
+) {
     let total_wall: f64 = stats.iter().map(|s| s.wall_s).sum();
     let total_events: u64 = stats.iter().map(|s| s.events).sum();
     let mut out = String::from("{\n");
@@ -395,6 +414,9 @@ fn write_bench_json(stats: &[ExpStat], overhead_pct: f64, drain_single: f64, dra
     out.push_str(&format!("  \"telemetry_disabled_overhead_pct\": {overhead_pct:.2},\n"));
     out.push_str(&format!("  \"drain_single_mevents_per_s\": {drain_single:.1},\n"));
     out.push_str(&format!("  \"drain_batched_mevents_per_s\": {drain_batched:.1},\n"));
+    out.push_str(&format!("  \"checkpoint_save_ms\": {ckpt_save_ms:.2},\n"));
+    out.push_str(&format!("  \"checkpoint_restore_ms\": {ckpt_restore_ms:.2},\n"));
+    out.push_str(&format!("  \"checkpoint_fork_ms\": {ckpt_fork_ms:.2},\n"));
     out.push_str("  \"experiments\": [\n");
     for (i, s) in stats.iter().enumerate() {
         out.push_str(&format!(

@@ -169,7 +169,7 @@ impl ScheduleGen {
 /// dispatch/pause defaults, and the config fixups the old builders applied
 /// silently. Feed one to [`crate::OpenOpticsNet::deploy`] together with any
 /// compatible routing scheme.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Architecture {
     name: &'static str,
     class: ArchClass,

@@ -111,12 +111,14 @@ pub enum FlowKind {
 }
 
 #[allow(clippy::large_enum_variant)] // one Transport per flow; boxing buys nothing
+#[derive(Clone)]
 enum Transport {
     Paced,
     Tcp { sender: TcpSender, receiver: TcpReceiver },
     TdTcp { sender: TdTcpSender, receiver: TcpReceiver },
 }
 
+#[derive(Clone)]
 struct FlowState {
     src_host: HostId,
     dst_host: HostId,
@@ -131,6 +133,7 @@ struct FlowState {
     done: bool,
 }
 
+#[derive(Clone)]
 struct HostState {
     tor: NodeId,
     /// The main (optical-side) segment stack; subject to flow pausing and
@@ -146,6 +149,7 @@ struct HostState {
     aging: FlowAging,
 }
 
+#[derive(Clone)]
 struct Link {
     queue: ByteQueue<Packet>,
     busy_until: SimTime,
@@ -158,6 +162,7 @@ impl Link {
     }
 }
 
+#[derive(Clone)]
 struct MemcachedApp {
     params: MemcachedParams,
     server: HostId,
@@ -165,6 +170,7 @@ struct MemcachedApp {
     stop_at: SimTime,
 }
 
+#[derive(Clone)]
 struct ProbeTrain {
     src: HostId,
     dst: HostId,
@@ -176,6 +182,7 @@ struct ProbeTrain {
 
 /// Simulation events.
 #[allow(clippy::large_enum_variant)] // Packet-carrying events dominate by design
+#[derive(Clone)]
 pub enum Event {
     /// Host NIC may transmit.
     HostTx(HostId),
@@ -202,6 +209,7 @@ pub enum Event {
 }
 
 /// Application and transport timers.
+#[derive(Clone)]
 pub enum Timer {
     /// Next memcached operation for `clients[client_idx]` of app `app`.
     MemcachedOp {
@@ -237,6 +245,7 @@ pub enum Timer {
 }
 
 /// Pre-scheduled flow descriptor.
+#[derive(Clone)]
 pub struct PendingFlow {
     /// Start time.
     pub at: SimTime,
@@ -292,7 +301,7 @@ pub struct EngineCounters {
 /// active flags on every window edge — campaigns are tiny and transitions
 /// rare, so a full rebuild keeps overlapping windows on one target correct
 /// without reference counting.
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct FaultRuntime {
     /// All injected fault windows, campaign order (stable indices).
     specs: Vec<FaultSpec>,
@@ -317,7 +326,7 @@ struct FaultRuntime {
 
 /// Live engine-side instruments: bound once at construction, `detached`
 /// (inert) when telemetry is off so hot paths pay one branch.
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct EngineTele {
     guardband_holds: Counter,
     trace: Trace,
@@ -325,6 +334,7 @@ struct EngineTele {
 
 /// Lifecycle cursor for one in-flight sampled data packet: its root span
 /// and whichever stage span is currently open.
+#[derive(Clone)]
 struct PktCursor {
     /// The packet's root span id.
     span: u64,
@@ -338,6 +348,7 @@ struct PktCursor {
 /// per-phase profiler. Every method early-returns on a single branch when
 /// span recording is off (and compiles away entirely without the core
 /// `obs` feature, where [`Spans`]/[`Profiler`] are zero-sized no-ops).
+#[derive(Clone)]
 struct ObsState {
     spans: Spans,
     profiler: Profiler,
@@ -519,6 +530,12 @@ fn phase_of(event: &Event) -> Phase {
 }
 
 /// The engine: all network state plus the event interpreter.
+///
+/// `Clone` is derived so it stays field-complete by construction (a new
+/// field that cannot be cloned breaks the build, not determinism), but the
+/// derived copy shares telemetry/obs buffers through their `Rc` handles —
+/// use [`Engine::fork`] for the independent copy checkpoint forks need.
+#[derive(Clone)]
 pub struct Engine {
     /// Static configuration this engine was built from.
     pub cfg: NetConfig,
@@ -584,6 +601,7 @@ pub struct Engine {
     obs: ObsState,
 }
 
+#[derive(Clone)]
 struct RouterSpec {
     algo: Box<dyn RoutingAlgorithm>,
     lookup: LookupMode,
@@ -699,6 +717,28 @@ impl Engine {
             obs,
             cfg,
         }
+    }
+
+    /// An independent copy of the whole engine — the warm-state leg of a
+    /// checkpoint fork. The derived `Clone` copies all simulation state but
+    /// shares telemetry/obs buffers through `Rc` handles; this method then
+    /// deep-clones those buffers and re-binds every held instrument handle
+    /// against the copy, so the fork and the original diverge without ever
+    /// writing into each other's exports.
+    pub fn fork(&self) -> Engine {
+        let mut e = self.clone();
+        e.telemetry = self.telemetry.deep_clone();
+        e.tele = EngineTele {
+            guardband_holds: e.telemetry.counter("engine.guardband_holds", Labels::None),
+            trace: e.telemetry.trace(),
+        };
+        let reg = e.telemetry.clone();
+        for tor in &mut e.tors {
+            tor.attach_telemetry(&reg);
+        }
+        e.obs.spans = self.obs.spans.deep_clone();
+        e.obs.profiler = self.obs.profiler.deep_clone();
+        e
     }
 
     /// Whether lifecycle-span recording is active for this engine.

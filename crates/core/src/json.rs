@@ -74,6 +74,137 @@ impl Json {
             other => Err(JsonError::new(format!("expected bool, got {other:?}"))),
         }
     }
+
+    /// The value as a number, or a type error.
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            other => Err(JsonError::new(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    /// The value as an array slice, or a type error.
+    pub fn as_arr(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(JsonError::new(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    /// The value as an object's field list (source order), or a type error.
+    pub fn as_obj(&self) -> Result<&[(String, Json)], JsonError> {
+        match self {
+            Json::Obj(fields) => Ok(fields),
+            other => Err(JsonError::new(format!("expected object, got {other:?}"))),
+        }
+    }
+
+    /// Field `key` of an object (first occurrence), if present. `None` both
+    /// for a missing key and for a non-object value.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    /// Compact rendering with a deterministic number format: integers below
+    /// 2^53 print without a decimal point, everything else uses Rust's
+    /// shortest-round-trip `f64` formatting — so `parse(render(v))`
+    /// reproduces `v` exactly and repeated parse/render cycles are
+    /// byte-stable (the property scenario and checkpoint files rely on).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9_007_199_254_740_992.0 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Json::Str(s) => write!(f, "{}", escape(s)),
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(fields) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}:{v}", escape(k))?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Pretty-print a value with two-space indentation.
+///
+/// Uses the same deterministic number and string rendering as the compact
+/// [`Json`] `Display` impl, so `parse(pretty(v))` reproduces `v` exactly;
+/// only the whitespace differs. Scenario and checkpoint files are written
+/// in this form so they diff cleanly under version control.
+pub fn pretty(v: &Json) -> String {
+    let mut out = String::new();
+    pretty_into(v, 0, &mut out);
+    out
+}
+
+fn pretty_into(v: &Json, indent: usize, out: &mut String) {
+    match v {
+        Json::Arr(items) if !items.is_empty() => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                for _ in 0..indent + 2 {
+                    out.push(' ');
+                }
+                pretty_into(item, indent + 2, out);
+            }
+            out.push('\n');
+            for _ in 0..indent {
+                out.push(' ');
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) if !fields.is_empty() => {
+            out.push('{');
+            for (i, (k, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                for _ in 0..indent + 2 {
+                    out.push(' ');
+                }
+                out.push_str(&escape(k));
+                out.push_str(": ");
+                pretty_into(item, indent + 2, out);
+            }
+            out.push('\n');
+            for _ in 0..indent {
+                out.push(' ');
+            }
+            out.push('}');
+        }
+        other => out.push_str(&other.to_string()),
+    }
 }
 
 /// Parse a complete JSON document (trailing whitespace allowed, nothing else).
@@ -299,7 +430,7 @@ pub fn escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
             c => out.push(c),
         }
     }

@@ -72,6 +72,12 @@ impl From<LayoutError> for DeployError {
 }
 
 /// The user-facing network object.
+///
+/// `Clone` is derived for field-completeness; the copy shares telemetry
+/// and span buffers with the original through `Rc` handles. Use
+/// [`OpenOpticsNet::fork`] for the fully independent copy a what-if branch
+/// needs.
+#[derive(Clone)]
 pub struct OpenOpticsNet {
     /// The engine carrying all network state.
     pub engine: Engine,
@@ -90,13 +96,13 @@ impl OpenOpticsNet {
     /// running traffic).
     pub fn new(cfg: NetConfig) -> Self {
         let sched = OpticalSchedule::empty(cfg.slice_config(1), cfg.node_num, cfg.uplink);
-        let fibers = cfg.node_num * cfg.uplink as u32;
+        let fibers = cfg.node_num * u32::from(cfg.uplink);
         let layout = if cfg.ocs_count == 0 {
             let ports = if cfg.ocs_ports == 0 { fibers } else { cfg.ocs_ports };
             OcsLayout::single(cfg.node_num, cfg.uplink, ports)
                 .expect("auto-sized single OCS always fits")
         } else {
-            let per_dev = fibers.div_ceil(cfg.ocs_count as u32);
+            let per_dev = fibers.div_ceil(u32::from(cfg.ocs_count));
             let ports = if cfg.ocs_ports == 0 { per_dev } else { cfg.ocs_ports };
             let k = cfg.ocs_count;
             OcsLayout::build(k, ports, cfg.node_num, cfg.uplink, |_, p| p.0 % k)
@@ -196,6 +202,18 @@ impl OpenOpticsNet {
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// An independent copy of the whole network at its current instant —
+    /// a warm what-if branch. The fork owns deep copies of the engine,
+    /// event queue, and every telemetry/trace/span buffer, so running the
+    /// fork and the original produces two fully separate histories; each,
+    /// run alone, is byte-identical to an uninterrupted run at any worker
+    /// count.
+    pub fn fork(&self) -> OpenOpticsNet {
+        let mut net = self.clone();
+        net.engine = self.engine.fork();
+        net
     }
 
     /// The primitive `connect()` call: stage one circuit. Loopback circuits

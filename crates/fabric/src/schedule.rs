@@ -233,6 +233,7 @@ impl fmt::Debug for OpticalSchedule {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use openoptics_sim::cast::idx_u32;
 
     fn cfg(slices: u32) -> SliceConfig {
         SliceConfig::new(1_000, slices, 100)
@@ -245,7 +246,7 @@ mod tests {
         let mut cs = vec![];
         for (ts, slice) in pairs.iter().enumerate() {
             for &(a, b) in slice {
-                cs.push(Circuit::in_slice(NodeId(a), PortId(0), NodeId(b), PortId(0), ts as u32));
+                cs.push(Circuit::in_slice(NodeId(a), PortId(0), NodeId(b), PortId(0), idx_u32(ts)));
             }
         }
         cs

@@ -14,6 +14,7 @@
 //! network and feeds completions back.
 
 use openoptics_proto::HostId;
+use openoptics_sim::cast::idx_u32;
 use openoptics_sim::rate::Bandwidth;
 use openoptics_sim::rng::SimRng;
 
@@ -93,7 +94,7 @@ impl RingAllreduce {
     pub fn new(hosts: Vec<HostId>, data_bytes: u64) -> Self {
         assert!(hosts.len() >= 2, "allreduce needs at least 2 participants");
         let n = hosts.len() as u64;
-        let total_steps = 2 * (hosts.len() as u32 - 1);
+        let total_steps = 2 * (idx_u32(hosts.len()) - 1);
         RingAllreduce {
             chunk_bytes: data_bytes.div_ceil(n),
             hosts,

@@ -43,7 +43,7 @@ impl Default for TcpConfig {
 }
 
 /// Sender-side connection state.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct TcpSender {
     cfg: TcpConfig,
     /// Next new byte to send.
@@ -223,7 +223,7 @@ impl TcpSender {
 
 /// Receiver-side state: in-order reassembly, cumulative ACK generation, and
 /// the reordering-event counter of Fig. 9(b).
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct TcpReceiver {
     expected: u64,
     ooo: BTreeMap<u64, u32>,

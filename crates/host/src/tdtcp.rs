@@ -31,7 +31,7 @@ struct TopoState {
 }
 
 /// A TDTCP sender: one connection, `k` topology states.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct TdTcpSender {
     cfg: TcpConfig,
     states: Vec<TopoState>,

@@ -45,7 +45,7 @@ struct DstState {
 
 /// The host's user-space send stack: one segment queue per destination
 /// endpoint node (ToR).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct VmaStack {
     queues: FxHashMap<NodeId, ByteQueue<Segment>>,
     state: FxHashMap<NodeId, DstState>,

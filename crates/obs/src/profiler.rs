@@ -303,6 +303,23 @@ impl Profiler {
         }
     }
 
+    /// An independent copy of the accumulators (checkpoint forks). The wall
+    /// clock does **not** carry over — wall mode is bench-only
+    /// self-profiling and a fork starts without a clock installed — so any
+    /// open wall frames are dropped with it; sim-time attribution state
+    /// copies exactly.
+    pub fn deep_clone(&self) -> Profiler {
+        match &self.0 {
+            None => Profiler(None),
+            Some(b) => Profiler(Some(Rc::new(ProfBuf {
+                stats: RefCell::new(*b.stats.borrow()),
+                last: Cell::new(b.last.get()),
+                clock: RefCell::new(None),
+                wall_stack: RefCell::new(Vec::new()),
+            }))),
+        }
+    }
+
     /// Snapshot of every phase's accumulators, in [`PHASES`] order.
     pub fn stats(&self) -> Vec<(Phase, PhaseStat)> {
         match &self.0 {
@@ -400,6 +417,11 @@ impl Profiler {
     /// No-op.
     #[inline]
     pub fn mark(&self, _sub: Phase) {}
+
+    /// No-op copy with the `enabled` feature compiled out.
+    pub fn deep_clone(&self) -> Profiler {
+        Profiler
+    }
 
     /// Always empty with the `enabled` feature compiled out.
     pub fn stats(&self) -> Vec<(Phase, PhaseStat)> {

@@ -276,6 +276,24 @@ impl Spans {
         self.0.as_ref().map_or(0, |b| b.skipped.get())
     }
 
+    /// An independent copy of the stream: same sampling parameters, same
+    /// recorded events and counters, separate storage — span recording in
+    /// one copy never appears in the other (checkpoint forks).
+    pub fn deep_clone(&self) -> Spans {
+        match &self.0 {
+            None => Spans(None),
+            Some(b) => Spans(Some(Rc::new(SpanBuf {
+                capacity: b.capacity,
+                sample_every: b.sample_every,
+                sample_phase: b.sample_phase,
+                next_span: Cell::new(b.next_span.get()),
+                started: Cell::new(b.started.get()),
+                skipped: Cell::new(b.skipped.get()),
+                events: RefCell::new(b.events.borrow().clone()),
+            }))),
+        }
+    }
+
     /// A well-formed copy of the stream: every `Begin` is guaranteed an
     /// `End`. Spans still open get one synthesized at
     /// `max(begin, now, latest descendant end)`, and parent ends are
@@ -379,6 +397,11 @@ impl Spans {
     /// Always 0 with the `enabled` feature compiled out.
     pub fn skipped(&self) -> u64 {
         0
+    }
+
+    /// No-op copy with the `enabled` feature compiled out.
+    pub fn deep_clone(&self) -> Spans {
+        Spans
     }
 
     /// Always empty with the `enabled` feature compiled out.

@@ -14,6 +14,7 @@ use crate::timegraph::earliest_arrival;
 use crate::RoutingAlgorithm;
 use openoptics_fabric::OpticalSchedule;
 use openoptics_proto::{NodeId, PortId};
+use openoptics_sim::cast::idx_u32;
 use openoptics_sim::time::SliceIndex;
 use std::collections::VecDeque;
 
@@ -90,7 +91,7 @@ fn path_counts(schedule: &OpticalSchedule, dst: NodeId, ts: SliceIndex, cap: u32
         if i == dst.index() {
             continue;
         }
-        let v = NodeId(i as u32);
+        let v = NodeId(idx_u32(i));
         let mut c = 0u32;
         for (_, peer) in schedule.neighbors(v, ts) {
             if dist[peer.index()] != u32::MAX && dist[peer.index()] + 1 == dist[i] {
@@ -114,6 +115,10 @@ fn path_counts(schedule: &OpticalSchedule, dst: NodeId, ts: SliceIndex, cap: u32
 pub struct Direct;
 
 impl RoutingAlgorithm for Direct {
+    fn clone_box(&self) -> Box<dyn RoutingAlgorithm> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "direct"
     }
@@ -166,6 +171,10 @@ impl Default for Ecmp {
 }
 
 impl RoutingAlgorithm for Ecmp {
+    fn clone_box(&self) -> Box<dyn RoutingAlgorithm> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "ecmp"
     }
@@ -204,6 +213,10 @@ impl Default for Wcmp {
 }
 
 impl RoutingAlgorithm for Wcmp {
+    fn clone_box(&self) -> Box<dyn RoutingAlgorithm> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "wcmp"
     }
@@ -301,6 +314,10 @@ impl Ksp {
 }
 
 impl RoutingAlgorithm for Ksp {
+    fn clone_box(&self) -> Box<dyn RoutingAlgorithm> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "ksp"
     }
@@ -383,6 +400,10 @@ impl RoutingAlgorithm for Ksp {
 pub struct Vlb;
 
 impl RoutingAlgorithm for Vlb {
+    fn clone_box(&self) -> Box<dyn RoutingAlgorithm> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "vlb"
     }
@@ -454,6 +475,10 @@ impl Default for OperaRouting {
 }
 
 impl RoutingAlgorithm for OperaRouting {
+    fn clone_box(&self) -> Box<dyn RoutingAlgorithm> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "opera"
     }
@@ -502,6 +527,10 @@ impl Default for Ucmp {
 }
 
 impl RoutingAlgorithm for Ucmp {
+    fn clone_box(&self) -> Box<dyn RoutingAlgorithm> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "ucmp"
     }
@@ -592,6 +621,10 @@ impl Default for Hoho {
 }
 
 impl RoutingAlgorithm for Hoho {
+    fn clone_box(&self) -> Box<dyn RoutingAlgorithm> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "hoho"
     }

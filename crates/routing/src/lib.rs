@@ -86,4 +86,15 @@ pub trait RoutingAlgorithm {
     fn routes_within_instance(&self) -> bool {
         false
     }
+
+    /// Clone this scheme into a fresh boxed trait object. Deployed engines
+    /// hold their routing scheme as `Box<dyn RoutingAlgorithm>`; this method
+    /// is what lets a whole engine be cloned for checkpoint forks.
+    fn clone_box(&self) -> Box<dyn RoutingAlgorithm>;
+}
+
+impl Clone for Box<dyn RoutingAlgorithm> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }

@@ -166,6 +166,7 @@ impl fmt::Debug for Path {
 mod tests {
     use super::*;
     use openoptics_fabric::Circuit;
+    use openoptics_sim::cast::idx_u32;
     use openoptics_sim::time::SliceConfig;
 
     /// The Fig. 2 schedule: 4 nodes, 1 uplink, 3 slices.
@@ -175,7 +176,7 @@ mod tests {
         let mut cs = vec![];
         for (ts, sl) in pairs.iter().enumerate() {
             for &(a, b) in sl {
-                cs.push(Circuit::in_slice(NodeId(a), PortId(0), NodeId(b), PortId(0), ts as u32));
+                cs.push(Circuit::in_slice(NodeId(a), PortId(0), NodeId(b), PortId(0), idx_u32(ts)));
             }
         }
         OpticalSchedule::build(SliceConfig::new(1_000, 3, 100), 4, 1, &cs)

@@ -11,6 +11,7 @@
 use crate::path::{Path, PathHop};
 use openoptics_fabric::OpticalSchedule;
 use openoptics_proto::{NodeId, PortId};
+use openoptics_sim::cast::idx_u32;
 use openoptics_sim::time::SliceIndex;
 
 /// Result of the earliest-arrival sweep from one source/arrival slice.
@@ -66,7 +67,7 @@ pub fn earliest_arrival(
                 if d0 > delta || h0 >= max_hops {
                     continue;
                 }
-                let node = NodeId(i as u32);
+                let node = NodeId(idx_u32(i));
                 for (port, peer) in schedule.neighbors(node, slice) {
                     let cand = (delta, h0 + 1);
                     let better = match best[peer.index()] {
@@ -184,7 +185,7 @@ mod tests {
         let mut cs = vec![];
         for (ts, sl) in pairs.iter().enumerate() {
             for &(a, b) in sl {
-                cs.push(Circuit::in_slice(NodeId(a), PortId(0), NodeId(b), PortId(0), ts as u32));
+                cs.push(Circuit::in_slice(NodeId(a), PortId(0), NodeId(b), PortId(0), idx_u32(ts)));
             }
         }
         OpticalSchedule::build(SliceConfig::new(1_000, 3, 100), 4, 1, &cs)

@@ -34,6 +34,15 @@ pub fn to_u8(v: u64) -> u8 {
     u8::try_from(v).expect("u64 value exceeds u8 range; upstream clamp is broken")
 }
 
+/// `usize -> u32` for container indices that are structurally bounded by a
+/// node, slice or queue count (all `u32` quantities in this workspace).
+/// The common shape is `NodeId(idx_u32(i))` when iterating with
+/// `enumerate()` over a per-node container.
+#[inline]
+pub fn idx_u32(v: usize) -> u32 {
+    u32::try_from(v).expect("index exceeds u32 range; container outgrew its u32-sized domain")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

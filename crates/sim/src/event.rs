@@ -51,6 +51,7 @@ const BUCKET_BITS: u32 = 10;
 /// 10 ms watchdog timers in the far heap.
 const NUM_BUCKETS: usize = 4096;
 
+#[derive(Clone)]
 struct Entry<E> {
     time: SimTime,
     seq: u64,
@@ -86,6 +87,11 @@ impl<E> Ord for Entry<E> {
 ///
 /// Events at equal timestamps are delivered in the order they were scheduled
 /// (FIFO). See the module docs for the calendar structure.
+///
+/// Cloning copies the entire pending set (buckets, overlay, far heap, and
+/// every sequence counter), so a cloned queue replays the exact same
+/// delivery order as the original — the property checkpoint forks rely on.
+#[derive(Clone)]
 pub struct EventQueue<E> {
     /// The near-window ring; slot `b % NUM_BUCKETS` holds absolute bucket `b`.
     buckets: Vec<Vec<Entry<E>>>,

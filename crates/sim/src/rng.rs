@@ -65,7 +65,7 @@ impl SimRng {
     pub fn fork(&self, salt: u64) -> SimRng {
         let mut seed = self.seed;
         for (i, b) in salt.to_le_bytes().iter().enumerate() {
-            seed[i] ^= b.rotate_left(i as u32);
+            seed[i] ^= b.rotate_left(crate::cast::idx_u32(i));
             seed[i + 8] ^= b;
         }
         seed[31] ^= 0xA5;
@@ -81,8 +81,8 @@ impl SimRng {
             init[4 + i] =
                 u32::from_le_bytes(chunk.try_into().expect("chunks_exact(4) yields 4-byte chunks"));
         }
-        init[12] = self.counter as u32;
-        init[13] = (self.counter >> 32) as u32;
+        init[12] = crate::cast::to_u32(self.counter & 0xFFFF_FFFF);
+        init[13] = crate::cast::to_u32(self.counter >> 32);
         // init[14], init[15]: zero nonce.
         let mut s = init;
         for _ in 0..4 {

@@ -307,7 +307,7 @@ mod proptests {
                     Op::Enqueue { rank } => {
                         let id = next_id;
                         next_id += 1;
-                        cp.enqueue(rank as u32, 100, id).expect("rank fits the ring with capacity to spare");
+                        cp.enqueue(u32::from(rank), 100, id).expect("rank fits the ring with capacity to spare");
                         model.entry(abs + rank as u64).or_default().push(id);
                     }
                     Op::Rotate => {

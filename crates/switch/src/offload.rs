@@ -35,7 +35,7 @@ impl OffloadPolicy {
 }
 
 /// The switch's ledger of parked packets, keyed by absolute slice ordinal.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct OffloadBook {
     parked: BTreeMap<u64, Vec<(PortId, Packet)>>,
     parked_bytes: u64,

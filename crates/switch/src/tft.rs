@@ -11,6 +11,7 @@
 use openoptics_proto::NodeId;
 use openoptics_proto::Packet;
 use openoptics_routing::{MultipathMode, RouteAction, RouteEntry};
+use openoptics_sim::cast::idx_u32;
 use openoptics_sim::hash::FxHashMap;
 use openoptics_sim::hash::{bucket, flow_hash, packet_hash};
 use openoptics_sim::time::SliceIndex;
@@ -152,7 +153,7 @@ fn weighted_index(actions: &[(RouteAction, u32)], total: u32, h: u64) -> usize {
     if actions.len() <= 1 {
         return 0;
     }
-    let mut slot = bucket(h, total as usize) as u32;
+    let mut slot = idx_u32(bucket(h, total as usize));
     for (i, (_, w)) in actions.iter().enumerate() {
         if slot < *w {
             return i;

@@ -20,6 +20,7 @@ use crate::tft::TimeFlowTable;
 use openoptics_proto::packet::HEADER_BYTES;
 use openoptics_proto::{ControlMsg, FlowId, NodeId, Packet, PortId};
 use openoptics_routing::RouteEntry;
+use openoptics_sim::cast::idx_u32;
 use openoptics_sim::rate::Bandwidth;
 use openoptics_sim::time::{SimTime, SliceConfig, SliceIndex};
 use openoptics_telemetry::{Counter, Histogram, Labels, Registry, Trace, TraceKind};
@@ -165,6 +166,11 @@ struct TorTele {
 }
 
 /// The switch model.
+///
+/// Cloning copies the full switch state (tables, calendar ports, offload
+/// ledger) but shares telemetry handles; checkpoint forks re-bind them via
+/// [`ToRSwitch::attach_telemetry`].
+#[derive(Clone)]
 pub struct ToRSwitch {
     /// Static configuration.
     pub cfg: TorConfig,
@@ -398,7 +404,7 @@ impl ToRSwitch {
                     TraceKind::EqoSample {
                         node: self.cfg.id,
                         port,
-                        queue: qidx as u32,
+                        queue: idx_u32(qidx),
                         estimate_bytes: est,
                         actual_bytes: actual,
                     },

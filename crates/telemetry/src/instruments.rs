@@ -133,6 +133,16 @@ impl HistData {
         }
     }
 
+    pub(crate) fn deep_clone(&self) -> HistData {
+        HistData {
+            counts: RefCell::new(*self.counts.borrow()),
+            count: Cell::new(self.count.get()),
+            sum: Cell::new(self.sum.get()),
+            min: Cell::new(self.min.get()),
+            max: Cell::new(self.max.get()),
+        }
+    }
+
     pub(crate) fn summary(&self) -> HistogramSummary {
         let counts = self.counts.borrow();
         let buckets = counts

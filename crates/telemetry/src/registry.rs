@@ -108,6 +108,35 @@ impl Registry {
         self.inner.as_ref().map_or_else(Trace::detached, |i| i.trace.clone())
     }
 
+    /// An independent copy of every series: same keys, same current values,
+    /// separate storage. Instrument handles held by components still point
+    /// at *this* registry's cells; after a deep clone the caller re-binds
+    /// them against the copy (e.g. `ToRSwitch::attach_telemetry`), which
+    /// lands on the copied cells because [`Registry::counter`] and friends
+    /// are get-or-create by `(name, labels)` key. This is the telemetry leg
+    /// of a checkpoint fork.
+    pub fn deep_clone(&self) -> Registry {
+        let Some(inner) = &self.inner else { return Registry::disabled() };
+        let counters = inner
+            .counters
+            .borrow()
+            .iter()
+            .map(|(k, v)| (*k, Rc::new(Cell::new(v.get()))))
+            .collect();
+        let gauges =
+            inner.gauges.borrow().iter().map(|(k, v)| (*k, Rc::new(Cell::new(v.get())))).collect();
+        let histograms =
+            inner.histograms.borrow().iter().map(|(k, h)| (*k, Rc::new(h.deep_clone()))).collect();
+        Registry {
+            inner: Some(Rc::new(Inner {
+                counters: RefCell::new(counters),
+                gauges: RefCell::new(gauges),
+                histograms: RefCell::new(histograms),
+                trace: inner.trace.deep_clone(),
+            })),
+        }
+    }
+
     /// Render every series at sim-time `at`. Series appear sorted by
     /// `(name, labels)`; the result is byte-identical for identical runs.
     pub fn snapshot(&self, at: SimTime) -> Snapshot {

@@ -224,6 +224,20 @@ impl Trace {
         self.0.as_ref().map_or(0, |b| b.dropped.get())
     }
 
+    /// An independent copy of the stream: same capacity, records, and drop
+    /// count, separate storage. Emissions into one copy never appear in the
+    /// other — the isolation checkpoint forks need.
+    pub fn deep_clone(&self) -> Trace {
+        match &self.0 {
+            None => Trace(None),
+            Some(b) => Trace(Some(Rc::new(TraceBuf {
+                capacity: b.capacity,
+                records: RefCell::new(b.records.borrow().clone()),
+                dropped: Cell::new(b.dropped.get()),
+            }))),
+        }
+    }
+
     /// Copy of the records held so far, in emission order.
     pub fn records(&self) -> Vec<TraceRecord> {
         self.0.as_ref().map_or_else(Vec::new, |b| b.records.borrow().clone())

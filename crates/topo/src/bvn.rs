@@ -22,6 +22,7 @@ use crate::matching::max_weight_pairs;
 use crate::matrix::TrafficMatrix;
 use openoptics_fabric::Circuit;
 use openoptics_proto::{NodeId, PortId};
+use openoptics_sim::cast::idx_u32;
 
 /// One term of a BvN decomposition: a permutation and its coefficient.
 #[derive(Clone, Debug)]
@@ -47,7 +48,7 @@ fn perfect_matching_on_support(m: &TrafficMatrix, eps: f64) -> Option<Vec<usize>
     ) -> bool {
         let n = m.len();
         for j in 0..n {
-            if m.get(NodeId(i as u32), NodeId(j as u32)) > eps && !visited[j] {
+            if m.get(NodeId(idx_u32(i)), NodeId(idx_u32(j))) > eps && !visited[j] {
                 visited[j] = true;
                 if match_col[j].is_none()
                     || try_kuhn(match_col[j].unwrap(), m, eps, visited, match_col)
@@ -89,14 +90,14 @@ pub fn bvn_decompose(tm: &TrafficMatrix, max_terms: usize, eps: f64) -> Vec<BvnT
         let weight = perm
             .iter()
             .enumerate()
-            .map(|(i, &j)| residual.get(NodeId(i as u32), NodeId(j as u32)))
+            .map(|(i, &j)| residual.get(NodeId(idx_u32(i)), NodeId(idx_u32(j))))
             .fold(f64::INFINITY, f64::min);
         if weight <= eps {
             break;
         }
         for (i, &j) in perm.iter().enumerate() {
-            let cur = residual.get(NodeId(i as u32), NodeId(j as u32));
-            residual.set(NodeId(i as u32), NodeId(j as u32), cur - weight);
+            let cur = residual.get(NodeId(idx_u32(i)), NodeId(idx_u32(j)));
+            residual.set(NodeId(idx_u32(i)), NodeId(idx_u32(j)), cur - weight);
         }
         terms.push(BvnTerm { perm, weight });
         if terms.iter().map(|t| t.weight).sum::<f64>() >= 1.0 - eps {
@@ -124,7 +125,7 @@ pub fn decompose_into_pairings(tm: &TrafficMatrix, max_terms: usize) -> Vec<Pair
     let mut residual = TrafficMatrix::zeros(n);
     for i in 0..n {
         for j in 0..n {
-            let (a, b) = (NodeId(i as u32), NodeId(j as u32));
+            let (a, b) = (NodeId(idx_u32(i)), NodeId(idx_u32(j)));
             residual.set(a, b, tm.pair_demand(a, b) / 2.0);
         }
     }
@@ -194,7 +195,7 @@ mod tests {
             for j in 0..n {
                 if i != j {
                     let v = if (i + j) % n == 1 { 50.0 } else { 1.0 };
-                    tm.set(NodeId(i as u32), NodeId(j as u32), v);
+                    tm.set(NodeId(idx_u32(i)), NodeId(idx_u32(j)), v);
                 }
             }
         }
@@ -233,12 +234,12 @@ mod tests {
         let mut recon = TrafficMatrix::zeros(n);
         for t in &terms {
             for (i, &j) in t.perm.iter().enumerate() {
-                recon.add(NodeId(i as u32), NodeId(j as u32), t.weight);
+                recon.add(NodeId(idx_u32(i)), NodeId(idx_u32(j)), t.weight);
             }
         }
         for i in 0..n {
             for j in 0..n {
-                let (a, b) = (NodeId(i as u32), NodeId(j as u32));
+                let (a, b) = (NodeId(idx_u32(i)), NodeId(idx_u32(j)));
                 assert!(
                     (recon.get(a, b) - ds.get(a, b)).abs() < 1e-5,
                     "entry ({i},{j}): {} vs {}",

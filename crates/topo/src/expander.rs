@@ -17,6 +17,7 @@
 use crate::round_robin::one_factorization;
 use openoptics_fabric::{Circuit, OpticalSchedule};
 use openoptics_proto::{NodeId, PortId};
+use openoptics_sim::cast::idx_u32;
 use openoptics_sim::time::SliceConfig;
 
 /// Build an Opera schedule: `u`-regular, *connected* topology in every
@@ -30,7 +31,7 @@ pub fn opera_schedule(n: u32, uplinks: u16) -> (Vec<Circuit>, u32) {
         "Opera needs >= 2 uplinks for per-slice connectivity (got {uplinks})"
     );
     let rounds = one_factorization(n);
-    let num_slices = rounds.len() as u32;
+    let num_slices = idx_u32(rounds.len());
     let r = rounds.len();
 
     let mut circuits = Vec::new();
@@ -50,11 +51,11 @@ pub fn opera_schedule(n: u32, uplinks: u16) -> (Vec<Circuit>, u32) {
                         PortId(j),
                         NodeId(b),
                         PortId(j),
-                        ts as u32,
+                        idx_u32(ts),
                     ));
                 }
             }
-            if slice_connected(&slice_circuits, n, uplinks, ts as u32, num_slices) {
+            if slice_connected(&slice_circuits, n, uplinks, idx_u32(ts), num_slices) {
                 chosen = Some(slice_circuits);
                 break 'attempt;
             }

@@ -18,6 +18,7 @@ use crate::matrix::TrafficMatrix;
 use crate::round_robin::one_factorization;
 use openoptics_fabric::Circuit;
 use openoptics_proto::{NodeId, PortId};
+use openoptics_sim::cast::idx_u32;
 
 /// The initial uniform mesh: stripe `j` (port `j`) uses round `j * spread`
 /// of the 1-factorization, spreading connectivity evenly. Requires
@@ -75,7 +76,11 @@ pub fn evolve(prev: &[Circuit], tm: &TrafficMatrix, n: u32, uplinks: u16) -> Vec
             for (ai, &a) in free.iter().enumerate() {
                 for (bi, &b) in free.iter().enumerate() {
                     if ai != bi {
-                        sub.set(NodeId(ai as u32), NodeId(bi as u32), residual.get(a, b).max(1e-9));
+                        sub.set(
+                            NodeId(idx_u32(ai)),
+                            NodeId(idx_u32(bi)),
+                            residual.get(a, b).max(1e-9),
+                        );
                     }
                 }
             }

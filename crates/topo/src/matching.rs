@@ -16,6 +16,7 @@
 use crate::matrix::TrafficMatrix;
 use openoptics_fabric::Circuit;
 use openoptics_proto::{NodeId, PortId};
+use openoptics_sim::cast::idx_u32;
 
 /// Exact minimum-cost assignment (Hungarian algorithm, O(n³)).
 /// `cost[i][j]` is the cost of assigning row `i` to column `j`; returns
@@ -96,26 +97,25 @@ pub fn max_weight_assignment(tm: &TrafficMatrix) -> Vec<usize> {
     let mut hi = 0.0f64;
     for i in 0..n {
         for j in 0..n {
-            hi = hi.max(tm.get(NodeId(i as u32), NodeId(j as u32)));
+            hi = hi.max(tm.get(NodeId(idx_u32(i)), NodeId(idx_u32(j))));
         }
     }
     // Self-assignment gets a cost so large it is never chosen when any
     // derangement exists (one always does for n >= 2).
     let forbid = (hi + 1.0) * n as f64 * 4.0;
-    let cost: Vec<Vec<f64>> =
-        (0..n)
-            .map(|i| {
-                (0..n)
-                    .map(|j| {
-                        if i == j {
-                            forbid
-                        } else {
-                            hi - tm.get(NodeId(i as u32), NodeId(j as u32))
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
+    let cost: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| {
+                    if i == j {
+                        forbid
+                    } else {
+                        hi - tm.get(NodeId(idx_u32(i)), NodeId(idx_u32(j)))
+                    }
+                })
+                .collect()
+        })
+        .collect();
     min_cost_assignment(&cost)
 }
 
@@ -128,7 +128,7 @@ pub fn max_weight_pairs(tm: &TrafficMatrix) -> Vec<(NodeId, NodeId)> {
     // Greedy seed.
     let mut edges: Vec<(usize, usize, f64)> = (0..n)
         .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
-        .map(|(i, j)| (i, j, tm.pair_demand(NodeId(i as u32), NodeId(j as u32))))
+        .map(|(i, j)| (i, j, tm.pair_demand(NodeId(idx_u32(i)), NodeId(idx_u32(j)))))
         .filter(|&(_, _, w)| w > 0.0)
         .collect();
     edges.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| (a.0, a.1).cmp(&(b.0, b.1))));
@@ -139,7 +139,7 @@ pub fn max_weight_pairs(tm: &TrafficMatrix) -> Vec<(NodeId, NodeId)> {
         }
     }
     // 2-opt: try swapping partners of matched pairs while it improves.
-    let w = |a: usize, b: usize| tm.pair_demand(NodeId(a as u32), NodeId(b as u32));
+    let w = |a: usize, b: usize| tm.pair_demand(NodeId(idx_u32(a)), NodeId(idx_u32(b)));
     let mut improved = true;
     while improved {
         improved = false;
@@ -172,7 +172,9 @@ pub fn max_weight_pairs(tm: &TrafficMatrix) -> Vec<(NodeId, NodeId)> {
         }
     }
     (0..n)
-        .filter_map(|i| partner[i].filter(|&j| i < j).map(|j| (NodeId(i as u32), NodeId(j as u32))))
+        .filter_map(|i| {
+            partner[i].filter(|&j| i < j).map(|j| (NodeId(idx_u32(i)), NodeId(idx_u32(j))))
+        })
         .collect()
 }
 
@@ -220,7 +222,7 @@ mod tests {
         let mut tm = TrafficMatrix::zeros(n);
         for (i, r) in rows.iter().enumerate() {
             for (j, &v) in r.iter().enumerate() {
-                tm.set(NodeId(i as u32), NodeId(j as u32), v);
+                tm.set(NodeId(idx_u32(i)), NodeId(idx_u32(j)), v);
             }
         }
         tm
@@ -282,8 +284,11 @@ mod tests {
         }
         // Should pick the best derangement: 0->1,1->2,2->0 (1+2+2=5) vs
         // 0->2,1->0,2->1 (1+1+1=3).
-        let total: f64 =
-            a.iter().enumerate().map(|(i, &j)| tm.get(NodeId(i as u32), NodeId(j as u32))).sum();
+        let total: f64 = a
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| tm.get(NodeId(idx_u32(i)), NodeId(idx_u32(j))))
+            .sum();
         assert_eq!(total, 5.0);
     }
 

@@ -5,6 +5,7 @@
 //! Entry `(i, j)` is demand from endpoint node `i` to node `j`, in bytes.
 
 use openoptics_proto::NodeId;
+use openoptics_sim::cast::idx_u32;
 use std::fmt;
 
 /// An `n x n` demand matrix (row = source, column = destination).
@@ -26,7 +27,7 @@ impl TrafficMatrix {
         for i in 0..n {
             for j in 0..n {
                 if i != j {
-                    tm.set(NodeId(i as u32), NodeId(j as u32), v);
+                    tm.set(NodeId(idx_u32(i)), NodeId(idx_u32(j)), v);
                 }
             }
         }
@@ -96,7 +97,7 @@ impl TrafficMatrix {
         let mut v: Vec<(NodeId, NodeId, f64)> = (0..self.n)
             .flat_map(|i| (0..self.n).map(move |j| (i, j)))
             .filter(|&(i, j)| i != j)
-            .map(|(i, j)| (NodeId(i as u32), NodeId(j as u32), self.data[i * self.n + j]))
+            .map(|(i, j)| (NodeId(idx_u32(i)), NodeId(idx_u32(j)), self.data[i * self.n + j]))
             .filter(|&(_, _, v)| v > 0.0)
             .collect();
         v.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| (a.0, a.1).cmp(&(b.0, b.1))));
@@ -145,8 +146,8 @@ impl TrafficMatrix {
     pub fn stochasticity_error(&self) -> f64 {
         let mut worst: f64 = 0.0;
         for i in 0..self.n {
-            worst = worst.max((self.row_sum(NodeId(i as u32)) - 1.0).abs());
-            worst = worst.max((self.col_sum(NodeId(i as u32)) - 1.0).abs());
+            worst = worst.max((self.row_sum(NodeId(idx_u32(i))) - 1.0).abs());
+            worst = worst.max((self.col_sum(NodeId(idx_u32(i))) - 1.0).abs());
         }
         worst
     }

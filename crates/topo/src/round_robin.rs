@@ -13,6 +13,7 @@
 
 use openoptics_fabric::Circuit;
 use openoptics_proto::{NodeId, PortId};
+use openoptics_sim::cast::{idx_u32, to_u32};
 
 /// Rounds of a 1-factorization of K_n: each round is a set of disjoint
 /// pairs; across rounds every unordered pair appears exactly once. For even
@@ -68,7 +69,7 @@ pub fn one_factorization(n: u32) -> Vec<Vec<(u32, u32)>> {
 pub fn round_robin(n: u32, uplinks: u16) -> (Vec<Circuit>, u32) {
     assert!(uplinks >= 1);
     let rounds = one_factorization(n);
-    let num_slices = rounds.len() as u32;
+    let num_slices = idx_u32(rounds.len());
     let mut circuits = Vec::new();
     for (ts, _) in rounds.iter().enumerate() {
         for j in 0..uplinks {
@@ -80,7 +81,7 @@ pub fn round_robin(n: u32, uplinks: u16) -> (Vec<Circuit>, u32) {
                     PortId(j),
                     NodeId(b),
                     PortId(j),
-                    ts as u32,
+                    idx_u32(ts),
                 ));
             }
         }
@@ -96,7 +97,7 @@ pub fn round_robin(n: u32, uplinks: u16) -> (Vec<Circuit>, u32) {
 /// `dim` hops (one per differing coordinate).
 pub fn round_robin_multidim(n: u32, dim: u32) -> (Vec<Circuit>, u32) {
     assert!(dim >= 1);
-    let s = (n as f64).powf(1.0 / dim as f64).round() as u32;
+    let s = to_u32(f64::from(n).powf(1.0 / f64::from(dim)).round() as u64);
     assert_eq!(
         s.checked_pow(dim).expect("grid size overflow"),
         n,
@@ -106,7 +107,7 @@ pub fn round_robin_multidim(n: u32, dim: u32) -> (Vec<Circuit>, u32) {
         return round_robin(n, 1);
     }
     let rounds = one_factorization(s);
-    let rounds_per_dim = rounds.len() as u32;
+    let rounds_per_dim = idx_u32(rounds.len());
     let num_slices = dim * rounds_per_dim;
     let stride = |d: u32| s.pow(d);
 
@@ -141,7 +142,7 @@ mod tests {
     fn check_factorization(n: u32) {
         let rounds = one_factorization(n);
         let expected_rounds = if n.is_multiple_of(2) { n - 1 } else { n };
-        assert_eq!(rounds.len() as u32, expected_rounds, "n={n}");
+        assert_eq!(idx_u32(rounds.len()), expected_rounds, "n={n}");
         let mut seen = FxHashSet::default();
         for round in &rounds {
             let mut in_round = FxHashSet::default();
@@ -153,7 +154,7 @@ mod tests {
             }
         }
         // Every unordered pair covered exactly once.
-        assert_eq!(seen.len() as u32, n * (n - 1) / 2, "n={n}");
+        assert_eq!(idx_u32(seen.len()), n * (n - 1) / 2, "n={n}");
     }
 
     #[test]

@@ -34,7 +34,7 @@ impl FlowRecord {
 }
 
 /// FCT collector.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct FctStats {
     started: FxHashMap<FlowId, (u64, SimTime)>,
     completed: Vec<FlowRecord>,

@@ -104,6 +104,7 @@ pub const SIM_PATH_CRATES: &[&str] = &[
     "openoptics-workload",
     "openoptics-faults",
     "openoptics-obs",
+    "openoptics-ctl",
 ];
 
 /// Domain-execution modules of the sim-path crates: the files that run

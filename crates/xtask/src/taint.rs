@@ -398,6 +398,11 @@ pub const ENTRY_POINTS: &[EntryPoint] = &[
         type_name: Some("DomainScheduler"),
         fn_name: "run_until",
     },
+    // The control plane drives runs on users' behalf; everything a session
+    // can do to an engine must stay on the deterministic path.
+    EntryPoint { crate_name: "openoptics-ctl", type_name: Some("Session"), fn_name: "run_until" },
+    EntryPoint { crate_name: "openoptics-ctl", type_name: Some("Session"), fn_name: "apply" },
+    EntryPoint { crate_name: "openoptics-ctl", type_name: Some("Session"), fn_name: "restore" },
 ];
 
 /// Short display path for chain hops: `crates/core/src/net.rs` ⇒
@@ -683,9 +688,13 @@ mod tests {
         let sim = "pub fn run() {}\npub fn run_while() {}\n\
                    impl DomainScheduler {\n    pub fn run_until(&mut self) {}\n}\n"
             .to_string();
+        let ctl = "impl Session {\n    pub fn run_until(&mut self) {}\n    \
+                   pub fn apply(&mut self) {}\n    pub fn restore() {}\n}\n"
+            .to_string();
         vec![
             ("openoptics-core", "crates/core/src/net.rs", core),
             ("openoptics-sim", "crates/sim/src/domain.rs", sim),
+            ("openoptics-ctl", "crates/ctl/src/session.rs", ctl),
         ]
     }
 

@@ -1,0 +1,13 @@
+//! Fixture: control-plane session entry points. Everything a session can do
+//! to an engine must stay on the deterministic path, so these three methods
+//! are in `taint::ENTRY_POINTS` and have to resolve here.
+
+pub struct Session;
+
+impl Session {
+    pub fn run_until(&mut self) {}
+
+    pub fn apply(&mut self) {}
+
+    pub fn restore() {}
+}

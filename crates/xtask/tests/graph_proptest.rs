@@ -97,6 +97,12 @@ fn run_model(m: &Model) -> Vec<xtask::Finding> {
         "pub fn run() {}\npub fn run_while() {}\n\
          pub struct DomainScheduler;\nimpl DomainScheduler { pub fn run_until(&mut self) {} }\n",
     );
+    w("crates/ctl/Cargo.toml", "[package]\nname = \"openoptics-ctl\"\n");
+    w(
+        "crates/ctl/src/session.rs",
+        "pub struct Session;\nimpl Session {\n    pub fn run_until(&mut self) {}\n    \
+         pub fn apply(&mut self) {}\n    pub fn restore() {}\n}\n",
+    );
     w("crates/core/Cargo.toml", "[package]\nname = \"openoptics-core\"\n");
     let mut core = String::from("pub struct OpenOpticsNet;\nimpl OpenOpticsNet {\n");
     for entry in [

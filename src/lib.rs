@@ -13,6 +13,9 @@
 /// The programming model: `NetConfig`, `OpenOpticsNet` (Table-1 API), the
 /// packet-level engine, and preset architectures (`archs`).
 pub use openoptics_core as core;
+/// Control plane: scenario files, the JSON-RPC server, and deterministic
+/// checkpoint/restore (see GUIDE.md).
+pub use openoptics_ctl as ctl;
 /// OCS device catalog, circuits, optical schedules, clock-sync error model.
 pub use openoptics_fabric as fabric;
 /// Deterministic fault-injection plans (`FaultPlan`) and campaign reports.
@@ -79,3 +82,9 @@ pub mod prelude {
 #[doc = include_str!("../README.md")]
 #[cfg(doctest)]
 pub struct ReadmeDoctests;
+
+/// Doc-tests every `rust` code block in the user guide, so the documented
+/// workflows cannot rot either.
+#[doc = include_str!("../GUIDE.md")]
+#[cfg(doctest)]
+pub struct GuideDoctests;
