@@ -30,6 +30,8 @@ pub mod fig9;
 pub mod minslice;
 pub mod overhead;
 pub mod par;
+/// Per-service SLO accounting under a fault window (`experiments slo`).
+pub mod slo;
 /// The architecture × routing composition matrix (`experiments sweep`).
 pub mod sweep;
 pub mod table2;

@@ -4,7 +4,7 @@
 //! ```text
 //! experiments <id> [--quick] [--jobs N] [--workers N] [--profile]
 //!   ids: fig8a fig8b fig9 fig10 fig11 fig12 fig13 fig14
-//!        table2 table3 table4 ablations minslice faults sweep all
+//!        table2 table3 table4 ablations minslice faults slo sweep all
 //! ```
 //!
 //! `sweep` runs the architecture × routing composition matrix (every
@@ -116,7 +116,7 @@ fn main() {
         .map(|(_, a)| a.clone())
         .next()
         .unwrap_or_else(|| {
-            eprintln!("usage: experiments <fig8a|fig8b|fig9|fig10|fig11|fig12|fig13|fig14|table2|table3|table4|ablations|minslice|faults|sweep|all> [--quick] [--jobs N] [--workers N] [--profile]");
+            eprintln!("usage: experiments <fig8a|fig8b|fig9|fig10|fig11|fig12|fig13|fig14|table2|table3|table4|ablations|minslice|faults|slo|sweep|all> [--quick] [--jobs N] [--workers N] [--profile]");
             std::process::exit(2);
         });
     let all = which == "all";
@@ -317,6 +317,27 @@ fn main() {
             let rows = x::faults::run(if quick { 40 } else { 80 });
             print!("{}", x::faults::render(&rows));
         });
+    }
+
+    if run("slo") {
+        ran = true;
+        section("SLO — per-service latency objectives under a fault window");
+        let mut cache = None;
+        instrument(&mut stats, "slo", &mut || {
+            let (rows, samples) = x::slo::run(if quick { 40 } else { 80 });
+            print!("{}", x::slo::render(&rows, samples));
+            cache = rows.into_iter().find(|r| r.service == "cache");
+        });
+        // Surface the cache service's burn rate and tail on the JSON record
+        // so `xtask bench-diff` can gate SLO regressions between runs.
+        if let Some(c) = cache {
+            let s = stats.last_mut().expect("instrument pushed a record");
+            s.extra = format!(
+                ", \"slo_burn_milli\": {}, \"p999_us\": {}",
+                c.burn_milli,
+                c.p999_ns / 1_000
+            );
+        }
     }
 
     // Deliberately not part of `all`: the composition matrix is a harness

@@ -102,6 +102,12 @@ pub struct NetConfig {
     /// skipped (and counted) but already-open spans still complete, so the
     /// recorded stream stays well-formed.
     pub span_capacity: u64,
+    /// Telemetry sampling cadence, ns of sim time between time-series
+    /// samples: each tick snapshots every counter/gauge plus the
+    /// per-service latency summaries into the time-series store and the
+    /// subscription frame stream. 0 disables sampling entirely — the
+    /// sampling timer is never scheduled, so the hot path cost is zero.
+    pub sample_every_ns: u64,
     /// Worker budget for intra-run execution. `1` runs the classic serial
     /// loop; `> 1` routes `run_for` through conservative-lookahead epochs
     /// (windows derived from the optical schedule — see
@@ -150,6 +156,7 @@ impl Default for NetConfig {
             trace_capacity: 4_096,
             span_sample_every: 0,
             span_capacity: 65_536,
+            sample_every_ns: 0,
             workers: 1,
             seed: 1,
         }
@@ -195,6 +202,7 @@ macro_rules! for_each_config_field {
         $m!(u64 trace_capacity);
         $m!(u64 span_sample_every);
         $m!(u64 span_capacity);
+        $m!(u64 sample_every_ns);
         $m!(usize workers);
         $m!(u64 seed);
     };

@@ -26,7 +26,7 @@ use openoptics_proto::packet::{PacketKind, HEADER_BYTES};
 use openoptics_proto::{ControlMsg, FlowId, HostId, NodeId, Packet, PortId};
 use openoptics_routing::{compile, LookupMode, MultipathMode, Path, RoutingAlgorithm};
 use openoptics_sim::bytequeue::ByteQueue;
-use openoptics_sim::cast::{to_u32, to_u8};
+use openoptics_sim::cast::{idx_u32, to_u32, to_u8};
 use openoptics_sim::hash::FxHashMap;
 use openoptics_sim::rate::Bandwidth;
 use openoptics_sim::time::{SimTime, SliceConfig};
@@ -34,8 +34,12 @@ use openoptics_sim::{EventQueue, SimRng, World};
 use openoptics_switch::congestion::{CongestionConfig, CongestionPolicy};
 use openoptics_switch::offload::OffloadPolicy;
 use openoptics_switch::{IngressDecision, PipelineModel, ToRSwitch, TorConfig};
-use openoptics_telemetry::{Counter, Labels, Registry, RetxKind, Trace, TraceKind};
+use openoptics_telemetry::{
+    Counter, FlightTrigger, FrameLog, Labels, QuantileSketch, Registry, RetxKind, SampleRow,
+    ServiceStats, SloTarget, SloTransition, TimeSeries, Trace, TraceKind,
+};
 use openoptics_topo::TrafficMatrix;
+use openoptics_workload::fct::{FlowRecord, ELEPHANT_MIN_BYTES, MICE_MAX_BYTES};
 use openoptics_workload::FctStats;
 
 /// Maximum payload per packet (MTU minus headers).
@@ -47,6 +51,14 @@ const HOST_WIRE_NS: u64 = 500;
 const SLICE_END_MARGIN_NS: u64 = 40;
 /// Paced-flow watchdog period, ns.
 const WATCHDOG_NS: u64 = 10_000_000;
+/// Sample rows kept by the time-series store (keep-first, like the trace).
+const SAMPLE_CAPACITY: usize = 65_536;
+/// Frame lines kept by the subscription frame log.
+const FRAME_CAPACITY: usize = 65_536;
+/// Flow-class labels for the per-class latency sketches, index-aligned
+/// with [`Engine::class_sketches`] (mice < 100 KB ≤ medium < 1 MB ≤
+/// elephants).
+pub const FLOW_CLASSES: [&str; 3] = ["mice", "medium", "elephant"];
 
 /// How hosts split traffic between the optical and electrical fabrics.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -130,6 +142,8 @@ struct FlowState {
     delivered_at_last_watchdog: u64,
     transport: Transport,
     kind: FlowKind,
+    /// Declared service this flow belongs to (SLO accounting), if any.
+    service: Option<u16>,
     done: bool,
 }
 
@@ -168,6 +182,7 @@ struct MemcachedApp {
     server: HostId,
     clients: Vec<HostId>,
     stop_at: SimTime,
+    service: Option<u16>,
 }
 
 #[derive(Clone)]
@@ -242,6 +257,9 @@ pub enum Timer {
     FaultStart(usize),
     /// An injected fault window closes.
     FaultEnd(usize),
+    /// Telemetry sampling tick: append one time-series row / sample frame
+    /// and re-arm. Never scheduled when `sample_every_ns` is 0.
+    Sample,
 }
 
 /// Pre-scheduled flow descriptor.
@@ -257,6 +275,8 @@ pub struct PendingFlow {
     pub bytes: u64,
     /// Transport.
     pub transport: TransportKind,
+    /// Declared service the flow reports latency under, if any.
+    pub service: Option<u16>,
 }
 
 /// Aggregate packet counters.
@@ -561,6 +581,8 @@ pub struct Engine {
     memcached: Vec<MemcachedApp>,
     probe_trains: Vec<ProbeTrain>,
     collectives: Vec<RingAllreduce>,
+    /// Service tag of each collective's chunk flows, if any.
+    collective_service: Vec<Option<u16>>,
     /// Completion time of each collective, once done.
     pub collective_done: Vec<Option<SimTime>>,
     /// Pre-scheduled flows (installed before run).
@@ -595,6 +617,17 @@ pub struct Engine {
     telemetry: Registry,
     /// Engine-side live instruments.
     tele: EngineTele,
+    /// Declared services: per-service latency sketches + SLO accounting.
+    services: Vec<ServiceStats>,
+    /// Per-flow-class FCT sketches (mice/medium/elephant), fed on every
+    /// completion while telemetry is on.
+    class_sketches: [QuantileSketch; 3],
+    /// Sim-time-sampled counter/gauge/service series (empty unless
+    /// `sample_every_ns > 0`).
+    timeseries: TimeSeries,
+    /// Rendered frame lines for streaming subscriptions (samples, SLO
+    /// transitions, flight-recorder dumps).
+    frames: FrameLog,
     /// Injected fault campaign, if any (`None` = sunny-day run).
     faults: Option<FaultRuntime>,
     /// Lifecycle spans + phase profiler (inert unless configured).
@@ -700,6 +733,7 @@ impl Engine {
             memcached: vec![],
             probe_trains: vec![],
             collectives: vec![],
+            collective_service: vec![],
             collective_done: vec![],
             pending_flows: vec![],
             tm_accum: TrafficMatrix::zeros(n as usize),
@@ -713,6 +747,10 @@ impl Engine {
             delay_samples: vec![],
             telemetry,
             tele,
+            services: vec![],
+            class_sketches: [QuantileSketch::new(), QuantileSketch::new(), QuantileSketch::new()],
+            timeseries: TimeSeries::new(SAMPLE_CAPACITY),
+            frames: FrameLog::new(FRAME_CAPACITY),
             faults: None,
             obs,
             cfg,
@@ -878,6 +916,126 @@ impl Engine {
         self.obs.profiler.mirror_into(reg);
     }
 
+    // -- services, sampling, and the frame stream ---------------------------
+
+    /// Declare a service: a named latency stream flows can be tagged with,
+    /// with optional SLO accounting. Returns the service id used for
+    /// tagging. Declaration order is the id order, so scenario-driven and
+    /// programmatic declaration produce identical exports.
+    pub fn declare_service(&mut self, name: &str, slo: Option<SloTarget>) -> u16 {
+        self.services.push(ServiceStats::new(name.to_string(), slo));
+        u16::try_from(self.services.len() - 1).expect("more than 65535 declared services")
+    }
+
+    /// Declared services, in declaration (= id) order.
+    pub fn services(&self) -> &[ServiceStats] {
+        &self.services
+    }
+
+    /// Per-flow-class FCT sketches, index-aligned with [`FLOW_CLASSES`].
+    pub fn class_sketches(&self) -> &[QuantileSketch; 3] {
+        &self.class_sketches
+    }
+
+    /// The sampled time series (empty unless `sample_every_ns > 0`).
+    pub fn timeseries(&self) -> &TimeSeries {
+        &self.timeseries
+    }
+
+    /// The subscription frame log.
+    pub fn frames(&self) -> &FrameLog {
+        &self.frames
+    }
+
+    /// Feed one completed flow into latency accounting: its class sketch
+    /// always, and — when tagged — its service's sketch and SLO state. An
+    /// SLO breach-state transition is traced and pushed as a frame.
+    fn note_completion(&mut self, rec: FlowRecord, service: Option<u16>, now: SimTime) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let fct = rec.fct_ns();
+        let class = if rec.bytes < MICE_MAX_BYTES {
+            0
+        } else if rec.bytes < ELEPHANT_MIN_BYTES {
+            1
+        } else {
+            2
+        };
+        self.class_sketches[class].record(fct);
+        let Some(sid) = service else { return };
+        let fault_active = self.faults.as_ref().is_some_and(|f| f.active.iter().any(|&a| a));
+        let Some(svc) = self.services.get_mut(sid as usize) else { return };
+        let Some(transition) = svc.record(now.as_ns(), fct, fault_active) else { return };
+        let (state, kind) = match transition {
+            SloTransition::Breach => ("breach", TraceKind::SloBreach { service: u32::from(sid) }),
+            SloTransition::Recover => {
+                ("recover", TraceKind::SloRecover { service: u32::from(sid) })
+            }
+        };
+        let line = format!(
+            "{{\"frame\":\"slo\",\"t_ns\":{},\"service\":\"{}\",\"state\":\"{}\",\
+             \"burn_milli\":{},\"bad\":{},\"total\":{}}}",
+            now.as_ns(),
+            svc.name(),
+            state,
+            svc.burn_milli(),
+            svc.bad(),
+            svc.total(),
+        );
+        self.frames.push(line);
+        self.tele.trace.emit(now, kind);
+    }
+
+    /// One sampling tick: mirror counters, snapshot, and append the row to
+    /// the time series and the frame log.
+    pub(crate) fn take_sample(
+        &mut self,
+        now: SimTime,
+        queue_stats: Option<openoptics_sim::QueueStats>,
+    ) {
+        self.sync_telemetry(queue_stats);
+        let snap = self.telemetry.snapshot(now);
+        let row = SampleRow {
+            at_ns: now.as_ns(),
+            counters: snap.counters,
+            gauges: snap.gauges,
+            services: self.services.iter().map(|s| s.summary()).collect(),
+        };
+        self.frames.push(row.to_json());
+        self.timeseries.push(row);
+    }
+
+    /// Dump the flight recorder — the trace stream's ring of most recent
+    /// records — into the frame stream, then trace the dump itself. Called
+    /// on fault activation and when a strict-invariants check is about to
+    /// trip; no-op when tracing is off.
+    fn flight_dump(&mut self, now: SimTime, trigger: FlightTrigger) {
+        if !self.tele.trace.is_on() {
+            return;
+        }
+        let recent = self.tele.trace.recent_records();
+        let mut line = String::with_capacity(64 + recent.len() * 72);
+        use std::fmt::Write as _;
+        let _ = write!(
+            line,
+            "{{\"frame\":\"flight\",\"t_ns\":{},\"trigger\":\"{}\",\"records\":[",
+            now.as_ns(),
+            trigger.as_str(),
+        );
+        for (i, rec) in recent.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&rec.to_json());
+        }
+        line.push_str("]}");
+        self.frames.push(line);
+        self.tele
+            .trace
+            .emit(now, TraceKind::FlightDump { trigger, records: idx_u32(recent.len()) });
+    }
+
     // -- fault injection -----------------------------------------------------
 
     /// Install (or extend) the fault campaign. The plan is validated
@@ -1033,6 +1191,12 @@ impl Engine {
             TraceKind::FaultClear { node: spec.node, port: spec.port }
         };
         self.tele.trace.emit(now, kind);
+        if up {
+            // A fault firing is exactly the moment a subscriber wants the
+            // recent trace tail: dump the flight recorder (which now ends
+            // with the FaultInject record just emitted).
+            self.flight_dump(now, FlightTrigger::FaultEdge);
+        }
         self.obs.profiler.mark(Phase::FaultRuntime);
     }
 
@@ -1218,7 +1382,21 @@ impl Engine {
         bytes: u64,
         transport: TransportKind,
     ) -> usize {
-        self.pending_flows.push(PendingFlow { at, src, dst, bytes, transport });
+        self.add_flow_tagged(at, src, dst, bytes, transport, None)
+    }
+
+    /// [`Engine::add_flow`] with a service tag for SLO accounting.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_flow_tagged(
+        &mut self,
+        at: SimTime,
+        src: HostId,
+        dst: HostId,
+        bytes: u64,
+        transport: TransportKind,
+        service: Option<u16>,
+    ) -> usize {
+        self.pending_flows.push(PendingFlow { at, src, dst, bytes, transport, service });
         self.pending_flows.len() - 1
     }
 
@@ -1230,13 +1408,38 @@ impl Engine {
         clients: Vec<HostId>,
         stop_at: SimTime,
     ) -> usize {
-        self.memcached.push(MemcachedApp { params, server, clients, stop_at });
+        self.add_memcached_tagged(params, server, clients, stop_at, None)
+    }
+
+    /// [`Engine::add_memcached`] with a service tag: each operation's
+    /// request→response latency reports under the service's SLO.
+    pub fn add_memcached_tagged(
+        &mut self,
+        params: MemcachedParams,
+        server: HostId,
+        clients: Vec<HostId>,
+        stop_at: SimTime,
+        service: Option<u16>,
+    ) -> usize {
+        self.memcached.push(MemcachedApp { params, server, clients, stop_at, service });
         self.memcached.len() - 1
     }
 
     /// Attach a ring allreduce over `hosts` of `data_bytes`.
     pub fn add_allreduce(&mut self, hosts: Vec<HostId>, data_bytes: u64) -> usize {
+        self.add_allreduce_tagged(hosts, data_bytes, None)
+    }
+
+    /// [`Engine::add_allreduce`] with a service tag: every chunk flow's FCT
+    /// reports under the service's SLO.
+    pub fn add_allreduce_tagged(
+        &mut self,
+        hosts: Vec<HostId>,
+        data_bytes: u64,
+        service: Option<u16>,
+    ) -> usize {
         self.collectives.push(RingAllreduce::new(hosts, data_bytes));
+        self.collective_service.push(service);
         self.collective_done.push(None);
         self.collectives.len() - 1
     }
@@ -1314,6 +1517,7 @@ impl Engine {
         // Allreduce first steps.
         for c in 0..self.collectives.len() {
             let sends = self.collectives[c].start();
+            let service = self.collective_service[c];
             for s in sends {
                 self.start_flow(
                     SimTime::ZERO,
@@ -1322,6 +1526,7 @@ impl Engine {
                     s.bytes,
                     TransportKind::Paced,
                     FlowKind::Chunk { collective: c },
+                    service,
                     q,
                 );
             }
@@ -1338,11 +1543,17 @@ impl Engine {
                 q.schedule(s.end, Event::Timer(Timer::FaultEnd(i)));
             }
         }
+        // Telemetry sampling cadence: the timer is simply never scheduled
+        // when sampling is off, so a disabled run pays nothing.
+        if self.cfg.sample_every_ns > 0 && self.telemetry.is_enabled() {
+            q.schedule(SimTime::from_ns(self.cfg.sample_every_ns), Event::Timer(Timer::Sample));
+        }
     }
 
     // -- flows --------------------------------------------------------------
 
-    /// Start a flow now; returns its id.
+    /// Start a flow now; returns its id. `service` tags the flow's
+    /// completion latency for SLO accounting.
     #[allow(clippy::too_many_arguments)]
     pub fn start_flow(
         &mut self,
@@ -1352,6 +1563,7 @@ impl Engine {
         bytes: u64,
         transport: TransportKind,
         kind: FlowKind,
+        service: Option<u16>,
         q: &mut EventQueue<Event>,
     ) -> FlowId {
         let id = self.next_flow_id;
@@ -1377,6 +1589,7 @@ impl Engine {
             delivered_at_last_watchdog: 0,
             transport,
             kind,
+            service,
             done: false,
         };
         match fs.kind {
@@ -1528,12 +1741,19 @@ impl Engine {
         }
         f.done = true;
         let kind = f.kind;
+        let service = f.service;
         let (src, dst) = (f.src_host, f.dst_host);
         self.obs.flow_end(fid, now);
         match kind {
-            FlowKind::Plain => self.fct.complete(fid, now),
+            FlowKind::Plain => {
+                if let Some(rec) = self.fct.complete(fid, now) {
+                    self.note_completion(rec, service, now);
+                }
+            }
             FlowKind::Chunk { collective } => {
-                self.fct.complete(fid, now);
+                if let Some(rec) = self.fct.complete(fid, now) {
+                    self.note_completion(rec, service, now);
+                }
                 if let Some(next) = self.collectives[collective].on_chunk_complete() {
                     for s in next {
                         self.start_flow(
@@ -1543,6 +1763,7 @@ impl Engine {
                             s.bytes,
                             TransportKind::Paced,
                             FlowKind::Chunk { collective },
+                            service,
                             q,
                         );
                     }
@@ -1552,7 +1773,9 @@ impl Engine {
             }
             FlowKind::Request { response_bytes } => {
                 // Server answers; the request's FCT completes with the
-                // response (handled below).
+                // response (handled below). The response inherits the
+                // request's service tag so the full round trip reports
+                // under one SLO.
                 self.start_flow(
                     now,
                     dst,
@@ -1560,11 +1783,14 @@ impl Engine {
                     response_bytes as u64,
                     TransportKind::Paced,
                     FlowKind::Response { of: fid },
+                    service,
                     q,
                 );
             }
             FlowKind::Response { of } => {
-                self.fct.complete(of, now);
+                if let Some(rec) = self.fct.complete(of, now) {
+                    self.note_completion(rec, service, now);
+                }
             }
         }
     }
@@ -1951,12 +2177,18 @@ impl Engine {
                     // tail. A transmit start inside the guardband or a tail
                     // past the slice end would be silently eaten by the
                     // fabric instead.
+                    let in_guard = self.slice_cfg.in_guardband(local);
+                    let overrun =
+                        tx + SLICE_END_MARGIN_NS > self.slice_cfg.remaining_in_slice(local);
+                    if in_guard || overrun {
+                        // Last act before dying: push the flight recorder
+                        // into the frame stream so a subscriber sees the
+                        // trace tail that led here.
+                        self.flight_dump(now, FlightTrigger::Invariant);
+                    }
+                    assert!(!in_guard, "transmit started inside the guardband at local {local}");
                     assert!(
-                        !self.slice_cfg.in_guardband(local),
-                        "transmit started inside the guardband at local {local}"
-                    );
-                    assert!(
-                        tx + SLICE_END_MARGIN_NS <= self.slice_cfg.remaining_in_slice(local),
+                        !overrun,
                         "transmit of {tx} ns overruns the slice: {} ns remain at local {local}",
                         self.slice_cfg.remaining_in_slice(local),
                     );
@@ -2357,13 +2589,14 @@ impl Engine {
         match timer {
             Timer::FlowStart(idx) => {
                 let p = &self.pending_flows[idx];
-                let (src, dst, bytes, transport) = (p.src, p.dst, p.bytes, p.transport);
-                self.start_flow(now, src, dst, bytes, transport, FlowKind::Plain, q);
+                let (src, dst, bytes, transport, service) =
+                    (p.src, p.dst, p.bytes, p.transport, p.service);
+                self.start_flow(now, src, dst, bytes, transport, FlowKind::Plain, service, q);
             }
             Timer::MemcachedOp { app, client_idx } => {
-                let (params, server, client, stop_at) = {
+                let (params, server, client, stop_at, service) = {
                     let a = &self.memcached[app];
-                    (a.params, a.server, a.clients[client_idx], a.stop_at)
+                    (a.params, a.server, a.clients[client_idx], a.stop_at, a.service)
                 };
                 if now >= stop_at {
                     return;
@@ -2375,6 +2608,7 @@ impl Engine {
                     params.set_bytes as u64,
                     TransportKind::Paced,
                     FlowKind::Request { response_bytes: params.response_bytes },
+                    service,
                     q,
                 );
                 let gap = params.next_gap_ns(&mut self.rng);
@@ -2482,6 +2716,11 @@ impl Engine {
                 pkt.kind = PacketKind::Probe { echo_of: now, is_reply: false };
                 self.dispatch_from_host(src, pkt, now, q);
                 q.schedule_after(now, interval, Event::Timer(Timer::ProbeSend(t)));
+            }
+            Timer::Sample => {
+                let stats = q.stats();
+                self.take_sample(now, Some(stats));
+                q.schedule_after(now, self.cfg.sample_every_ns, Event::Timer(Timer::Sample));
             }
         }
     }

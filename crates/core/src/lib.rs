@@ -37,4 +37,7 @@ pub use net::{DeployError, OpenOpticsNet};
 pub use openoptics_faults::{
     FaultCounters, FaultError, FaultKind, FaultPlan, FaultPlanBuilder, FaultReport, FaultSpec,
 };
+pub use openoptics_telemetry::{
+    FrameLog, QuantileSketch, SampleRow, SloSummary, SloTarget, TimeSeries,
+};
 pub use workflow::run_ta_loop;

@@ -369,6 +369,19 @@ impl OpenOpticsNet {
 
     // -- workload & execution ----------------------------------------------
 
+    /// Declare a service: a named latency stream flows can be tagged with,
+    /// with optional SLO accounting (see [`Engine::declare_service`]).
+    /// Declare services before the first run so scenario-driven and
+    /// programmatic setups assign identical ids.
+    pub fn declare_service(
+        &mut self,
+        name: &str,
+        slo: Option<openoptics_telemetry::SloTarget>,
+    ) -> u16 {
+        assert!(!self.primed, "declare services before the first run");
+        self.engine.declare_service(name, slo)
+    }
+
     /// Schedule a flow (before or during the run). `at` must not be in the
     /// simulated past once the network is running.
     pub fn add_flow(
@@ -379,7 +392,22 @@ impl OpenOpticsNet {
         bytes: u64,
         transport: TransportKind,
     ) {
-        let idx = self.engine.add_flow(at, src, dst, bytes, transport);
+        self.add_flow_tagged(at, src, dst, bytes, transport, None);
+    }
+
+    /// [`OpenOpticsNet::add_flow`] with a service tag: the flow's FCT
+    /// reports into the service's latency sketch and SLO accounting.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_flow_tagged(
+        &mut self,
+        at: SimTime,
+        src: HostId,
+        dst: HostId,
+        bytes: u64,
+        transport: TransportKind,
+        service: Option<u16>,
+    ) {
+        let idx = self.engine.add_flow_tagged(at, src, dst, bytes, transport, service);
         if self.primed {
             assert!(at >= self.now, "cannot start a flow in the simulated past");
             self.queue.schedule(at, Event::Timer(crate::engine::Timer::FlowStart(idx)));
@@ -427,10 +455,36 @@ impl OpenOpticsNet {
         self.engine.add_memcached(params, server, clients, stop_at)
     }
 
+    /// [`OpenOpticsNet::add_memcached`] with a service tag: each op's
+    /// request→response latency reports under the service's SLO.
+    pub fn add_memcached_tagged(
+        &mut self,
+        params: MemcachedParams,
+        server: HostId,
+        clients: Vec<HostId>,
+        stop_at: SimTime,
+        service: Option<u16>,
+    ) -> usize {
+        assert!(!self.primed, "attach apps before the first run");
+        self.engine.add_memcached_tagged(params, server, clients, stop_at, service)
+    }
+
     /// Attach a ring allreduce (see [`Engine::add_allreduce`]).
     pub fn add_allreduce(&mut self, hosts: Vec<HostId>, data_bytes: u64) -> usize {
         assert!(!self.primed, "attach apps before the first run");
         self.engine.add_allreduce(hosts, data_bytes)
+    }
+
+    /// [`OpenOpticsNet::add_allreduce`] with a service tag: every chunk
+    /// flow's FCT reports under the service's SLO.
+    pub fn add_allreduce_tagged(
+        &mut self,
+        hosts: Vec<HostId>,
+        data_bytes: u64,
+        service: Option<u16>,
+    ) -> usize {
+        assert!(!self.primed, "attach apps before the first run");
+        self.engine.add_allreduce_tagged(hosts, data_bytes, service)
     }
 
     /// Attach a UDP probe train (see [`Engine::add_probe_train`]).
@@ -487,6 +541,93 @@ impl OpenOpticsNet {
             return Err(openoptics_telemetry::TelemetryError::Disabled.into());
         }
         Ok(self.engine.telemetry().trace().to_json_lines())
+    }
+
+    /// The sampled time series as JSON lines, one [`SampleRow`] per line
+    /// (see [`openoptics_telemetry::SampleRow::to_json`]). Errors when
+    /// telemetry is disabled or sampling was never configured
+    /// (`sample_every_ns == 0`). Byte-identical at any worker count.
+    ///
+    /// [`SampleRow`]: openoptics_telemetry::SampleRow
+    pub fn export_timeseries(&self) -> Result<String, Error> {
+        if !self.engine.telemetry().is_enabled() || self.engine.cfg.sample_every_ns == 0 {
+            return Err(openoptics_telemetry::TelemetryError::Disabled.into());
+        }
+        Ok(self.engine.timeseries().to_json_lines())
+    }
+
+    /// A deterministic plain-text SLO report: per-flow-class latency
+    /// quantiles followed by one row per declared service (count,
+    /// p50/p99/p999, SLO burn and fault attribution). Errors when telemetry
+    /// is disabled.
+    pub fn export_slo_report(&self) -> Result<String, Error> {
+        if !self.engine.telemetry().is_enabled() {
+            return Err(openoptics_telemetry::TelemetryError::Disabled.into());
+        }
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== openoptics slo report @ {} ns ==", self.now.as_ns());
+        let _ = writeln!(
+            out,
+            "{:<12} {:>8} {:>12} {:>12} {:>12}",
+            "class", "count", "p50_ns", "p99_ns", "p999_ns"
+        );
+        for (name, sk) in crate::engine::FLOW_CLASSES.iter().zip(self.engine.class_sketches()) {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>8} {:>12} {:>12} {:>12}",
+                name,
+                sk.count(),
+                sk.p50(),
+                sk.p99(),
+                sk.p999()
+            );
+        }
+        let services = self.slo_summaries();
+        if !services.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>8} {:>12} {:>12} {:>12} {:>8} {:>12} {:>10} {:>8}",
+                "service",
+                "count",
+                "p50_ns",
+                "p99_ns",
+                "p999_ns",
+                "bad",
+                "bad_fault",
+                "burn_mil",
+                "breach"
+            );
+            for s in &services {
+                let (bad, bad_fault, burn, breach) = if s.has_target {
+                    (
+                        s.bad.to_string(),
+                        s.bad_in_fault.to_string(),
+                        s.burn_milli.to_string(),
+                        if s.breached { "yes" } else { "no" }.to_string(),
+                    )
+                } else {
+                    ("-".into(), "-".into(), "-".into(), "-".into())
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<12} {:>8} {:>12} {:>12} {:>12} {:>8} {:>12} {:>10} {:>8}",
+                    s.service, s.count, s.p50_ns, s.p99_ns, s.p999_ns, bad, bad_fault, burn, breach
+                );
+            }
+        }
+        Ok(out)
+    }
+
+    /// Per-service SLO summaries (empty when no services were declared).
+    pub fn slo_summaries(&self) -> Vec<openoptics_telemetry::SloSummary> {
+        self.engine.services().iter().map(|s| s.summary()).collect()
+    }
+
+    /// The subscription frame stream captured so far: sample rows, SLO
+    /// state transitions, and flight-recorder dumps, in emission order.
+    pub fn frames(&self) -> &openoptics_telemetry::FrameLog {
+        self.engine.frames()
     }
 
     /// The recorded lifecycle spans as Chrome trace-event JSON (loadable
@@ -637,6 +778,48 @@ mod tests {
         let (circuits, slices) = round_robin(cfg.node_num, cfg.uplink);
         net.deploy_topo(&circuits, slices).expect("test circuits are well-formed");
         net
+    }
+
+    #[test]
+    fn sampling_and_slo_accounting_are_live() {
+        let cfg = NetConfig { sample_every_ns: 100_000, ..small_cfg() };
+        let mut net = rotor_net(&cfg);
+        net.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket)
+            .expect("VLB deploys on the test topology");
+        let svc = net.declare_service(
+            "bulk",
+            Some(openoptics_telemetry::SloTarget {
+                latency_ns: 1,
+                objective_milli: 999,
+                window_ns: 1_000_000,
+            }),
+        );
+        net.add_flow_tagged(
+            SimTime::from_ns(100),
+            HostId(0),
+            HostId(3),
+            50_000,
+            TransportKind::Paced,
+            Some(svc),
+        );
+        net.run_for(SimTime::from_ms(2));
+        // Sampling ticked: rows recorded and mirrored into the frame log.
+        let ts = net.export_timeseries().expect("sampling is on");
+        assert!(ts.lines().count() >= 2, "expected multiple sample rows, got:\n{ts}");
+        assert!(!net.frames().is_empty());
+        // The tagged flow completed against an unmeetable SLO target.
+        let report = net.export_slo_report().expect("telemetry is on");
+        assert!(report.contains("bulk"), "service row missing:\n{report}");
+        let s = &net.slo_summaries()[svc as usize];
+        assert_eq!(s.count, 1);
+        assert_eq!(s.bad, 1);
+        assert!(s.breached);
+        // Disabled sampling errors out.
+        let mut off = rotor_net(&small_cfg());
+        off.deploy_routing(Vlb, LookupMode::PerHop, MultipathMode::PerPacket)
+            .expect("testbed routing deploys");
+        off.run_for(SimTime::from_ms(1));
+        assert!(off.export_timeseries().is_err());
     }
 
     #[test]

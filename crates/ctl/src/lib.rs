@@ -34,8 +34,8 @@ pub mod session;
 
 pub use checkpoint::{Checkpoint, Op, CHECKPOINT_VERSION};
 pub use scenario::{
-    ArchSpec, FaultEntry, RoutingSpec, Scenario, ScenarioError, TmSpec, TransportSpec,
+    ArchSpec, FaultEntry, RoutingSpec, Scenario, ScenarioError, SloEntry, TmSpec, TransportSpec,
     WorkloadSpec, ARCH_NAMES, FAULT_KINDS, ROUTING_NAMES, SCENARIO_VERSION,
 };
-pub use server::{serve, serve_on, ControlPlane};
+pub use server::{serve, serve_on, ControlPlane, Subscriptions, MAX_FRAMES_PER_TURN};
 pub use session::Session;

@@ -459,6 +459,74 @@ fn kindv(name: &str) -> (String, Json) {
     ("kind".to_string(), Json::Str(name.to_string()))
 }
 
+/// One per-service SLO target, scenario-file form of an
+/// [`SloTarget`](openoptics_core::SloTarget) plus the service name it
+/// binds to. Workloads referencing the name report their latencies under
+/// this objective.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SloEntry {
+    /// Service name workloads reference via their `service` key.
+    pub service: String,
+    /// Latency threshold, ns: a completion slower than this is a bad event.
+    pub latency_ns: u64,
+    /// Objective in per-mille (999 = 99.9% of completions under threshold).
+    pub objective_milli: u32,
+    /// Rolling burn-rate window, ns.
+    pub window_ns: u64,
+}
+
+impl SloEntry {
+    pub(crate) fn from_json(v: &Json, field: &str) -> Result<SloEntry, ScenarioError> {
+        ctx(v.as_obj(), field)?;
+        let service = get_str(v, "service", &format!("{field}.service"))?
+            .ok_or_else(|| {
+                ScenarioError::new(format!("{field}.service"), "missing required field")
+            })?
+            .to_string();
+        let objective_milli: u32 = narrow(
+            need_u64(v, "objective_milli", &format!("{field}.objective_milli"))?,
+            &format!("{field}.objective_milli"),
+        )?;
+        if objective_milli >= 1000 {
+            return Err(ScenarioError::new(
+                format!("{field}.objective_milli"),
+                format!("objective {objective_milli}‰ leaves no error budget (want < 1000)"),
+            ));
+        }
+        let window_ns = need_u64(v, "window_ns", &format!("{field}.window_ns"))?;
+        if window_ns == 0 {
+            return Err(ScenarioError::new(
+                format!("{field}.window_ns"),
+                "burn-rate window must be positive",
+            ));
+        }
+        Ok(SloEntry {
+            service,
+            latency_ns: need_u64(v, "latency_ns", &format!("{field}.latency_ns"))?,
+            objective_milli,
+            window_ns,
+        })
+    }
+
+    pub(crate) fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("service".to_string(), Json::Str(self.service.clone())),
+            ("latency_ns".to_string(), Json::Num(self.latency_ns as f64)),
+            ("objective_milli".to_string(), Json::Num(self.objective_milli as f64)),
+            ("window_ns".to_string(), Json::Num(self.window_ns as f64)),
+        ])
+    }
+
+    /// The engine-level target this entry declares.
+    pub fn target(&self) -> openoptics_core::SloTarget {
+        openoptics_core::SloTarget {
+            latency_ns: self.latency_ns,
+            objective_milli: self.objective_milli,
+            window_ns: self.window_ns,
+        }
+    }
+}
+
 /// One workload attached to the network before (or, for flows, during) the
 /// run.
 #[derive(Clone, Debug, PartialEq)]
@@ -475,6 +543,8 @@ pub enum WorkloadSpec {
         bytes: u64,
         /// Transport model.
         transport: TransportSpec,
+        /// Service this flow's FCT reports under, for SLO accounting.
+        service: Option<String>,
     },
     /// A closed-loop memcached service (paper §6.2 figure 9 style).
     Memcached {
@@ -490,6 +560,8 @@ pub enum WorkloadSpec {
         response_bytes: u32,
         /// Mean inter-operation interval per client, ns.
         mean_interval_ns: u64,
+        /// Service each op's request→response latency reports under.
+        service: Option<String>,
     },
     /// A ring allreduce across the listed hosts.
     Allreduce {
@@ -497,6 +569,8 @@ pub enum WorkloadSpec {
         hosts: Vec<u32>,
         /// Bytes of gradient data per host.
         data_bytes: u64,
+        /// Service every chunk flow's FCT reports under.
+        service: Option<String>,
     },
     /// A fixed-rate probe train for latency measurement.
     ProbeTrain {
@@ -526,6 +600,7 @@ impl WorkloadSpec {
                 dst: narrow(need_u64(v, "dst", &format!("{f}.dst"))?, &format!("{f}.dst"))?,
                 bytes: need_u64(v, "bytes", &format!("{f}.bytes"))?,
                 transport: TransportSpec::from_json(v.get("transport"), &format!("{f}.transport"))?,
+                service: get_str(v, "service", &format!("{f}.service"))?.map(str::to_string),
             }),
             "memcached" => {
                 let p = MemcachedParams::paper();
@@ -552,11 +627,13 @@ impl WorkloadSpec {
                         &format!("{f}.mean_interval_ns"),
                     )?
                     .unwrap_or(p.mean_interval_ns),
+                    service: get_str(v, "service", &format!("{f}.service"))?.map(str::to_string),
                 })
             }
             "allreduce" => Ok(WorkloadSpec::Allreduce {
                 hosts: host_list(v, "hosts", &f)?,
                 data_bytes: need_u64(v, "data_bytes", &format!("{f}.data_bytes"))?,
+                service: get_str(v, "service", &format!("{f}.service"))?.map(str::to_string),
             }),
             "probe_train" => Ok(WorkloadSpec::ProbeTrain {
                 src: narrow(need_u64(v, "src", &format!("{f}.src"))?, &format!("{f}.src"))?,
@@ -577,16 +654,26 @@ impl WorkloadSpec {
         }
     }
 
-    fn to_json(&self) -> Json {
+    /// The service name this workload tags its latencies with, if any.
+    pub fn service(&self) -> Option<&str> {
         match self {
-            WorkloadSpec::Flow { at_ns, src, dst, bytes, transport } => Json::Obj(vec![
+            WorkloadSpec::Flow { service, .. }
+            | WorkloadSpec::Memcached { service, .. }
+            | WorkloadSpec::Allreduce { service, .. } => service.as_deref(),
+            WorkloadSpec::ProbeTrain { .. } => None,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut obj = match self {
+            WorkloadSpec::Flow { at_ns, src, dst, bytes, transport, .. } => vec![
                 kindv("flow"),
                 ("at_ns".to_string(), Json::Num(*at_ns as f64)),
                 ("src".to_string(), Json::Num(*src as f64)),
                 ("dst".to_string(), Json::Num(*dst as f64)),
                 ("bytes".to_string(), Json::Num(*bytes as f64)),
                 ("transport".to_string(), transport.to_json()),
-            ]),
+            ],
             WorkloadSpec::Memcached {
                 server,
                 clients,
@@ -594,7 +681,8 @@ impl WorkloadSpec {
                 set_bytes,
                 response_bytes,
                 mean_interval_ns,
-            } => Json::Obj(vec![
+                ..
+            } => vec![
                 kindv("memcached"),
                 ("server".to_string(), Json::Num(*server as f64)),
                 ("clients".to_string(), num_arr(clients)),
@@ -602,21 +690,25 @@ impl WorkloadSpec {
                 ("set_bytes".to_string(), Json::Num(*set_bytes as f64)),
                 ("response_bytes".to_string(), Json::Num(*response_bytes as f64)),
                 ("mean_interval_ns".to_string(), Json::Num(*mean_interval_ns as f64)),
-            ]),
-            WorkloadSpec::Allreduce { hosts, data_bytes } => Json::Obj(vec![
+            ],
+            WorkloadSpec::Allreduce { hosts, data_bytes, .. } => vec![
                 kindv("allreduce"),
                 ("hosts".to_string(), num_arr(hosts)),
                 ("data_bytes".to_string(), Json::Num(*data_bytes as f64)),
-            ]),
-            WorkloadSpec::ProbeTrain { src, dst, interval_ns, count, payload } => Json::Obj(vec![
+            ],
+            WorkloadSpec::ProbeTrain { src, dst, interval_ns, count, payload } => vec![
                 kindv("probe_train"),
                 ("src".to_string(), Json::Num(*src as f64)),
                 ("dst".to_string(), Json::Num(*dst as f64)),
                 ("interval_ns".to_string(), Json::Num(*interval_ns as f64)),
                 ("count".to_string(), Json::Num(*count as f64)),
                 ("payload".to_string(), Json::Num(*payload as f64)),
-            ]),
+            ],
+        };
+        if let Some(s) = self.service() {
+            obj.push(("service".to_string(), Json::Str(s.to_string())));
         }
+        Json::Obj(obj)
     }
 }
 
@@ -742,6 +834,8 @@ pub struct Scenario {
     pub routing: Option<RoutingSpec>,
     /// Workloads to attach before the run starts.
     pub workloads: Vec<WorkloadSpec>,
+    /// Per-service SLO targets declared before the run starts.
+    pub slos: Vec<SloEntry>,
     /// Fault campaign to inject before the run starts.
     pub faults: Vec<FaultEntry>,
     /// Default run horizon, ns.
@@ -789,6 +883,19 @@ impl Scenario {
                 workloads.push(WorkloadSpec::from_json(w, i)?);
             }
         }
+        let mut slos = Vec::new();
+        if let Some(v) = doc.get("slos") {
+            for (i, e) in ctx(v.as_arr(), "slos")?.iter().enumerate() {
+                let entry = SloEntry::from_json(e, &format!("slos[{i}]"))?;
+                if slos.iter().any(|s: &SloEntry| s.service == entry.service) {
+                    return Err(ScenarioError::new(
+                        format!("slos[{i}].service"),
+                        format!("duplicate SLO for service `{}`", entry.service),
+                    ));
+                }
+                slos.push(entry);
+            }
+        }
         let mut faults = Vec::new();
         if let Some(v) = doc.get("faults") {
             for (i, e) in ctx(v.as_arr(), "faults")?.iter().enumerate() {
@@ -803,6 +910,7 @@ impl Scenario {
             architecture,
             routing,
             workloads,
+            slos,
             faults,
             stop_ns,
         };
@@ -866,6 +974,12 @@ impl Scenario {
             "workloads".to_string(),
             Json::Arr(self.workloads.iter().map(|w| w.to_json()).collect()),
         ));
+        if !self.slos.is_empty() {
+            fields.push((
+                "slos".to_string(),
+                Json::Arr(self.slos.iter().map(|e| e.to_json()).collect()),
+            ));
+        }
         fields.push((
             "faults".to_string(),
             Json::Arr(self.faults.iter().map(|e| e.to_json()).collect()),
@@ -908,8 +1022,28 @@ impl Scenario {
         };
         let mut net =
             ctx(OpenOpticsNet::deploy(cfg, arch, algo, lookup, multipath), "architecture")?;
+        // Declare SLO-bearing services first (in document order), then any
+        // service a workload names without an SLO — so ids depend only on
+        // the document, never on attach timing.
+        let mut service_ids: Vec<(String, u16)> = Vec::new();
+        for e in &self.slos {
+            let id = net.declare_service(&e.service, Some(e.target()));
+            service_ids.push((e.service.clone(), id));
+        }
+        for w in &self.workloads {
+            if let Some(name) = w.service() {
+                if !service_ids.iter().any(|(n, _)| n == name) {
+                    let id = net.declare_service(name, None);
+                    service_ids.push((name.to_string(), id));
+                }
+            }
+        }
         for (i, w) in self.workloads.iter().enumerate() {
-            attach_workload(&mut net, w, &format!("workloads[{i}]"))?;
+            let service = w
+                .service()
+                .and_then(|name| service_ids.iter().find(|(n, _)| n == name))
+                .map(|&(_, id)| id);
+            attach_workload(&mut net, w, service, &format!("workloads[{i}]"))?;
         }
         if !self.faults.is_empty() {
             let plan = build_fault_plan(&self.faults, "faults")?;
@@ -919,21 +1053,30 @@ impl Scenario {
     }
 }
 
-/// Attach one workload to a deployed network.
+/// Attach one workload to a deployed network, tagging it with a declared
+/// service id when the spec names one.
 pub(crate) fn attach_workload(
     net: &mut OpenOpticsNet,
     w: &WorkloadSpec,
+    service: Option<u16>,
     field: &str,
 ) -> Result<(), ScenarioError> {
     match w {
-        WorkloadSpec::Flow { at_ns, src, dst, bytes, transport } => {
+        WorkloadSpec::Flow { at_ns, src, dst, bytes, transport, .. } => {
             if SimTime(*at_ns) < net.now() {
                 return Err(ScenarioError::new(
                     format!("{field}.at_ns"),
                     format!("flow start {} ns is before sim time {} ns", at_ns, net.now().0),
                 ));
             }
-            net.add_flow(SimTime(*at_ns), HostId(*src), HostId(*dst), *bytes, transport.kind());
+            net.add_flow_tagged(
+                SimTime(*at_ns),
+                HostId(*src),
+                HostId(*dst),
+                *bytes,
+                transport.kind(),
+                service,
+            );
         }
         WorkloadSpec::Memcached {
             server,
@@ -942,6 +1085,7 @@ pub(crate) fn attach_workload(
             set_bytes,
             response_bytes,
             mean_interval_ns,
+            ..
         } => {
             let params = MemcachedParams {
                 set_bytes: *set_bytes,
@@ -949,11 +1093,11 @@ pub(crate) fn attach_workload(
                 mean_interval_ns: *mean_interval_ns,
             };
             let clients = clients.iter().map(|&c| HostId(c)).collect();
-            net.add_memcached(params, HostId(*server), clients, SimTime(*stop_ns));
+            net.add_memcached_tagged(params, HostId(*server), clients, SimTime(*stop_ns), service);
         }
-        WorkloadSpec::Allreduce { hosts, data_bytes } => {
+        WorkloadSpec::Allreduce { hosts, data_bytes, .. } => {
             let hosts = hosts.iter().map(|&h| HostId(h)).collect();
-            net.add_allreduce(hosts, *data_bytes);
+            net.add_allreduce_tagged(hosts, *data_bytes, service);
         }
         WorkloadSpec::ProbeTrain { src, dst, interval_ns, count, payload } => {
             net.add_probe_train(HostId(*src), HostId(*dst), *interval_ns, *count, *payload);

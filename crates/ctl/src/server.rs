@@ -23,6 +23,33 @@ use crate::checkpoint::{Checkpoint, Op};
 use crate::scenario::{Scenario, ScenarioError};
 use crate::session::Session;
 
+/// Most frames pushed to one subscriber per request turn. A subscriber
+/// that falls further behind gets the first `MAX_FRAMES_PER_TURN` frames
+/// plus one `overflow` frame counting what was skipped — bounded
+/// back-pressure instead of an unbounded write burst.
+pub const MAX_FRAMES_PER_TURN: usize = 1024;
+
+/// Per-connection subscription state: which sessions this connection
+/// streams frames from, and how far into each session's frame log it has
+/// read. Owned by the connection loop — dropping it (client disconnect)
+/// tears down only that connection's subscriptions, never the sessions.
+#[derive(Clone, Debug, Default)]
+pub struct Subscriptions {
+    cursors: BTreeMap<String, usize>,
+}
+
+impl Subscriptions {
+    /// No subscriptions.
+    pub fn new() -> Subscriptions {
+        Subscriptions::default()
+    }
+
+    /// Session names currently subscribed, in name order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.cursors.keys().map(String::as_str)
+    }
+}
+
 /// The protocol state machine: named sessions plus request dispatch.
 ///
 /// Holds no sockets and touches no files — callers feed it one request
@@ -47,12 +74,29 @@ impl ControlPlane {
     }
 
     /// Handle one request line, returning the response line (no trailing
-    /// newline).
+    /// newline). Subscription-free convenience over
+    /// [`ControlPlane::handle_request`]: `subscribe` still validates but
+    /// the throwaway state means no frames will ever be delivered.
     pub fn handle_line(&mut self, line: &str) -> String {
+        let mut subs = Subscriptions::new();
+        self.handle_request(line, &mut subs).pop().unwrap_or_default()
+    }
+
+    /// Handle one request line against a connection's subscription state.
+    ///
+    /// Returns the lines to write back in order: zero or more frame lines
+    /// (`{"sub": "<session>", "frame": {..}}`) — the delta each subscribed
+    /// session's frame log accumulated since the connection last drained
+    /// it, capped at [`MAX_FRAMES_PER_TURN`] per subscription with an
+    /// `overflow` frame counting anything skipped — then exactly one
+    /// id-matched response line. Interleaving `run_until`/`run_for`
+    /// requests with drains on the same connection is what streams a live
+    /// run.
+    pub fn handle_request(&mut self, line: &str, subs: &mut Subscriptions) -> Vec<String> {
         let (id, outcome) = match json::parse(line) {
             Ok(req) => {
                 let id = req.get("id").cloned().unwrap_or(Json::Null);
-                (id, self.dispatch(&req))
+                (id, self.dispatch(&req, subs))
             }
             Err(e) => (Json::Null, Err(ScenarioError::new("request", e.to_string()))),
         };
@@ -66,10 +110,37 @@ impl ControlPlane {
                 ]),
             ),
         };
-        Json::Obj(vec![("id".to_string(), id), body]).to_string()
+        let mut out = self.drain_frames(subs);
+        out.push(Json::Obj(vec![("id".to_string(), id), body]).to_string());
+        out
     }
 
-    fn dispatch(&mut self, req: &Json) -> Result<Json, ScenarioError> {
+    /// Frame lines owed to `subs` since the last drain, advancing every
+    /// cursor. Subscriptions to sessions that no longer exist stay
+    /// registered but yield nothing.
+    fn drain_frames(&self, subs: &mut Subscriptions) -> Vec<String> {
+        let mut out = Vec::new();
+        for (name, cursor) in subs.cursors.iter_mut() {
+            let Some(s) = self.sessions.get(name) else { continue };
+            let frames = s.net().frames();
+            let fresh = frames.since(*cursor);
+            let take = fresh.len().min(MAX_FRAMES_PER_TURN);
+            let sub = Json::Str(name.clone()).to_string();
+            for line in &fresh[..take] {
+                out.push(format!("{{\"sub\":{sub},\"frame\":{line}}}"));
+            }
+            if fresh.len() > take {
+                out.push(format!(
+                    "{{\"sub\":{sub},\"frame\":{{\"frame\":\"overflow\",\"skipped\":{}}}}}",
+                    fresh.len() - take
+                ));
+            }
+            *cursor = frames.len();
+        }
+        out
+    }
+
+    fn dispatch(&mut self, req: &Json, subs: &mut Subscriptions) -> Result<Json, ScenarioError> {
         let method = match req.get("method") {
             Some(Json::Str(m)) => m.as_str(),
             _ => return Err(ScenarioError::new("method", "missing required field")),
@@ -113,16 +184,43 @@ impl ControlPlane {
                     "telemetry" => s.net().telemetry_snapshot().to_json(),
                     "telemetry_csv" => s.net().telemetry_snapshot().to_csv(),
                     "trace" => err_ctx(s.net().export_trace())?,
+                    "timeseries" => err_ctx(s.net().export_timeseries())?,
+                    "slo" => err_ctx(s.net().export_slo_report())?,
                     "spans" => err_ctx(s.net().export_spans_chrome_trace())?,
                     "span_report" => err_ctx(s.net().export_span_report())?,
                     other => {
                         return Err(ScenarioError::new(
                             "params.what",
-                            format!("unknown export `{other}` (want bundle, telemetry, telemetry_csv, trace, spans or span_report)"),
+                            format!("unknown export `{other}` (want bundle, telemetry, telemetry_csv, trace, timeseries, slo, spans or span_report)"),
                         ))
                     }
                 };
                 Ok(Json::Obj(vec![("text".to_string(), Json::Str(text))]))
+            }
+            "subscribe" => {
+                let name = param_str(params, "name")?;
+                let s = self.sessions.get(&name).ok_or_else(|| {
+                    ScenarioError::new("params.name", format!("no session named `{name}`"))
+                })?;
+                // The cursor starts at the current end of the frame log:
+                // a subscriber streams what happens from now on, not
+                // history (use `export timeseries` for history). Neither
+                // subscribe nor unsubscribe is journaled — subscriptions
+                // are connection state, not simulation state.
+                let cursor = s.net().frames().len();
+                subs.cursors.insert(name, cursor);
+                Ok(Json::Obj(vec![
+                    ("subscribed".to_string(), Json::Bool(true)),
+                    ("cursor".to_string(), Json::Num(cursor as f64)),
+                ]))
+            }
+            "unsubscribe" => {
+                let name = param_str(params, "name")?;
+                let was = subs.cursors.remove(&name).is_some();
+                Ok(Json::Obj(vec![
+                    ("subscribed".to_string(), Json::Bool(false)),
+                    ("was_subscribed".to_string(), Json::Bool(was)),
+                ]))
             }
             "checkpoint" => {
                 let s = self.session(params)?;
@@ -252,7 +350,12 @@ pub fn serve_on(listener: TcpListener, workers: Option<usize>) -> std::io::Resul
     let mut cp = ControlPlane::new(workers);
     for stream in listener.incoming() {
         let stream = stream?;
-        serve_connection(&mut cp, stream)?;
+        // A client dropping mid-request or mid-stream is that client's
+        // problem: its subscription state dies with the connection loop
+        // below, the sessions and the accept loop keep serving.
+        if let Err(e) = serve_connection(&mut cp, stream) {
+            eprintln!("openoptics-ctl: connection ended with error: {e}");
+        }
         if cp.shutdown_requested() {
             break;
         }
@@ -263,14 +366,16 @@ pub fn serve_on(listener: TcpListener, workers: Option<usize>) -> std::io::Resul
 fn serve_connection(cp: &mut ControlPlane, stream: TcpStream) -> std::io::Result<()> {
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
+    let mut subs = Subscriptions::new();
     for line in reader.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let response = cp.handle_line(&line);
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
+        for out in cp.handle_request(&line, &mut subs) {
+            writer.write_all(out.as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
         if cp.shutdown_requested() {
             break;
         }

@@ -226,6 +226,14 @@ impl Session {
             fct.completed().len(),
             fct.outstanding(),
         ));
+        let slo = self.net.slo_summaries();
+        if !slo.is_empty() {
+            out.push_str("-- slo --\n");
+            for s in &slo {
+                out.push_str(&s.to_json());
+                out.push('\n');
+            }
+        }
         if let Ok(spans) = self.net.export_span_report() {
             out.push_str("-- spans --\n");
             out.push_str(&spans);

@@ -2,7 +2,9 @@
 //! checkpoint/restore determinism at multiple worker counts, and the RPC
 //! dispatch layer.
 
-use openoptics_ctl::{Checkpoint, ControlPlane, FaultEntry, Op, Scenario, Session, TmSpec};
+use openoptics_ctl::{
+    Checkpoint, ControlPlane, FaultEntry, Op, Scenario, Session, Subscriptions, TmSpec,
+};
 
 /// A small faulted run that exercises every subsystem the bundle exports:
 /// flows, a fault window, telemetry.
@@ -28,6 +30,35 @@ const SCENARIO: &str = r#"{
     "stop_ns": 2000000
 }"#;
 
+/// The probe scenario plus live sampling, service tags and an SLO target —
+/// what the streaming-subscription and SLO-accounting tests drive.
+const SLO_SCENARIO: &str = r#"{
+    "version": 1,
+    "description": "slo probe",
+    "config": {
+        "node_num": 8, "uplink": 2, "hosts_per_node": 1,
+        "slice_ns": 10000, "guard_ns": 1000,
+        "uplink_gbps": 25, "host_link_gbps": 100,
+        "sync_err_ns": 0, "queue_capacity": 8388608,
+        "seed": 7, "telemetry": true, "sample_every_ns": 100000
+    },
+    "architecture": { "name": "rotornet" },
+    "routing": { "algo": "vlb", "lookup": "per_hop", "multipath": "per_packet" },
+    "workloads": [
+        { "kind": "flow", "at_ns": 100, "src": 0, "dst": 5, "bytes": 400000, "service": "bulk" },
+        { "kind": "memcached", "server": 7, "clients": [1, 2], "stop_ns": 1500000,
+          "service": "cache" }
+    ],
+    "slos": [
+        { "service": "cache", "latency_ns": 400000, "objective_milli": 990,
+          "window_ns": 500000 }
+    ],
+    "faults": [
+        { "kind": "link_down", "node": 0, "port": 0, "start_ns": 50000, "end_ns": 900000 }
+    ],
+    "stop_ns": 2000000
+}"#;
+
 fn scenario() -> Scenario {
     Scenario::parse(SCENARIO).expect("probe scenario parses")
 }
@@ -41,6 +72,7 @@ fn normalized_form_is_a_fixed_point() {
         include_str!("../../../examples/scenarios/fig8a_testbed.json"),
         include_str!("../../../examples/scenarios/rotornet_faulted.json"),
         include_str!("../../../examples/scenarios/sweep_cell.json"),
+        include_str!("../../../examples/scenarios/slo_live.json"),
     ] {
         let once = Scenario::parse(text).expect("example parses").to_json();
         let twice = Scenario::parse(&once).expect("normalized form parses").to_json();
@@ -306,6 +338,139 @@ fn rpc_checkpoint_travels_inline_and_restores() {
     assert!(restore.contains(r#""now_ns":600000"#), "{restore}");
     let sessions = cp.handle_line(r#"{"id":5,"method":"sessions","params":{}}"#);
     assert!(sessions.contains(r#"["a","b"]"#), "{sessions}");
+}
+
+// --- streaming subscriptions ---
+
+#[test]
+fn slo_scenario_is_a_fixed_point_and_declares_services() {
+    let once = Scenario::parse(SLO_SCENARIO).expect("slo scenario parses").to_json();
+    let twice = Scenario::parse(&once).expect("normalized form parses").to_json();
+    assert_eq!(once, twice);
+    assert!(once.contains(r#""slos""#) && once.contains(r#""service": "cache""#), "{once}");
+
+    let mut s = Session::new(Scenario::parse(SLO_SCENARIO).unwrap()).unwrap();
+    s.run_until(2_000_000);
+    let report = s.net().export_slo_report().expect("telemetry is on");
+    // SLO-bearing services are declared before tag-only ones.
+    assert!(report.contains("cache") && report.contains("bulk"), "{report}");
+    let bundle = s.export_bundle();
+    assert!(bundle.contains("-- slo --"), "{bundle}");
+}
+
+#[test]
+fn subscription_stream_is_identical_across_worker_counts() {
+    let drive = |workers: usize| {
+        let mut cp = ControlPlane::new(Some(workers));
+        let mut subs = Subscriptions::new();
+        let mut lines = Vec::new();
+        for req in [
+            format!(
+                r#"{{"id":1,"method":"load","params":{{"name":"s","scenario":{SLO_SCENARIO}}}}}"#
+            ),
+            r#"{"id":2,"method":"subscribe","params":{"name":"s"}}"#.to_string(),
+            r#"{"id":3,"method":"run_until","params":{"name":"s","ns":700000}}"#.to_string(),
+            r#"{"id":4,"method":"run_until","params":{"name":"s","ns":2000000}}"#.to_string(),
+            r#"{"id":5,"method":"export","params":{"name":"s","what":"timeseries"}}"#.to_string(),
+            r#"{"id":6,"method":"export","params":{"name":"s","what":"slo"}}"#.to_string(),
+        ] {
+            lines.extend(cp.handle_request(&req, &mut subs));
+        }
+        lines.join("\n")
+    };
+    let w1 = drive(1);
+    assert!(w1.contains(r#""frame":"sample""#), "no sample frames streamed:\n{w1}");
+    assert!(w1.contains(r#""sub":"s""#), "frames must name their subscription:\n{w1}");
+    let w4 = drive(4);
+    assert_eq!(w1, w4, "frame stream and exports must not depend on worker count");
+}
+
+#[test]
+fn unsubscribe_stops_the_stream_and_frames_only_flow_while_subscribed() {
+    let mut cp = ControlPlane::new(None);
+    let mut subs = Subscriptions::new();
+    cp.handle_request(
+        &format!(r#"{{"id":1,"method":"load","params":{{"name":"s","scenario":{SLO_SCENARIO}}}}}"#),
+        &mut subs,
+    );
+    // Not subscribed: running produces a bare response, no frames.
+    let out = cp.handle_request(
+        r#"{"id":2,"method":"run_until","params":{"name":"s","ns":300000}}"#,
+        &mut subs,
+    );
+    assert_eq!(out.len(), 1, "no frames before subscribe: {out:?}");
+    // Subscribed: the next run's frames ride along before the response.
+    cp.handle_request(r#"{"id":3,"method":"subscribe","params":{"name":"s"}}"#, &mut subs);
+    let out = cp.handle_request(
+        r#"{"id":4,"method":"run_until","params":{"name":"s","ns":600000}}"#,
+        &mut subs,
+    );
+    assert!(out.len() > 1, "expected frames: {out:?}");
+    assert!(out.last().unwrap().contains(r#""id":4"#), "response comes last: {out:?}");
+    // Unsubscribed: silence again.
+    cp.handle_request(r#"{"id":5,"method":"unsubscribe","params":{"name":"s"}}"#, &mut subs);
+    let out = cp.handle_request(
+        r#"{"id":6,"method":"run_until","params":{"name":"s","ns":900000}}"#,
+        &mut subs,
+    );
+    assert_eq!(out.len(), 1, "no frames after unsubscribe: {out:?}");
+}
+
+#[test]
+fn client_disconnect_mid_stream_does_not_poison_the_server() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().expect("bound address");
+    let server = std::thread::spawn(move || openoptics_ctl::serve_on(listener, None));
+
+    // Client 1 loads a session, subscribes, floods pipelined run requests
+    // and vanishes without reading a byte: the server's frame writes land
+    // on a reset socket mid-stream.
+    {
+        let mut c1 = TcpStream::connect(addr).expect("client 1 connects");
+        let one_line = SLO_SCENARIO.replace('\n', " ");
+        c1.write_all(
+            format!(
+                "{{\"id\":1,\"method\":\"load\",\"params\":{{\"name\":\"s\",\"scenario\":{one_line}}}}}\n"
+            )
+            .as_bytes(),
+        )
+        .expect("client 1 loads");
+        // Wait for the load response so the session definitely exists
+        // before the abrupt exit (a reset can discard unread input).
+        let mut r1 = BufReader::new(c1.try_clone().expect("clone client 1"));
+        let mut ack = String::new();
+        r1.read_line(&mut ack).expect("load response");
+        assert!(ack.contains(r#""result""#), "{ack}");
+        let mut msg =
+            String::from("{\"id\":2,\"method\":\"subscribe\",\"params\":{\"name\":\"s\"}}\n");
+        for i in 0..64u64 {
+            msg.push_str(&format!(
+                "{{\"id\":{},\"method\":\"run_for\",\"params\":{{\"name\":\"s\",\"dur_ns\":100000}}}}\n",
+                i + 3
+            ));
+        }
+        c1.write_all(msg.as_bytes()).expect("client 1 floods");
+        // Dropped here, unread frame stream and all.
+    }
+
+    // Client 2 must still be served by the same control plane — including
+    // the session client 1 loaded — and shutdown must still work.
+    let mut c2 = TcpStream::connect(addr).expect("client 2 connects");
+    c2.write_all(
+        b"{\"id\":1,\"method\":\"sessions\",\"params\":{}}\n{\"id\":2,\"method\":\"shutdown\"}\n",
+    )
+    .expect("client 2 writes");
+    let mut reader = BufReader::new(c2);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("sessions response");
+    assert!(line.contains(r#"["s"]"#), "session must survive the disconnect: {line}");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("shutdown response");
+    assert!(line.contains(r#""ok":true"#), "{line}");
+    server.join().expect("server thread").expect("serve_on exits cleanly");
 }
 
 #[test]

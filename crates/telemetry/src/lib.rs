@@ -28,10 +28,22 @@ pub mod error;
 pub mod instruments;
 pub mod labels;
 pub mod registry;
+/// Deterministic fixed-bucket quantile sketch (p50/p99/p999 with a
+/// documented ≤ 1/16 relative overestimate).
+pub mod sketch;
+/// Per-service SLO targets, rolling burn-rate windows, and fault-window
+/// attribution of bad completions.
+pub mod slo;
+/// Sim-time-sampled series of every instrument plus the bounded frame log
+/// that feeds streaming subscriptions.
+pub mod timeseries;
 pub mod trace;
 
 pub use error::TelemetryError;
 pub use instruments::{Counter, Gauge, Histogram, HistogramSummary};
 pub use labels::Labels;
 pub use registry::{Registry, Snapshot};
-pub use trace::{RetxKind, Trace, TraceKind, TraceRecord};
+pub use sketch::QuantileSketch;
+pub use slo::{ServiceStats, SloSummary, SloTarget, SloTransition};
+pub use timeseries::{FrameLog, SampleRow, TimeSeries};
+pub use trace::{FlightTrigger, RetxKind, Trace, TraceKind, TraceRecord};

@@ -6,6 +6,7 @@
 //! `dropped`, so a run's trace is deterministic regardless of length.
 
 use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::rc::Rc;
 
@@ -32,6 +33,25 @@ impl RetxKind {
             RetxKind::FastRetx => "fast_retx",
             RetxKind::Rto => "rto",
             RetxKind::Nack => "nack",
+        }
+    }
+}
+
+/// What caused a flight-recorder dump.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlightTrigger {
+    /// An injected fault window became active.
+    FaultEdge,
+    /// A strict-invariants check was about to trip.
+    Invariant,
+}
+
+impl FlightTrigger {
+    /// Stable trigger name used in exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FlightTrigger::FaultEdge => "fault_edge",
+            FlightTrigger::Invariant => "invariant",
         }
     }
 }
@@ -74,6 +94,13 @@ pub enum TraceKind {
     FaultInject { node: NodeId, port: PortId },
     /// An injected fault window cleared on `(node, port)`.
     FaultClear { node: NodeId, port: PortId },
+    /// A service's rolling SLO window went into breach.
+    SloBreach { service: u32 },
+    /// A service's rolling SLO window recovered from breach.
+    SloRecover { service: u32 },
+    /// The flight recorder dumped its ring of recent trace events into the
+    /// subscription frame stream (`records` events, see `trigger`).
+    FlightDump { trigger: FlightTrigger, records: u32 },
 }
 
 impl TraceKind {
@@ -94,6 +121,9 @@ impl TraceKind {
             TraceKind::FaultDrop { .. } => "fault_drop",
             TraceKind::FaultInject { .. } => "fault_inject",
             TraceKind::FaultClear { .. } => "fault_clear",
+            TraceKind::SloBreach { .. } => "slo_breach",
+            TraceKind::SloRecover { .. } => "slo_recover",
+            TraceKind::FlightDump { .. } => "flight_dump",
         }
     }
 }
@@ -147,11 +177,20 @@ impl TraceRecord {
             TraceKind::Retransmit { flow, kind } => {
                 let _ = write!(s, ",\"flow\":{},\"kind\":\"{}\"", flow, kind.as_str());
             }
+            TraceKind::SloBreach { service } | TraceKind::SloRecover { service } => {
+                let _ = write!(s, ",\"service\":{service}");
+            }
+            TraceKind::FlightDump { trigger, records } => {
+                let _ = write!(s, ",\"trigger\":\"{}\",\"records\":{}", trigger.as_str(), records);
+            }
         }
         s.push('}');
         s
     }
 }
+
+/// How many recent records the flight recorder retains.
+pub const FLIGHT_CAPACITY: usize = 64;
 
 /// Shared storage of the trace stream.
 #[derive(Debug)]
@@ -159,11 +198,21 @@ pub(crate) struct TraceBuf {
     capacity: usize,
     records: RefCell<Vec<TraceRecord>>,
     dropped: Cell<u64>,
+    /// Flight recorder: ring of the most recent records. Where the main
+    /// buffer keeps the *first* `capacity` records, this keeps the *last*
+    /// [`FLIGHT_CAPACITY`] — the short tail worth dumping when a fault
+    /// fires or an invariant is about to trip late in a long run.
+    recent: RefCell<VecDeque<TraceRecord>>,
 }
 
 impl TraceBuf {
     pub(crate) fn new(capacity: usize) -> Self {
-        TraceBuf { capacity, records: RefCell::new(Vec::new()), dropped: Cell::new(0) }
+        TraceBuf {
+            capacity,
+            records: RefCell::new(Vec::new()),
+            dropped: Cell::new(0),
+            recent: RefCell::new(VecDeque::with_capacity(FLIGHT_CAPACITY)),
+        }
     }
 
     #[inline]
@@ -174,6 +223,11 @@ impl TraceBuf {
         } else {
             self.dropped.set(self.dropped.get().saturating_add(1));
         }
+        let mut recent = self.recent.borrow_mut();
+        if recent.len() == FLIGHT_CAPACITY {
+            recent.pop_front();
+        }
+        recent.push_back(rec);
     }
 }
 
@@ -234,6 +288,7 @@ impl Trace {
                 capacity: b.capacity,
                 records: RefCell::new(b.records.borrow().clone()),
                 dropped: Cell::new(b.dropped.get()),
+                recent: RefCell::new(b.recent.borrow().clone()),
             }))),
         }
     }
@@ -241,6 +296,15 @@ impl Trace {
     /// Copy of the records held so far, in emission order.
     pub fn records(&self) -> Vec<TraceRecord> {
         self.0.as_ref().map_or_else(Vec::new, |b| b.records.borrow().clone())
+    }
+
+    /// Flight recorder contents: the most recent [`FLIGHT_CAPACITY`]
+    /// records, oldest first (empty when detached). Unlike [`records`],
+    /// this tail keeps moving after the main buffer fills.
+    ///
+    /// [`records`]: Trace::records
+    pub fn recent_records(&self) -> Vec<TraceRecord> {
+        self.0.as_ref().map_or_else(Vec::new, |b| b.recent.borrow().iter().copied().collect())
     }
 
     /// The whole stream as JSON lines (one object per record).
@@ -284,6 +348,37 @@ mod tests {
         assert!(tr.is_empty());
         assert_eq!(tr.dropped(), 0);
         assert_eq!(tr.to_json_lines(), "");
+    }
+
+    #[test]
+    fn flight_recorder_keeps_the_tail() {
+        let tr = Trace::bounded(2);
+        for i in 0..(FLIGHT_CAPACITY as u64 + 10) {
+            tr.emit(
+                SimTime::from_ns(i),
+                TraceKind::SliceRotate { node: NodeId(0), slice: i as u32 },
+            );
+        }
+        // Main buffer kept the head; the flight ring kept the tail.
+        assert_eq!(tr.len(), 2);
+        let recent = tr.recent_records();
+        assert_eq!(recent.len(), FLIGHT_CAPACITY);
+        assert_eq!(recent[0].t, SimTime::from_ns(10));
+        assert_eq!(recent[FLIGHT_CAPACITY - 1].t, SimTime::from_ns(FLIGHT_CAPACITY as u64 + 9));
+    }
+
+    #[test]
+    fn slo_and_flight_records_render() {
+        let rec = TraceRecord { t: SimTime::from_ns(9), kind: TraceKind::SloBreach { service: 1 } };
+        assert_eq!(rec.to_json(), "{\"t_ns\":9,\"event\":\"slo_breach\",\"service\":1}");
+        let rec = TraceRecord {
+            t: SimTime::from_ns(10),
+            kind: TraceKind::FlightDump { trigger: FlightTrigger::FaultEdge, records: 64 },
+        };
+        assert_eq!(
+            rec.to_json(),
+            "{\"t_ns\":10,\"event\":\"flight_dump\",\"trigger\":\"fault_edge\",\"records\":64}"
+        );
     }
 
     #[test]

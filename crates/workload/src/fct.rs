@@ -51,12 +51,15 @@ impl FctStats {
         self.started.insert(flow, (bytes, at));
     }
 
-    /// Register a flow completion; unknown flows are ignored (e.g. flows
-    /// started before the measurement window).
-    pub fn complete(&mut self, flow: FlowId, at: SimTime) {
-        if let Some((bytes, start)) = self.started.remove(&flow) {
-            self.completed.push(FlowRecord { flow, bytes, start, end: at });
-        }
+    /// Register a flow completion, returning the record so callers can feed
+    /// latency accounting (service SLOs, flow-class sketches) without a
+    /// second lookup; unknown flows are ignored (e.g. flows started before
+    /// the measurement window) and return `None`.
+    pub fn complete(&mut self, flow: FlowId, at: SimTime) -> Option<FlowRecord> {
+        let (bytes, start) = self.started.remove(&flow)?;
+        let rec = FlowRecord { flow, bytes, start, end: at };
+        self.completed.push(rec);
+        Some(rec)
     }
 
     /// Completed flows.
@@ -130,7 +133,7 @@ mod tests {
 
     fn rec(stats: &mut FctStats, flow: FlowId, bytes: u64, start_ns: u64, end_ns: u64) {
         stats.start(flow, bytes, SimTime::from_ns(start_ns));
-        stats.complete(flow, SimTime::from_ns(end_ns));
+        let _ = stats.complete(flow, SimTime::from_ns(end_ns));
     }
 
     #[test]
@@ -138,7 +141,7 @@ mod tests {
         let mut s = FctStats::new();
         s.start(1, 5_000, SimTime::from_ns(100));
         assert_eq!(s.outstanding(), 1);
-        s.complete(1, SimTime::from_ns(600));
+        assert!(s.complete(1, SimTime::from_ns(600)).is_some());
         assert_eq!(s.outstanding(), 0);
         assert_eq!(s.completed().len(), 1);
         assert_eq!(s.completed()[0].fct_ns(), 500);
@@ -147,7 +150,7 @@ mod tests {
     #[test]
     fn unknown_completion_ignored() {
         let mut s = FctStats::new();
-        s.complete(9, SimTime::from_ns(10));
+        assert!(s.complete(9, SimTime::from_ns(10)).is_none());
         assert!(s.completed().is_empty());
     }
 

@@ -909,6 +909,13 @@ pub struct BenchRow {
     /// Whether the experiment is analytic: it runs no simulation, so its
     /// throughput carries no signal and is exempt from the regression gate.
     pub analytic: bool,
+    /// Cumulative SLO burn rate (per-mille of error budget) when the
+    /// experiment reports one (`experiments slo`). Gated only when both
+    /// reports carry the field — higher is worse.
+    pub slo_burn_milli: Option<f64>,
+    /// p99.9 service latency in µs when the experiment reports one.
+    /// Gated only when both reports carry the field — higher is worse.
+    pub p999_us: Option<f64>,
 }
 
 /// String value of `"key": "..."` inside one flattened JSON object.
@@ -951,6 +958,8 @@ pub fn parse_bench_json(content: &str) -> Result<Vec<BenchRow>, String> {
             wall_s: field_num(obj, "wall_s").unwrap_or(0.0).max(0.0),
             events_per_sec: field_num(obj, "events_per_sec").unwrap_or(0.0),
             analytic: obj.contains("\"analytic\": true") || obj.contains("\"analytic\":true"),
+            slo_burn_milli: field_num(obj, "slo_burn_milli"),
+            p999_us: field_num(obj, "p999_us"),
         });
     }
     Ok(rows)
@@ -1006,6 +1015,32 @@ pub fn bench_diff(old: &[BenchRow], new: &[BenchRow], max_regress_pct: f64) -> B
             }
             continue;
         };
+        // SLO cells gate independently of throughput: when both reports
+        // carry a quality field, a rise beyond the allowance is a failure
+        // (higher burn / higher tail latency is worse).
+        for (key, ov, nv) in [
+            ("slo_burn_milli", o.slo_burn_milli, n.slo_burn_milli),
+            ("p999_us", o.p999_us, n.p999_us),
+        ] {
+            let (Some(ov), Some(nv)) = (ov, nv) else { continue };
+            let (delta_pct, regressed) = if ov > 0.0 {
+                let d = (nv / ov - 1.0) * 100.0;
+                (d, d > max_regress_pct)
+            } else {
+                (0.0, nv > 0.0)
+            };
+            lines.push(format!(
+                "{:<10} {key} {ov:.0} -> {nv:.0} ({delta_pct:+.1}%){}",
+                o.id,
+                if regressed { "  REGRESSED" } else { "" }
+            ));
+            if regressed {
+                failures.push(format!(
+                    "{}: {key} rose from {ov:.0} to {nv:.0} (allowed {max_regress_pct}%)",
+                    o.id
+                ));
+            }
+        }
         if o.analytic || n.analytic || o.events == 0 || n.events == 0 || o.events_per_sec <= 0.0 {
             lines.push(format!("{:<10} skipped (analytic or no engine events)", o.id));
             continue;
@@ -1667,6 +1702,8 @@ mod tests {
             wall_s: if eps > 0.0 { events as f64 / eps } else { 0.0 },
             events_per_sec: eps,
             analytic,
+            slo_burn_milli: None,
+            p999_us: None,
         };
         let old = vec![
             row("fig8a", 1000, 1000.0, false),
@@ -1701,6 +1738,8 @@ mod tests {
             wall_s: if eps > 0.0 { events as f64 / eps } else { 0.0 },
             events_per_sec: eps,
             analytic: false,
+            slo_burn_milli: None,
+            p999_us: None,
         };
         // Baseline carries sweep cells; the new report (an `experiments
         // all` run) has none of them — informational, not a failure.
@@ -1714,6 +1753,48 @@ mod tests {
         let slow = vec![row("fig8a", 1000, 1000.0), row("sweep:rotornetxvlb@0.4/none", 500, 100.0)];
         let out = bench_diff(&old, &slow, 10.0);
         assert!(out.failures.iter().any(|f| f.starts_with("sweep:")), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn bench_diff_gates_slo_fields_when_present_on_both_sides() {
+        let row = |id: &str, burn: Option<f64>, p999: Option<f64>| BenchRow {
+            id: id.into(),
+            events: 1000,
+            wall_s: 1.0,
+            events_per_sec: 1000.0,
+            analytic: false,
+            slo_burn_milli: burn,
+            p999_us: p999,
+        };
+        // Both sides carry the fields: a rise beyond the gate fails, a
+        // within-gate wobble and the latency column holding steady pass.
+        let old = vec![row("slo", Some(100.0), Some(200.0))];
+        let new = vec![row("slo", Some(150.0), Some(205.0))];
+        let out = bench_diff(&old, &new, 10.0);
+        assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
+        assert!(out.failures[0].contains("slo_burn_milli"), "{:?}", out.failures);
+        assert!(out.lines.iter().any(|l| l.contains("p999_us")), "{:?}", out.lines);
+        // Burn appearing where the baseline had zero is a regression even
+        // though the relative delta is undefined.
+        let out = bench_diff(&[row("slo", Some(0.0), None)], &[row("slo", Some(5.0), None)], 10.0);
+        assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
+        // A field absent on either side is never gated (old baselines
+        // predate the slo experiment).
+        let out = bench_diff(&[row("slo", None, None)], &new, 10.0);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        // Improvement passes.
+        let out = bench_diff(&new, &old, 10.0);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn bench_json_parses_slo_fields() {
+        let json = "{\n  \"experiments\": [\n    \
+                     {\"id\": \"slo\", \"wall_s\": 0.1, \"events\": 9, \
+                      \"events_per_sec\": 90, \"slo_burn_milli\": 151, \"p999_us\": 106}\n  ]\n}\n";
+        let rows = parse_bench_json(json).unwrap();
+        assert_eq!(rows[0].slo_burn_milli, Some(151.0));
+        assert_eq!(rows[0].p999_us, Some(106.0));
     }
 
     #[test]
@@ -1747,6 +1828,8 @@ mod tests {
             wall_s,
             events_per_sec: events as f64 / wall_s,
             analytic: false,
+            slo_burn_milli: None,
+            p999_us: None,
         };
         let old = vec![row("a", 1_000_000, 0.1), row("b", 1_000_000, 1.0)];
         // "a" unchanged; "b" slows 3x: b's own delta (-66%) fails, and so

@@ -403,6 +403,19 @@ pub const ENTRY_POINTS: &[EntryPoint] = &[
     EntryPoint { crate_name: "openoptics-ctl", type_name: Some("Session"), fn_name: "run_until" },
     EntryPoint { crate_name: "openoptics-ctl", type_name: Some("Session"), fn_name: "apply" },
     EntryPoint { crate_name: "openoptics-ctl", type_name: Some("Session"), fn_name: "restore" },
+    // Subscription streaming renders engine frames into client responses;
+    // a nondeterministic hop here would desynchronize subscribers from
+    // the byte-identity contract the exports are gated on.
+    EntryPoint {
+        crate_name: "openoptics-ctl",
+        type_name: Some("ControlPlane"),
+        fn_name: "handle_request",
+    },
+    EntryPoint {
+        crate_name: "openoptics-ctl",
+        type_name: Some("ControlPlane"),
+        fn_name: "drain_frames",
+    },
 ];
 
 /// Short display path for chain hops: `crates/core/src/net.rs` ⇒
@@ -689,7 +702,9 @@ mod tests {
                    impl DomainScheduler {\n    pub fn run_until(&mut self) {}\n}\n"
             .to_string();
         let ctl = "impl Session {\n    pub fn run_until(&mut self) {}\n    \
-                   pub fn apply(&mut self) {}\n    pub fn restore() {}\n}\n"
+                   pub fn apply(&mut self) {}\n    pub fn restore() {}\n}\n\
+                   impl ControlPlane {\n    pub fn handle_request(&mut self) {}\n    \
+                   pub fn drain_frames(&mut self) {}\n}\n"
             .to_string();
         vec![
             ("openoptics-core", "crates/core/src/net.rs", core),

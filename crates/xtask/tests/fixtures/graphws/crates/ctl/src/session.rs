@@ -1,6 +1,6 @@
 //! Fixture: control-plane session entry points. Everything a session can do
-//! to an engine must stay on the deterministic path, so these three methods
-//! are in `taint::ENTRY_POINTS` and have to resolve here.
+//! to an engine must stay on the deterministic path, so these methods are in
+//! `taint::ENTRY_POINTS` and have to resolve here.
 
 pub struct Session;
 
@@ -10,4 +10,12 @@ impl Session {
     pub fn apply(&mut self) {}
 
     pub fn restore() {}
+}
+
+pub struct ControlPlane;
+
+impl ControlPlane {
+    pub fn handle_request(&mut self) {}
+
+    pub fn drain_frames(&mut self) {}
 }

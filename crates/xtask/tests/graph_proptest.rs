@@ -101,7 +101,9 @@ fn run_model(m: &Model) -> Vec<xtask::Finding> {
     w(
         "crates/ctl/src/session.rs",
         "pub struct Session;\nimpl Session {\n    pub fn run_until(&mut self) {}\n    \
-         pub fn apply(&mut self) {}\n    pub fn restore() {}\n}\n",
+         pub fn apply(&mut self) {}\n    pub fn restore() {}\n}\n\
+         pub struct ControlPlane;\nimpl ControlPlane {\n    \
+         pub fn handle_request(&mut self) {}\n    pub fn drain_frames(&mut self) {}\n}\n",
     );
     w("crates/core/Cargo.toml", "[package]\nname = \"openoptics-core\"\n");
     let mut core = String::from("pub struct OpenOpticsNet;\nimpl OpenOpticsNet {\n");

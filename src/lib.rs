@@ -72,7 +72,9 @@ pub mod prelude {
     pub use openoptics_routing::algos::{Direct, Ucmp, Vlb};
     pub use openoptics_routing::{LookupMode, MultipathMode, RoutingAlgorithm};
     pub use openoptics_sim::time::SimTime;
-    pub use openoptics_telemetry::{Labels, Registry, Snapshot, TraceKind};
+    pub use openoptics_telemetry::{
+        Labels, QuantileSketch, Registry, SloSummary, SloTarget, Snapshot, TraceKind,
+    };
     pub use openoptics_topo::{round_robin, TrafficMatrix};
     pub use openoptics_workload::FctStats;
 }

@@ -255,3 +255,57 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The quantile sketch's documented error bound holds for arbitrary
+    /// streams: every reported quantile is >= the exact nearest-rank value
+    /// and overestimates it by at most 1/16 (6.25%).
+    #[test]
+    fn sketch_quantiles_stay_within_the_documented_bound(
+        values in proptest::collection::vec(0u64..(1u64 << 40), 1..400),
+    ) {
+        use openoptics::telemetry::QuantileSketch;
+        let mut sk = QuantileSketch::new();
+        for &v in &values {
+            sk.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for (numer, denom) in [(1u64, 2u64), (99, 100), (999, 1000)] {
+            let rank = ((sorted.len() as u64 * numer).div_ceil(denom)).max(1) as usize;
+            let exact = sorted[rank.min(sorted.len()) - 1];
+            let got = sk.quantile(numer, denom);
+            prop_assert!(got >= exact, "q{numer}/{denom}: {got} < exact {exact}");
+            prop_assert!(
+                (got as u128 - exact as u128) * 16 <= exact as u128,
+                "q{numer}/{denom}: {got} overestimates exact {exact} by more than 1/16"
+            );
+        }
+    }
+
+    /// Merging per-shard sketches is exactly ingestion order-independence:
+    /// however a stream is split across shards, the element-wise merge
+    /// equals the single-stream sketch.
+    #[test]
+    fn sketch_merge_of_shards_equals_single_stream(
+        values in proptest::collection::vec(0u64..u64::MAX, 0..300),
+        shards in 1usize..6,
+    ) {
+        use openoptics::telemetry::QuantileSketch;
+        let mut single = QuantileSketch::new();
+        let mut parts = vec![QuantileSketch::new(); shards];
+        for (i, &v) in values.iter().enumerate() {
+            single.record(v);
+            parts[i % shards].record(v);
+        }
+        let mut merged = QuantileSketch::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(&merged, &single);
+        prop_assert_eq!(merged.p50(), single.p50());
+        prop_assert_eq!(merged.p999(), single.p999());
+    }
+}
